@@ -1,0 +1,54 @@
+// Command diag compares TRIDENT per-instruction predictions against
+// per-instruction fault injection, for model debugging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/profile"
+	"trident/internal/progs"
+)
+
+func main() {
+	program := flag.String("program", "pathfinder", "benchmark name")
+	trials := flag.Int("n", 150, "FI trials per instruction")
+	flag.Parse()
+
+	p, err := progs.ByName(*program)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := p.Build()
+	prof, err := profile.Collect(m, profile.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	model := core.New(prof, core.TridentConfig())
+	inj, err := fault.New(m, fault.Options{Seed: 5, Workers: 8})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	targets := inj.Targets()
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ID < targets[j].ID })
+	fmt.Printf("%-34s %8s %8s %8s %8s %8s %8s %8s\n",
+		"instr", "count", "model", "fi-sdc", "gap", "fi-crash", "m-crash", "fi-ben")
+	for _, in := range targets {
+		res, err := inj.CampaignPerInstr(in, *trials)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			continue
+		}
+		gap := model.InstrSDC(in) - res.SDCProb()
+		fmt.Printf("%-34s %8d %8.3f %8.3f %+8.3f %8.3f %8.3f %8.3f\n",
+			in.String()+" @"+in.Block.Name, inj.ExecCount(in), model.InstrSDC(in),
+			res.SDCProb(), gap, res.Rate(fault.Crash), model.InstrCrash(in), res.Rate(fault.Benign))
+	}
+}

@@ -1,0 +1,246 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [flags]
+//
+//	-run string      comma-separated experiments to run:
+//	                 table1,fig5,table2,fig6a,fig6b,fig7,fig8,fig9,inputs,ablations
+//	                 or "all" (default "all")
+//	-samples int     FI samples for overall SDC probabilities (default 3000)
+//	-perinstr int    FI samples per static instruction (default 100)
+//	-seed uint       deterministic seed (default 2018)
+//	-programs string comma-separated benchmark subset (default: all 11)
+//	-workers int     parallel FI workers (default 4)
+//	-format string   "text" (default) or "md" (markdown tables)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"trident/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	runList := fs.String("run", "all", "experiments to run (comma separated, or 'all')")
+	samples := fs.Int("samples", 3000, "FI samples for overall SDC")
+	perInstr := fs.Int("perinstr", 100, "FI samples per instruction")
+	seed := fs.Uint64("seed", 2018, "deterministic seed")
+	programs := fs.String("programs", "", "benchmark subset (comma separated)")
+	workers := fs.Int("workers", 4, "parallel FI workers")
+	format := fs.String("format", "text", "output format: text or md")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	md := *format == "md"
+
+	cfg := experiments.Config{
+		Samples:  *samples,
+		PerInstr: *perInstr,
+		Seed:     *seed,
+		Workers:  *workers,
+	}
+	if *programs != "" {
+		cfg.Programs = strings.Split(*programs, ",")
+	}
+
+	selected := map[string]bool{}
+	if *runList == "all" {
+		for _, n := range []string{"table1", "fig5", "table2", "fig6a", "fig6b",
+			"fig7", "fig8", "fig9", "inputs", "ablations"} {
+			selected[n] = true
+		}
+	} else {
+		for _, n := range strings.Split(*runList, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+	}
+
+	w := os.Stdout
+	stamp := func(name string, start time.Time) {
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, time.Since(start).Seconds())
+		experiments.RenderSeparator(w)
+	}
+
+	if selected["table1"] {
+		start := time.Now()
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownTable1(w, rows)
+		} else {
+			experiments.RenderTable1(w, rows)
+		}
+		stamp("table1", start)
+	}
+	if selected["fig5"] {
+		start := time.Now()
+		res, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownFig5(w, res)
+		} else {
+			experiments.RenderFig5(w, res)
+		}
+		stamp("fig5", start)
+	}
+	if selected["table2"] {
+		start := time.Now()
+		res, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownTable2(w, res)
+		} else {
+			experiments.RenderTable2(w, res)
+		}
+		stamp("table2", start)
+	}
+	if selected["fig6a"] && selected["fig6b"] && md {
+		start := time.Now()
+		a, err := experiments.Fig6a(cfg, nil)
+		if err != nil {
+			return err
+		}
+		b, err := experiments.Fig6b(cfg, nil)
+		if err != nil {
+			return err
+		}
+		experiments.MarkdownFig6(w, a, b)
+		stamp("fig6", start)
+	} else {
+		if selected["fig6a"] {
+			start := time.Now()
+			points, err := experiments.Fig6a(cfg, nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig6a(w, points)
+			stamp("fig6a", start)
+		}
+		if selected["fig6b"] {
+			start := time.Now()
+			points, err := experiments.Fig6b(cfg, nil)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFig6b(w, points)
+			stamp("fig6b", start)
+		}
+	}
+	if selected["fig7"] {
+		start := time.Now()
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownFig7(w, rows)
+		} else {
+			experiments.RenderFig7(w, rows)
+		}
+		stamp("fig7", start)
+	}
+	if selected["fig8"] {
+		start := time.Now()
+		res, err := experiments.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownFig8(w, res)
+		} else {
+			experiments.RenderFig8(w, res)
+		}
+		stamp("fig8", start)
+	}
+	if selected["fig9"] {
+		start := time.Now()
+		res, err := experiments.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownFig9(w, res)
+		} else {
+			experiments.RenderFig9(w, res)
+		}
+		stamp("fig9", start)
+	}
+	if selected["inputs"] {
+		start := time.Now()
+		rows, err := experiments.InputSensitivity(cfg, 3)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownInputs(w, rows)
+		} else {
+			experiments.RenderInputs(w, rows)
+		}
+		stamp("inputs", start)
+	}
+	if selected["ablations"] {
+		start := time.Now()
+		if err := runAblations(cfg); err != nil {
+			return err
+		}
+		stamp("ablations", start)
+	}
+	return nil
+}
+
+func runAblations(cfg experiments.Config) error {
+	w := os.Stdout
+	vp, err := experiments.AblationValueProfile(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation (fs value profile): MAE with %.2f%%, without %.2f%%\n",
+		vp.MAEWith*100, vp.MAEWithout*100)
+
+	pr, err := experiments.AblationPruning(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation (fm pruning): pruned %.3fs vs expanded %.3fs (%d dyn deps -> %d static edges, max divergence %.2e)\n",
+		pr.PrunedSeconds, pr.ExpandedSeconds, pr.DynDeps, pr.StaticEdges, pr.MaxDivergence)
+
+	fp, err := experiments.AblationFixpoint(cfg, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, "Ablation (fm fixpoint cap): ")
+	for i, p := range fp {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%d sweeps -> %.2f%%", p.MaxIters, p.MeanSDC*100)
+	}
+	fmt.Fprintln(w)
+
+	kn, err := experiments.AblationKnapsack(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablation (selection policy at 1/3 bound): knapsack %.2f%% SDC vs top-k %.2f%% SDC\n",
+		kn.MeanSDCKnapsack*100, kn.MeanSDCTopK*100)
+	return nil
+}

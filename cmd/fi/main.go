@@ -1,0 +1,108 @@
+// Command fi runs an LLFI-style statistical fault-injection campaign:
+// single bit flips in destination registers of random dynamic
+// instructions, classified against the golden run.
+//
+// Usage:
+//
+//	fi -program pathfinder [-n 3000] [-seed 1] [-workers 4] [-per-instr]
+//	fi -ir file.tir [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"trident/internal/fault"
+	"trident/internal/ir"
+	"trident/internal/progs"
+	"trident/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fi", flag.ContinueOnError)
+	program := fs.String("program", "", "built-in benchmark name")
+	irFile := fs.String("ir", "", "textual IR file")
+	n := fs.Int("n", 3000, "number of injections")
+	seed := fs.Uint64("seed", 1, "deterministic seed")
+	workers := fs.Int("workers", 4, "parallel injection workers")
+	perInstr := fs.Bool("per-instr", false, "also report per-instruction SDC probabilities (uses -n per instruction / 10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := loadModule(*program, *irFile)
+	if err != nil {
+		return err
+	}
+	inj, err := fault.New(m, fault.Options{Seed: *seed, Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("golden run: %d dynamic instructions, activation space %d\n",
+		inj.GoldenDynInstrs(), inj.ActivationSpace())
+
+	res, err := inj.CampaignRandom(*n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d injections into %s:\n", res.N(), m.Name)
+	for _, o := range []fault.Outcome{fault.Benign, fault.SDC, fault.Crash, fault.Hang, fault.Detected} {
+		fmt.Printf("  %-9s %6d  (%.2f%%)\n", o, res.Counts[o], res.Rate(o)*100)
+	}
+	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n",
+		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.N())*100)
+
+	if *perInstr {
+		perN := *n / 10
+		if perN < 10 {
+			perN = 10
+		}
+		targets := inj.Targets()
+		measured, err := inj.PerInstrSDC(targets, perN)
+		if err != nil {
+			return err
+		}
+		sort.Slice(targets, func(i, j int) bool {
+			if measured[targets[i]] != measured[targets[j]] {
+				return measured[targets[i]] > measured[targets[j]]
+			}
+			return targets[i].ID < targets[j].ID
+		})
+		fmt.Printf("\nper-instruction SDC probabilities (%d injections each):\n", perN)
+		fmt.Printf("%-32s %-24s %10s\n", "instruction", "location", "SDC")
+		for _, in := range targets {
+			fmt.Printf("%-32s %-24s %9.1f%%\n", ir.FormatInstr(in), in.Pos(), measured[in]*100)
+		}
+	}
+	return nil
+}
+
+func loadModule(program, irFile string) (*ir.Module, error) {
+	switch {
+	case program != "" && irFile != "":
+		return nil, fmt.Errorf("use either -program or -ir, not both")
+	case program != "":
+		p, err := progs.ByName(program)
+		if err != nil {
+			return nil, err
+		}
+		return p.Build(), nil
+	case irFile != "":
+		src, err := os.ReadFile(irFile)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("one of -program or -ir is required")
+	}
+}

@@ -1,0 +1,103 @@
+// Command trace explains TRIDENT predictions: for the most SDC-prone
+// instructions of a program (or one specific instruction), it decomposes
+// the predicted SDC probability into its propagation paths — direct
+// register flow to output, corrupted stores chased through memory, and
+// flipped branches with their divergence effects.
+//
+// Usage:
+//
+//	trace -program pathfinder [-top 5]
+//	trace -program pathfinder -instr 42      # explain instruction #42
+//	trace -ir file.tir [...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"trident/internal/core"
+	"trident/internal/ir"
+	"trident/internal/profile"
+	"trident/internal/progs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	program := fs.String("program", "", "built-in benchmark name")
+	irFile := fs.String("ir", "", "textual IR file")
+	top := fs.Int("top", 5, "number of top instructions to explain")
+	instrID := fs.Int("instr", -1, "explain one instruction by ID in main")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		m   *ir.Module
+		err error
+	)
+	switch {
+	case *program != "":
+		p, perr := progs.ByName(*program)
+		if perr != nil {
+			return perr
+		}
+		m = p.Build()
+	case *irFile != "":
+		src, ferr := os.ReadFile(*irFile)
+		if ferr != nil {
+			return ferr
+		}
+		m, err = ir.Parse(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -program or -ir is required")
+	}
+
+	prof, err := profile.Collect(m, profile.Options{})
+	if err != nil {
+		return err
+	}
+	model := core.New(prof, core.TridentConfig())
+
+	if *instrID >= 0 {
+		in := m.Func("main").InstrByID(*instrID)
+		if in == nil {
+			return fmt.Errorf("no instruction #%d in main", *instrID)
+		}
+		fmt.Print(model.Explain(in).String())
+		return nil
+	}
+
+	var ranked []*ir.Instr
+	m.Instrs(func(in *ir.Instr) {
+		if in.HasResult() && prof.ExecCount[in] > 0 {
+			ranked = append(ranked, in)
+		}
+	})
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := model.InstrSDC(ranked[i]), model.InstrSDC(ranked[j])
+		if a != b {
+			return a > b
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if *top > len(ranked) {
+		*top = len(ranked)
+	}
+	fmt.Printf("top %d SDC-prone instructions of %s, with propagation paths:\n\n", *top, m.Name)
+	for _, in := range ranked[:*top] {
+		fmt.Println(model.Explain(in).String())
+	}
+	return nil
+}

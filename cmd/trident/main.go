@@ -1,0 +1,135 @@
+// Command trident analyzes a program with the TRIDENT model: it profiles
+// one execution and prints the predicted overall SDC probability and the
+// most SDC-prone instructions, without any fault injection — the paper's
+// Figure 1b workflow.
+//
+// Usage:
+//
+//	trident -program pathfinder [-top 15] [-model trident|fs+fc|fs] [-samples N]
+//	trident -ir file.tir [...]
+//
+// Programs come from the built-in benchmark registry (-program) or from a
+// textual IR file (-ir).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"trident/internal/core"
+	"trident/internal/ir"
+	"trident/internal/profile"
+	"trident/internal/progs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trident:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trident", flag.ContinueOnError)
+	program := fs.String("program", "", "built-in benchmark name ("+listNames()+")")
+	irFile := fs.String("ir", "", "textual IR file to analyze instead of a benchmark")
+	top := fs.Int("top", 15, "number of most SDC-prone instructions to list")
+	modelName := fs.String("model", "trident", "model variant: trident, fs+fc, fs")
+	samples := fs.Int("samples", 0, "sampled dynamic instructions for the overall estimate (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := loadModule(*program, *irFile)
+	if err != nil {
+		return err
+	}
+
+	var cfg core.Config
+	switch *modelName {
+	case "trident":
+		cfg = core.TridentConfig()
+	case "fs+fc":
+		cfg = core.FSFCConfig()
+	case "fs":
+		cfg = core.FSOnlyConfig()
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+
+	fmt.Printf("profiling %s...\n", m.Name)
+	prof, err := profile.Collect(m, profile.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d static instructions, %d dynamic, %d bytes peak memory\n",
+		m.NumInstrs(), prof.Golden.DynInstrs, prof.PeakMemBytes)
+	fmt.Printf("  memory dependence: %d dynamic deps pruned to %d static edges (%.2f%%)\n",
+		prof.DynMemDeps, prof.NumStaticMemEdges(), prof.PruningRatio()*100)
+
+	model := core.New(prof, cfg)
+	overall := model.OverallSDC(*samples, 1)
+	fmt.Printf("\noverall SDC probability (%s): %.2f%%\n", model, overall.SDC*100)
+
+	type ranked struct {
+		in  *ir.Instr
+		sdc float64
+	}
+	var rows []ranked
+	m.Instrs(func(in *ir.Instr) {
+		if in.HasResult() && prof.ExecCount[in] > 0 {
+			rows = append(rows, ranked{in, model.InstrSDC(in)})
+		}
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].sdc != rows[j].sdc {
+			return rows[i].sdc > rows[j].sdc
+		}
+		return rows[i].in.ID < rows[j].in.ID
+	})
+	if *top > len(rows) {
+		*top = len(rows)
+	}
+	fmt.Printf("\ntop %d SDC-prone instructions:\n", *top)
+	fmt.Printf("%-32s %-24s %10s %10s\n", "instruction", "location", "SDC", "execs")
+	for _, r := range rows[:*top] {
+		fmt.Printf("%-32s %-24s %9.2f%% %10d\n",
+			ir.FormatInstr(r.in), r.in.Pos(), r.sdc*100, prof.ExecCount[r.in])
+	}
+	return nil
+}
+
+func loadModule(program, irFile string) (*ir.Module, error) {
+	switch {
+	case program != "" && irFile != "":
+		return nil, fmt.Errorf("use either -program or -ir, not both")
+	case program != "":
+		p, err := progs.ByName(program)
+		if err != nil {
+			return nil, err
+		}
+		return p.Build(), nil
+	case irFile != "":
+		src, err := os.ReadFile(irFile)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Parse(string(src))
+	default:
+		return nil, fmt.Errorf("one of -program or -ir is required")
+	}
+}
+
+func listNames() string {
+	names := progs.Names()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+// Package baseline reimplements the two prior models the paper compares
+// against in §VII-C:
+//
+//   - PVF (Sridharan & Kaeli): the architecturally-correct-execution (ACE)
+//     fraction. PVF does not distinguish crashes or benign outcomes from
+//     SDCs, so any fault whose corruption reaches any architectural sink
+//     counts. The paper measures PVF's average prediction at 90.62%
+//     against a 13.59% FI ground truth.
+//
+//   - ePVF (Fang et al.): PVF with crash-causing faults removed. ePVF
+//     still cannot separate benign faults from SDCs (it does not model
+//     control-flow divergence or memory-level masking), predicting
+//     52.55% on the paper's benchmarks.
+//
+// Both are built on the same profile and def-use machinery as TRIDENT, so
+// the comparison isolates the modeling differences rather than
+// implementation differences.
+package baseline
+
+import (
+	"trident/internal/core"
+	"trident/internal/ir"
+	"trident/internal/profile"
+)
+
+// Predictor is the interface shared by TRIDENT and the baselines: a
+// per-instruction SDC probability.
+type Predictor interface {
+	InstrSDC(in *ir.Instr) float64
+}
+
+// PVF predicts the SDC probability of an instruction as its ACE fraction:
+// the probability that the corruption reaches any architectural sink
+// (output, memory, control flow, or a trap). Crashes and benign reaching
+// faults are not separated from SDCs — the model's defining weakness.
+type PVF struct {
+	model *core.Model
+}
+
+// NewPVF builds the PVF baseline over a profile.
+func NewPVF(prof *profile.Profile) *PVF {
+	return &PVF{model: core.New(prof, core.TridentConfig())}
+}
+
+var _ Predictor = (*PVF)(nil)
+
+// InstrSDC implements Predictor.
+func (p *PVF) InstrSDC(in *ir.Instr) float64 {
+	tm := p.model.TerminalMass(in)
+	v := tm.Output + tm.Stores + tm.Branches + tm.Crash
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// OverallSDC returns the execution-weighted mean prediction.
+func (p *PVF) OverallSDC() float64 {
+	return overall(p.model.Profile(), p)
+}
+
+// EPVF refines PVF by removing crash-causing faults from the prediction.
+// The crash estimate comes from a CrashOracle when provided (the paper
+// gave ePVF FI-measured crash rates, conservatively overestimating its
+// accuracy); otherwise the model's own crash estimate is used.
+type EPVF struct {
+	model *core.Model
+	pvf   *PVF
+	// CrashOracle overrides the modeled per-instruction crash
+	// probability; nil uses the model estimate.
+	CrashOracle func(in *ir.Instr) float64
+}
+
+// NewEPVF builds the ePVF baseline over a profile.
+func NewEPVF(prof *profile.Profile) *EPVF {
+	m := core.New(prof, core.TridentConfig())
+	return &EPVF{model: m, pvf: &PVF{model: m}}
+}
+
+var _ Predictor = (*EPVF)(nil)
+
+// InstrSDC implements Predictor.
+func (e *EPVF) InstrSDC(in *ir.Instr) float64 {
+	crash := e.model.InstrCrash(in)
+	if e.CrashOracle != nil {
+		crash = e.CrashOracle(in)
+	}
+	v := e.pvf.InstrSDC(in) - crash
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// OverallSDC returns the execution-weighted mean prediction.
+func (e *EPVF) OverallSDC() float64 {
+	return overall(e.model.Profile(), e)
+}
+
+// overall computes the execution-count-weighted expectation of a
+// predictor over the fault-activation space.
+func overall(prof *profile.Profile, pred Predictor) float64 {
+	var total uint64
+	sum := 0.0
+	prof.Module.Instrs(func(in *ir.Instr) {
+		if !in.HasResult() {
+			return
+		}
+		c := prof.ExecCount[in]
+		if c == 0 {
+			return
+		}
+		total += c
+		sum += float64(c) * pred.InstrSDC(in)
+	})
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}

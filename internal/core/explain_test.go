@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"trident/internal/ir"
+)
+
+func TestExplainDecomposesMixedProgram(t *testing.T) {
+	model := profiledModel(t, mixed, TridentConfig())
+	// %hm feeds a store directly and a branch; the explanation must show
+	// both path kinds and the contributions must be consistent with the
+	// headline number.
+	hm := instrByName(t, model.prof.Module, "hm")
+	ex := model.Explain(hm)
+	if ex.SDC != model.InstrSDC(hm) {
+		t.Errorf("explanation SDC %v != InstrSDC %v", ex.SDC, model.InstrSDC(hm))
+	}
+	if len(ex.Stores) == 0 {
+		t.Error("expected a memory-level path for %hm")
+	}
+	if len(ex.Branches) == 0 {
+		t.Error("expected a control-flow path for %hm (feeds the store guard)")
+	}
+	sum := ex.Direct
+	for _, sc := range ex.Stores {
+		sum += sc.Contribution
+	}
+	for _, bc := range ex.Branches {
+		sum += bc.Contribution
+	}
+	// The headline is the capped, crash-competed version of the sum.
+	capped := math.Min(sum, 1)
+	if avail := 1 - ex.Crash; capped > avail {
+		capped = avail
+	}
+	if capped < 0 {
+		capped = 0
+	}
+	if math.Abs(capped-ex.SDC) > 1e-9 {
+		t.Errorf("path contributions (%v capped to %v) do not match SDC %v",
+			sum, capped, ex.SDC)
+	}
+}
+
+func TestExplainDirectOutput(t *testing.T) {
+	model := profiledModel(t, `
+module "direct"
+func @main() void {
+entry:
+  %a = add i64 1, i64 2
+  print %a
+  ret
+}
+`, TridentConfig())
+	ex := model.Explain(instrByName(t, model.prof.Module, "a"))
+	if math.Abs(ex.Direct-1) > 1e-9 || len(ex.Stores) != 0 || len(ex.Branches) != 0 {
+		t.Errorf("direct-only explanation wrong: %+v", ex)
+	}
+}
+
+func TestExplainNonResultInstr(t *testing.T) {
+	model := profiledModel(t, mixed, TridentConfig())
+	var store *ir.Instr
+	model.prof.Module.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			store = in
+		}
+	})
+	ex := model.Explain(store)
+	if ex.SDC != 0 || len(ex.Stores) != 0 {
+		t.Error("non-register instruction should have an empty explanation")
+	}
+}
+
+func TestExplainStringRendering(t *testing.T) {
+	model := profiledModel(t, mixed, TridentConfig())
+	hm := instrByName(t, model.prof.Module, "hm")
+	s := model.Explain(hm).String()
+	for _, want := range []string{"SDC", "via"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+	// Stores sorted by contribution.
+	ex := model.Explain(hm)
+	for i := 1; i < len(ex.Stores); i++ {
+		if ex.Stores[i].Contribution > ex.Stores[i-1].Contribution+1e-12 {
+			t.Error("store paths not sorted")
+		}
+	}
+}

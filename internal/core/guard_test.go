@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+)
+
+// readAccum: a read loop accumulating into a register that prints after
+// the loop — no stores anywhere near the divergence.
+const readAccum = `
+module "readaccum"
+global @a i64 x 16 = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+func @main() void {
+entry:
+  br loop
+loop:
+  %j = phi i64 [i64 0, entry], [%jinc, loop]
+  %acc = phi i64 [i64 0, entry], [%nacc, loop]
+  %q = gep i64, @a, %j
+  %v = load i64, %q
+  %nacc = add %acc, %v
+  %jinc = add %j, i64 1
+  %rc = icmp slt %jinc, i64 16
+  condbr %rc, loop, done
+done:
+  print %nacc
+  ret
+}
+`
+
+// TestBranchFlipCorruptsRegisterAccumulator checks the fc register
+// extension: flipping the loop bound branch corrupts the printed
+// accumulator even though no store is involved (the paper's store-only fc
+// would predict zero).
+func TestBranchFlipCorruptsRegisterAccumulator(t *testing.T) {
+	model := profiledModel(t, readAccum, TridentConfig())
+	rc := instrByName(t, model.prof.Module, "rc")
+	if p := model.InstrSDC(rc); p < 0.8 {
+		t.Errorf("InstrSDC(loop bound cmp) = %v, want high (accumulator corrupted)", p)
+	}
+	// The register effects are visible in fcEffectsOf.
+	br := model.prof.Module.Func("main").Block("loop").Terminator()
+	eff := model.fcEffectsOf(br)
+	if len(eff.regs) == 0 {
+		t.Fatal("LT branch should corrupt loop-carried phis")
+	}
+	if len(eff.stores) != 0 {
+		t.Error("read loop has no stores to corrupt")
+	}
+}
+
+// TestGuardedInductionCrash checks the guarded back-edge refinement: a
+// corrupted loop increment is bound-checked before it feeds the next
+// iteration's address, so the predicted crash probability must stay small
+// and the SDC probability high.
+func TestGuardedInductionCrash(t *testing.T) {
+	model := profiledModel(t, readAccum, TridentConfig())
+	jinc := instrByName(t, model.prof.Module, "jinc")
+	crash := model.InstrCrash(jinc)
+	sdc := model.InstrSDC(jinc)
+	if crash > 0.3 {
+		t.Errorf("InstrCrash(jinc) = %v, want small (bound check guards reuse)", crash)
+	}
+	if sdc < 0.6 {
+		t.Errorf("InstrSDC(jinc) = %v, want high (early exit truncates the sum)", sdc)
+	}
+	// The phi itself is consumed by the address *before* the bound check,
+	// so its crash probability stays high.
+	j := instrByName(t, model.prof.Module, "j")
+	if c := model.InstrCrash(j); c < 0.3 {
+		t.Errorf("InstrCrash(j) = %v, want substantial (used by gep pre-check)", c)
+	}
+}
+
+// TestNLTJoinPhiRegisterEffect checks that a flipped diamond branch
+// corrupts the join phi.
+func TestNLTJoinPhiRegisterEffect(t *testing.T) {
+	model := profiledModel(t, `
+module "joinphi"
+global @a i64 x 8 = [1, 2, 3, 4, 5, 6, 7, 8]
+func @main() void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [i64 0, entry], [%inc, join]
+  %q = gep i64, @a, %i
+  %v = load i64, %q
+  %c = icmp slt %v, i64 5
+  condbr %c, small, big
+small:
+  %sv = mul %v, i64 10
+  br join
+big:
+  %bv = add %v, i64 100
+  br join
+join:
+  %sel = phi i64 [%sv, small], [%bv, big]
+  print %sel
+  %inc = add %i, i64 1
+  %lc = icmp slt %inc, i64 8
+  condbr %lc, loop, done
+done:
+  ret
+}
+`, TridentConfig())
+	br := model.prof.Module.Func("main").Block("loop").Terminator()
+	eff := model.fcEffectsOf(br)
+	found := false
+	for _, rc := range eff.regs {
+		if rc.Def.Name == "sel" {
+			found = true
+			if rc.Prob < 0.5 {
+				t.Errorf("join phi corruption prob = %v, want high", rc.Prob)
+			}
+		}
+	}
+	if !found {
+		t.Error("flipped diamond branch should corrupt the join phi")
+	}
+	// End to end: the comparison's SDC probability is high because the
+	// wrong arm prints.
+	c := instrByName(t, model.prof.Module, "c")
+	if p := model.InstrSDC(c); p < 0.5 {
+		t.Errorf("InstrSDC(diamond cmp) = %v, want high", p)
+	}
+}

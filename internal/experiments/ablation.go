@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/protect"
+	"trident/internal/stats"
+)
+
+// AblationValueProfileResult compares fs with and without the operand
+// value profile (DESIGN.md ablation: tuples from "mechanism and/or
+// profiled values", §IV-C).
+type AblationValueProfileResult struct {
+	// MAEWith and MAEWithout are mean absolute errors of the overall SDC
+	// prediction versus FI across programs.
+	MAEWith, MAEWithout float64
+}
+
+// AblationValueProfile measures how much the empirical operand-value
+// tuples contribute to accuracy.
+func AblationValueProfile(cfg Config) (*AblationValueProfileResult, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var fi, with, without []float64
+	for _, pd := range data {
+		campaign, err := pd.Injector.CampaignRandom(cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		fi = append(fi, campaign.SDCProb())
+		with = append(with, pd.Trident.OverallSDC(0, 0).SDC)
+
+		noProfCfg := core.TridentConfig()
+		noProfCfg.DisableValueProfile = true
+		noProf := core.New(pd.Profile, noProfCfg)
+		without = append(without, noProf.OverallSDC(0, 0).SDC)
+	}
+	res := &AblationValueProfileResult{}
+	res.MAEWith, _ = stats.MeanAbsError(with, fi)
+	res.MAEWithout, _ = stats.MeanAbsError(without, fi)
+	return res, nil
+}
+
+// AblationPruningResult compares the memory sub-model's cost on the pruned
+// static graph versus the expanded dynamic multigraph (same fixed point).
+type AblationPruningResult struct {
+	PrunedSeconds   float64
+	ExpandedSeconds float64
+	// MaxDivergence is the largest |fm difference| across stores — it
+	// must be ~0 (pruning is exact, only cheaper).
+	MaxDivergence float64
+	// DynDeps and StaticEdges across programs.
+	DynDeps     uint64
+	StaticEdges int
+}
+
+// AblationPruning measures what the §IV-E pruning saves.
+func AblationPruning(cfg Config) (*AblationPruningResult, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationPruningResult{}
+	for _, pd := range data {
+		res.DynDeps += pd.Profile.DynMemDeps
+		res.StaticEdges += pd.Profile.NumStaticMemEdges()
+
+		pruned := core.New(pd.Profile, core.TridentConfig())
+		start := time.Now()
+		prunedVal := pruned.OverallSDC(0, 0).SDC
+		res.PrunedSeconds += time.Since(start).Seconds()
+
+		expandedCfg := core.TridentConfig()
+		expandedCfg.ExpandMemEdges = true
+		expanded := core.New(pd.Profile, expandedCfg)
+		start = time.Now()
+		expandedVal := expanded.OverallSDC(0, 0).SDC
+		res.ExpandedSeconds += time.Since(start).Seconds()
+
+		if d := math.Abs(prunedVal - expandedVal); d > res.MaxDivergence {
+			res.MaxDivergence = d
+		}
+	}
+	return res, nil
+}
+
+// AblationFixpointPoint is the overall prediction under a sweep cap.
+type AblationFixpointPoint struct {
+	MaxIters int
+	// MeanSDC is the across-program mean overall prediction.
+	MeanSDC float64
+}
+
+// AblationFixpoint shows how many fm sweeps cyclic memory dependence
+// needs: capping at one sweep truncates store→load→store feedback.
+func AblationFixpoint(cfg Config, caps []int) ([]AblationFixpointPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(caps) == 0 {
+		caps = []int{1, 2, 4, 8, 200}
+	}
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]AblationFixpointPoint, 0, len(caps))
+	for _, capIters := range caps {
+		sum := 0.0
+		for _, pd := range data {
+			c := core.TridentConfig()
+			c.FMMaxIters = capIters
+			sum += core.New(pd.Profile, c).OverallSDC(0, 0).SDC
+		}
+		points = append(points, AblationFixpointPoint{
+			MaxIters: capIters,
+			MeanSDC:  sum / float64(len(data)),
+		})
+	}
+	return points, nil
+}
+
+// AblationKnapsackResult compares knapsack selection against naive
+// top-k-by-SDC selection at the same budget.
+type AblationKnapsackResult struct {
+	// MeanSDCKnapsack and MeanSDCTopK are FI-measured protected SDC
+	// probabilities averaged across programs at the 1/3 bound.
+	MeanSDCKnapsack, MeanSDCTopK float64
+}
+
+// AblationKnapsack evaluates the selection policy ablation end to end.
+func AblationKnapsack(cfg Config) (*AblationKnapsackResult, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationKnapsackResult{}
+	for _, pd := range data {
+		sdc := sdcMapFor(pd, pd.Trident)
+		cands := protect.Candidates(pd.Profile, sdc)
+		budget := protect.FullCost(cands) / 3
+		for _, policy := range []struct {
+			plan *protect.Plan
+			dst  *float64
+		}{
+			{protect.SelectKnapsack(cands, budget), &res.MeanSDCKnapsack},
+			{protect.SelectTopK(cands, budget), &res.MeanSDCTopK},
+		} {
+			protected, err := protect.Apply(pd.Module, policy.plan.Selected)
+			if err != nil {
+				return nil, err
+			}
+			inj, err := fault.New(protected, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			campaign, err := inj.CampaignRandom(cfg.Samples)
+			if err != nil {
+				return nil, err
+			}
+			*policy.dst += campaign.SDCProb() / float64(len(data))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V–§VII): benchmark characteristics (Table I), overall and
+// per-instruction accuracy against fault injection (Fig. 5, Table II),
+// scalability (Fig. 6a/6b, Fig. 7), selective-protection effectiveness
+// (Fig. 8), and the PVF/ePVF comparison (Fig. 9).
+//
+// Each experiment returns structured rows; the cmd/experiments binary and
+// the repository benchmarks render them. Per-program state (profile,
+// injector, models) is cached so experiment suites do not redo work.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/interp"
+	"trident/internal/ir"
+	"trident/internal/profile"
+	"trident/internal/progs"
+)
+
+// Config tunes experiment fidelity. The zero value is replaced by paper
+// defaults via withDefaults.
+type Config struct {
+	// Samples is the FI sample count for overall SDC probabilities
+	// (paper: 3000).
+	Samples int
+	// PerInstr is the FI sample count per static instruction (paper: 100).
+	PerInstr int
+	// Seed drives all deterministic sampling.
+	Seed uint64
+	// Programs restricts the benchmark set; empty means all 11.
+	Programs []string
+	// Workers is the FI campaign parallelism (0 = injector default).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 3000
+	}
+	if c.PerInstr == 0 {
+		c.PerInstr = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 2018 // DSN'18
+	}
+	if len(c.Programs) == 0 {
+		for _, p := range progs.All() {
+			c.Programs = append(c.Programs, p.Name)
+		}
+	}
+	return c
+}
+
+// ProgramData is the cached per-program state shared by experiments.
+type ProgramData struct {
+	Program  progs.Program
+	Module   *ir.Module
+	Profile  *profile.Profile
+	Injector *fault.Injector
+
+	Trident *core.Model
+	FSFC    *core.Model
+	FSOnly  *core.Model
+}
+
+// loader caches ProgramData by (name, seed).
+type loader struct {
+	mu    sync.Mutex
+	cache map[string]*ProgramData
+}
+
+var sharedLoader = &loader{cache: make(map[string]*ProgramData)}
+
+// Load builds (or returns cached) per-program state.
+func Load(name string, cfg Config) (*ProgramData, error) {
+	cfg = cfg.withDefaults()
+	key := fmt.Sprintf("%s/%d/%d", name, cfg.Seed, cfg.Workers)
+	sharedLoader.mu.Lock()
+	defer sharedLoader.mu.Unlock()
+	if pd, ok := sharedLoader.cache[key]; ok {
+		return pd, nil
+	}
+
+	prog, err := progs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m := prog.Build()
+	prof, err := profile.Collect(m, profile.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	inj, err := fault.New(m, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	pd := &ProgramData{
+		Program:  prog,
+		Module:   m,
+		Profile:  prof,
+		Injector: inj,
+		Trident:  core.New(prof, core.TridentConfig()),
+		FSFC:     core.New(prof, core.FSFCConfig()),
+		FSOnly:   core.New(prof, core.FSOnlyConfig()),
+	}
+	sharedLoader.cache[key] = pd
+	return pd, nil
+}
+
+// loadAll loads the configured program set.
+func loadAll(cfg Config) ([]*ProgramData, error) {
+	cfg = cfg.withDefaults()
+	out := make([]*ProgramData, 0, len(cfg.Programs))
+	for _, name := range cfg.Programs {
+		pd, err := Load(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pd)
+	}
+	return out, nil
+}
+
+// Table1Row is one benchmark-characteristics row (Table I).
+type Table1Row struct {
+	Name        string
+	Suite       string
+	Area        string
+	Input       string
+	StaticInstr int
+	DynInstr    uint64
+	OutputLines int
+	MemBytes    uint64
+}
+
+// Table1 regenerates Table I with the synthetic workloads' measured
+// characteristics appended.
+func Table1(cfg Config) ([]Table1Row, error) {
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(data))
+	for _, pd := range data {
+		rows = append(rows, Table1Row{
+			Name:        pd.Program.Name,
+			Suite:       pd.Program.Suite,
+			Area:        pd.Program.Area,
+			Input:       pd.Program.Input,
+			StaticInstr: pd.Module.NumInstrs(),
+			DynInstr:    pd.Profile.Golden.DynInstrs,
+			OutputLines: pd.Profile.Golden.OutputLines,
+			MemBytes:    pd.Profile.PeakMemBytes,
+		})
+	}
+	return rows, nil
+}
+
+// goldenCheck re-runs a program and confirms the golden output is
+// reproduced; used as a sanity gate by the CLI.
+func goldenCheck(pd *ProgramData) error {
+	res, err := interp.Run(pd.Module, interp.Options{})
+	if err != nil {
+		return err
+	}
+	if res.Outcome != interp.OutcomeOK || res.Output != pd.Injector.GoldenOutput() {
+		return fmt.Errorf("%s: golden output not reproduced", pd.Program.Name)
+	}
+	return nil
+}
+
+// measuredCrashOracle builds an FI-measured per-instruction crash-rate
+// oracle for the ePVF baseline, as the paper did (§VII-C gives ePVF its
+// measured crashes, overestimating its accuracy).
+func measuredCrashOracle(pd *ProgramData, perInstr int) (func(*ir.Instr) float64, error) {
+	rates := make(map[*ir.Instr]float64)
+	for _, target := range pd.Injector.Targets() {
+		res, err := pd.Injector.CampaignPerInstr(target, perInstr)
+		if err != nil {
+			return nil, err
+		}
+		rates[target] = res.Rate(fault.Crash)
+	}
+	return func(in *ir.Instr) float64 { return rates[in] }, nil
+}
+
+// freshModel builds an uncached TRIDENT model over pd's profile so timing
+// measurements do not benefit from caches warmed by earlier experiments.
+func freshModel(pd *ProgramData) *core.Model {
+	return core.New(pd.Profile, core.TridentConfig())
+}
+
+// reprofile re-collects pd's profile, for measuring the fixed profiling
+// cost of the model pipeline.
+func reprofile(pd *ProgramData) {
+	_, _ = profile.Collect(pd.Module, profile.Options{})
+}

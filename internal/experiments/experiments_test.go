@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps test-time experiment runs small; accuracy claims are
+// validated by the full runs recorded in EXPERIMENTS.md.
+var quickCfg = Config{
+	Samples:  200,
+	PerInstr: 20,
+	Seed:     7,
+	Programs: []string{"pathfinder", "hercules", "libquantum"},
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.StaticInstr == 0 || r.DynInstr == 0 || r.OutputLines == 0 {
+			t.Errorf("%s: empty characteristics %+v", r.Name, r)
+		}
+	}
+	var sb strings.Builder
+	RenderTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "pathfinder") {
+		t.Error("render missing benchmark")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	res, err := Fig5(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for name, v := range map[string]float64{
+			"fi": r.FI, "trident": r.Trident, "fsfc": r.FSFC, "fs": r.FS,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s/%s = %v out of range", r.Name, name, v)
+			}
+		}
+	}
+	// The headline shape: TRIDENT closer to FI than the simpler models on
+	// average.
+	if res.MAETrident > res.MAEFSFC && res.MAETrident > res.MAEFS {
+		t.Errorf("TRIDENT MAE %v worse than both simpler models (%v, %v)",
+			res.MAETrident, res.MAEFSFC, res.MAEFS)
+	}
+	var sb strings.Builder
+	RenderFig5(&sb, res)
+	if !strings.Contains(sb.String(), "MAE vs FI") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	res, err := Table2(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		for _, p := range []float64{r.PTrident, r.PFSFC, r.PFS} {
+			if p < 0 || p > 1 {
+				t.Errorf("%s: p-value %v out of range", r.Name, p)
+			}
+		}
+	}
+	var sb strings.Builder
+	RenderTable2(&sb, res)
+	if !strings.Contains(sb.String(), "rejections") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig6Quick(t *testing.T) {
+	a, err := Fig6a(quickCfg, []int{50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || a[0].FISeconds >= a[1].FISeconds {
+		t.Errorf("FI cost must grow with samples: %+v", a)
+	}
+	b, err := Fig6b(quickCfg, []int{10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("got %d points", len(b))
+	}
+	if b[1].FISeconds[1000] <= b[1].FISeconds[100] {
+		t.Error("FI-1000 must cost more than FI-100")
+	}
+	var sb strings.Builder
+	RenderFig6a(&sb, a)
+	RenderFig6b(&sb, b)
+	if !strings.Contains(sb.String(), "Figure 6b") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig7Quick(t *testing.T) {
+	rows, err := Fig7(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.PruningRatio < 0 || r.PruningRatio > 1 {
+			t.Errorf("%s pruning ratio %v", r.Name, r.PruningRatio)
+		}
+		if r.FISeconds100 <= r.ModelSeconds {
+			t.Errorf("%s: FI-100 (%v s) should cost more than the model (%v s)",
+				r.Name, r.FISeconds100, r.ModelSeconds)
+		}
+	}
+	var sb strings.Builder
+	RenderFig7(&sb, rows)
+	if !strings.Contains(sb.String(), "Pruning") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	cfg := quickCfg
+	cfg.Programs = []string{"pathfinder"}
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	r := res.Rows[0]
+	if r.FullOverhead <= 0 {
+		t.Error("full duplication should have positive overhead")
+	}
+	for _, bound := range []string{"1/3", "2/3"} {
+		cells, ok := r.ByBound[bound]
+		if !ok {
+			t.Fatalf("missing bound %s", bound)
+		}
+		for mname, c := range cells {
+			if c.Selected == 0 {
+				t.Errorf("%s at %s selected nothing", mname, bound)
+			}
+			// Paper: the knapsack respects the bound; measured overhead
+			// stays in the vicinity of the requested share.
+			if c.Overhead > r.FullOverhead*1.2 {
+				t.Errorf("%s at %s overhead %v exceeds full %v",
+					mname, bound, c.Overhead, r.FullOverhead)
+			}
+		}
+	}
+	// Protection at 2/3 must beat baseline under TRIDENT guidance.
+	if sdc := r.ByBound["2/3"]["trident"].SDC; sdc > r.BaselineSDC {
+		t.Errorf("2/3 TRIDENT protection made SDC worse: %v > %v", sdc, r.BaselineSDC)
+	}
+	var sb strings.Builder
+	RenderFig8(&sb, res)
+	if !strings.Contains(sb.String(), "mean SDC reduction") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	res, err := Fig9(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	// Paper ordering: PVF >> ePVF >= TRIDENT ≈ FI on average.
+	if res.MeanPVF < res.MeanEPVF {
+		t.Errorf("PVF (%v) should be above ePVF (%v)", res.MeanPVF, res.MeanEPVF)
+	}
+	if res.MAETrident > res.MAEPVF {
+		t.Errorf("TRIDENT MAE (%v) should beat PVF (%v)", res.MAETrident, res.MAEPVF)
+	}
+	var sb strings.Builder
+	RenderFig9(&sb, res)
+	if !strings.Contains(sb.String(), "PVF") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationsQuick(t *testing.T) {
+	cfg := quickCfg
+	cfg.Programs = []string{"pathfinder", "bfs-rodinia"}
+
+	vp, err := AblationValueProfile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.MAEWith < 0 || vp.MAEWithout < 0 {
+		t.Error("negative MAE")
+	}
+
+	pr, err := AblationPruning(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.MaxDivergence > 1e-6 {
+		t.Errorf("pruning changed fm results by %v; must be exact", pr.MaxDivergence)
+	}
+	if pr.DynDeps <= uint64(pr.StaticEdges) {
+		t.Error("dynamic deps should outnumber static edges")
+	}
+
+	fp, err := AblationFixpoint(cfg, []int{1, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != 2 {
+		t.Fatal("want 2 points")
+	}
+	if fp[0].MeanSDC > fp[1].MeanSDC+1e-9 {
+		t.Error("more sweeps must not reduce the (monotone) prediction")
+	}
+
+	kn, err := AblationKnapsack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kn.MeanSDCKnapsack < 0 || kn.MeanSDCTopK < 0 {
+		t.Error("negative SDC")
+	}
+}
+
+func TestGoldenCheck(t *testing.T) {
+	pd, err := Load("pathfinder", quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenCheck(pd); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputSensitivityQuick(t *testing.T) {
+	cfg := quickCfg
+	cfg.Programs = []string{"pathfinder", "nw"}
+	rows, err := InputSensitivity(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Points) != 2 {
+			t.Fatalf("%s: %d points", r.Name, len(r.Points))
+		}
+		for _, pt := range r.Points {
+			if pt.FI < 0 || pt.FI > 1 || pt.Trident < 0 || pt.Trident > 1 {
+				t.Errorf("%s v%d out of range: %+v", r.Name, pt.Variant, pt)
+			}
+		}
+		if r.SpreadFI < 0 || r.SpreadModel < 0 {
+			t.Errorf("%s: negative spread", r.Name)
+		}
+	}
+	var sb strings.Builder
+	RenderInputs(&sb, rows)
+	if !strings.Contains(sb.String(), "Input sensitivity") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestMarkdownRenderers(t *testing.T) {
+	cfg := quickCfg
+	cfg.Programs = []string{"pathfinder"}
+
+	var sb strings.Builder
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownTable1(&sb, rows)
+
+	fig5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownFig5(&sb, fig5)
+
+	t2, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownTable2(&sb, t2)
+
+	a, err := Fig6a(cfg, []int{30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6b(cfg, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownFig6(&sb, a, b)
+
+	f7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownFig7(&sb, f7)
+
+	f9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownFig9(&sb, f9)
+
+	inputs, err := InputSensitivity(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownInputs(&sb, inputs)
+
+	out := sb.String()
+	for _, want := range []string{
+		"### Table I", "### Figure 5", "### Table II", "### Figure 6a",
+		"### Figure 7", "### Figure 9", "### Input sensitivity", "| pathfinder |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q", want)
+		}
+	}
+	// Markdown tables must have balanced header/separator columns.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "|---") && !strings.HasSuffix(line, "|") {
+			t.Errorf("unterminated separator row: %q", line)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"trident/internal/stats"
+)
+
+// Fig5Row is one benchmark's overall SDC probability under FI and the
+// three models (Figure 5).
+type Fig5Row struct {
+	Name string
+	// FI is the measured SDC probability; FIErr its 95% error bar.
+	FI, FIErr float64
+	// Trident, FSFC, FS are the model predictions at the same sample
+	// count.
+	Trident, FSFC, FS float64
+}
+
+// Fig5Result is the Figure 5 dataset plus the §V-B1 summary statistics.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// Mean* are the across-benchmark averages the paper quotes
+	// (13.59 / 14.83 / 23.76 / 33.85).
+	MeanFI, MeanTrident, MeanFSFC, MeanFS float64
+	// MAE* are the mean absolute errors versus FI (paper: 4.75 for
+	// TRIDENT; the simpler models are 3-4x worse).
+	MAETrident, MAEFSFC, MAEFS float64
+	// PValueTrident is the paired t-test p-value of TRIDENT vs FI across
+	// benchmarks (paper: 0.764; > 0.05 means indistinguishable).
+	PValueTrident float64
+}
+
+// Fig5 regenerates Figure 5: overall SDC probabilities measured by FI and
+// predicted by TRIDENT, fs+fc and fs.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	var fiVals, triVals, fsfcVals, fsVals []float64
+	for _, pd := range data {
+		campaign, err := pd.Injector.CampaignRandom(cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig5Row{
+			Name:    pd.Program.Name,
+			FI:      campaign.SDCProb(),
+			FIErr:   campaign.ErrorBar95(),
+			Trident: pd.Trident.OverallSDC(cfg.Samples, cfg.Seed).SDC,
+			FSFC:    pd.FSFC.OverallSDC(cfg.Samples, cfg.Seed).SDC,
+			FS:      pd.FSOnly.OverallSDC(cfg.Samples, cfg.Seed).SDC,
+		}
+		res.Rows = append(res.Rows, row)
+		fiVals = append(fiVals, row.FI)
+		triVals = append(triVals, row.Trident)
+		fsfcVals = append(fsfcVals, row.FSFC)
+		fsVals = append(fsVals, row.FS)
+	}
+
+	res.MeanFI = stats.Mean(fiVals)
+	res.MeanTrident = stats.Mean(triVals)
+	res.MeanFSFC = stats.Mean(fsfcVals)
+	res.MeanFS = stats.Mean(fsVals)
+	res.MAETrident, _ = stats.MeanAbsError(triVals, fiVals)
+	res.MAEFSFC, _ = stats.MeanAbsError(fsfcVals, fiVals)
+	res.MAEFS, _ = stats.MeanAbsError(fsVals, fiVals)
+	if tt, err := stats.PairedTTest(triVals, fiVals); err == nil {
+		res.PValueTrident = tt.P
+	}
+	return res, nil
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"time"
+
+	"trident/internal/core"
+)
+
+// Fig6aPoint is one point of Figure 6a: wall-clock cost to estimate the
+// overall SDC probability at a given sample count, for the model and for
+// FI.
+type Fig6aPoint struct {
+	Samples int
+	// ModelSeconds includes the (shared, fixed) profiling phase plus the
+	// sampled prediction.
+	ModelSeconds float64
+	// FISeconds is projected from the measured mean per-trial time, as
+	// the paper projects from one trial averaged over 30 runs.
+	FISeconds float64
+}
+
+// Fig6a regenerates Figure 6a over the configured programs: cost versus
+// sample count, averaged across programs. The paper's shape: FI grows
+// linearly with samples; the model pays a fixed profiling cost and almost
+// nothing per additional sample.
+func Fig6a(cfg Config, sampleCounts []int) ([]Fig6aPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(sampleCounts) == 0 {
+		sampleCounts = []int{500, 1000, 2000, 3000, 5000, 7000}
+	}
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-trial FI time, averaged over 30 trials per program.
+	perTrial, err := meanTrialSeconds(data, 30)
+	if err != nil {
+		return nil, err
+	}
+	// Fixed model cost: the profiling phase (re-measured here).
+	profiling := measureProfiling(data)
+
+	points := make([]Fig6aPoint, 0, len(sampleCounts))
+	for _, n := range sampleCounts {
+		start := time.Now()
+		for _, pd := range data {
+			fresh := freshModel(pd)
+			fresh.OverallSDC(n, cfg.Seed)
+		}
+		modelSecs := profiling + time.Since(start).Seconds()
+		points = append(points, Fig6aPoint{
+			Samples:      n,
+			ModelSeconds: modelSecs,
+			FISeconds:    perTrial * float64(n) * float64(len(data)),
+		})
+	}
+	return points, nil
+}
+
+// Fig6bPoint is one point of Figure 6b: cost to estimate per-instruction
+// SDC probabilities for a given number of static instructions.
+type Fig6bPoint struct {
+	Instrs       int
+	ModelSeconds float64
+	// FISeconds maps per-instruction trial counts (100/500/1000) to
+	// projected cost.
+	FISeconds map[int]float64
+}
+
+// Fig6b regenerates Figure 6b: per-instruction prediction cost versus the
+// number of static instructions analyzed, against FI-100/500/1000.
+func Fig6b(cfg Config, instrCounts []int) ([]Fig6bPoint, error) {
+	cfg = cfg.withDefaults()
+	if len(instrCounts) == 0 {
+		instrCounts = []int{50, 100, 200, 400, 700, 1000}
+	}
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pool targets across programs round-robin so large counts span the
+	// whole suite, with their owning model.
+	type target struct {
+		pd  *ProgramData
+		idx int
+	}
+	var pool []target
+	maxLen := 0
+	for _, pd := range data {
+		if n := len(pd.Injector.Targets()); n > maxLen {
+			maxLen = n
+		}
+	}
+	for i := 0; i < maxLen; i++ {
+		for _, pd := range data {
+			if i < len(pd.Injector.Targets()) {
+				pool = append(pool, target{pd, i})
+			}
+		}
+	}
+
+	perTrial, err := meanTrialSeconds(data, 30)
+	if err != nil {
+		return nil, err
+	}
+	profiling := measureProfiling(data)
+
+	points := make([]Fig6bPoint, 0, len(instrCounts))
+	for _, n := range instrCounts {
+		if n > len(pool) {
+			n = len(pool)
+		}
+		fresh := make(map[*ProgramData]*core.Model)
+		start := time.Now()
+		for _, tg := range pool[:n] {
+			fm, ok := fresh[tg.pd]
+			if !ok {
+				fm = freshModel(tg.pd)
+				fresh[tg.pd] = fm
+			}
+			fm.InstrSDC(tg.pd.Injector.Targets()[tg.idx])
+		}
+		modelSecs := profiling + time.Since(start).Seconds()
+		points = append(points, Fig6bPoint{
+			Instrs:       n,
+			ModelSeconds: modelSecs,
+			FISeconds: map[int]float64{
+				100:  perTrial * float64(n) * 100,
+				500:  perTrial * float64(n) * 500,
+				1000: perTrial * float64(n) * 1000,
+			},
+		})
+	}
+	return points, nil
+}
+
+// meanTrialSeconds measures the mean wall-clock cost of one FI trial
+// across the programs.
+func meanTrialSeconds(data []*ProgramData, trials int) (float64, error) {
+	total := 0.0
+	n := 0
+	for _, pd := range data {
+		start := time.Now()
+		res, err := pd.Injector.CampaignRandom(trials)
+		if err != nil {
+			return 0, err
+		}
+		total += time.Since(start).Seconds()
+		n += res.N()
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return total / float64(n), nil
+}
+
+// measureProfiling measures the fixed profiling cost across programs by
+// re-collecting each profile once.
+func measureProfiling(data []*ProgramData) float64 {
+	start := time.Now()
+	for _, pd := range data {
+		reprofile(pd)
+	}
+	return time.Since(start).Seconds()
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/ir"
+	"trident/internal/protect"
+)
+
+// Fig8Cell is one protected configuration's outcome.
+type Fig8Cell struct {
+	// SDC is the FI-measured SDC probability after protection.
+	SDC float64
+	// Overhead is the measured dynamic-instruction overhead.
+	Overhead float64
+	// Selected is the number of duplicated static instructions.
+	Selected int
+	// Detected is the FI-measured detection rate.
+	Detected float64
+}
+
+// Fig8Row is one benchmark's protection results (Figure 8): baseline SDC
+// plus, for each overhead bound, the protected SDC under each model's
+// guidance.
+type Fig8Row struct {
+	Name string
+	// BaselineSDC is the unprotected FI-measured SDC probability.
+	BaselineSDC float64
+	// FullOverhead is the measured overhead of duplicating everything
+	// (paper average: 36.18%).
+	FullOverhead float64
+	// ByBound maps bound label ("1/3", "2/3") to per-model cells keyed
+	// "trident", "fs+fc", "fs".
+	ByBound map[string]map[string]Fig8Cell
+}
+
+// Fig8Result aggregates the §VI reductions the paper quotes (TRIDENT: 64%
+// and 90% SDC reduction at the 1/3 and 2/3 bounds).
+type Fig8Result struct {
+	Rows []Fig8Row
+	// MeanReduction maps bound label to model name to the mean fractional
+	// SDC reduction versus baseline.
+	MeanReduction map[string]map[string]float64
+	// MeanFullOverhead is the across-benchmark full-duplication overhead.
+	MeanFullOverhead float64
+}
+
+// fig8Bounds are the paper's two protection levels: 1/3 and 2/3 of the
+// full-duplication cost.
+var fig8Bounds = []struct {
+	label string
+	num   uint64
+	den   uint64
+}{
+	{"1/3", 1, 3},
+	{"2/3", 2, 3},
+}
+
+// Fig8 regenerates Figure 8: selective duplication guided by each model at
+// the two overhead bounds, evaluated by fault injection (FI is used only
+// for evaluation, as in the paper).
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{MeanReduction: map[string]map[string]float64{}}
+	sums := map[string]map[string]float64{}
+	for _, b := range fig8Bounds {
+		res.MeanReduction[b.label] = map[string]float64{}
+		sums[b.label] = map[string]float64{}
+	}
+	fullOverheadSum := 0.0
+
+	for _, pd := range data {
+		base, err := pd.Injector.CampaignRandom(cfg.Samples)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig8Row{
+			Name:        pd.Program.Name,
+			BaselineSDC: base.SDCProb(),
+			ByBound:     map[string]map[string]Fig8Cell{},
+		}
+
+		models := map[string]*core.Model{
+			"trident": pd.Trident,
+			"fs+fc":   pd.FSFC,
+			"fs":      pd.FSOnly,
+		}
+
+		// Full duplication sets the overhead baseline.
+		fullSDC := sdcMapFor(pd, pd.Trident)
+		allCands := protect.Candidates(pd.Profile, fullSDC)
+		fullCost := protect.FullCost(allCands)
+		fullMod, err := protect.Apply(pd.Module, protect.SelectKnapsack(allCands, fullCost).Selected)
+		if err != nil {
+			return nil, fmt.Errorf("%s: full duplication: %w", pd.Program.Name, err)
+		}
+		row.FullOverhead, err = protect.MeasureOverhead(pd.Module, fullMod)
+		if err != nil {
+			return nil, err
+		}
+		fullOverheadSum += row.FullOverhead
+
+		for _, bound := range fig8Bounds {
+			budget := fullCost * bound.num / bound.den
+			cells := map[string]Fig8Cell{}
+			for mname, model := range models {
+				cands := protect.Candidates(pd.Profile, sdcMapFor(pd, model))
+				plan := protect.SelectKnapsack(cands, budget)
+				protected, err := protect.Apply(pd.Module, plan.Selected)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", pd.Program.Name, bound.label, mname, err)
+				}
+				overhead, err := protect.MeasureOverhead(pd.Module, protected)
+				if err != nil {
+					return nil, err
+				}
+				inj, err := fault.New(protected, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+				if err != nil {
+					return nil, err
+				}
+				campaign, err := inj.CampaignRandom(cfg.Samples)
+				if err != nil {
+					return nil, err
+				}
+				cells[mname] = Fig8Cell{
+					SDC:      campaign.SDCProb(),
+					Overhead: overhead,
+					Selected: len(plan.Selected),
+					Detected: campaign.Rate(fault.Detected),
+				}
+				if row.BaselineSDC > 0 {
+					reduction := 1 - cells[mname].SDC/row.BaselineSDC
+					sums[bound.label][mname] += reduction
+				}
+			}
+			row.ByBound[bound.label] = cells
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	n := float64(len(res.Rows))
+	for _, bound := range fig8Bounds {
+		for mname, s := range sums[bound.label] {
+			res.MeanReduction[bound.label][mname] = s / n
+		}
+	}
+	res.MeanFullOverhead = fullOverheadSum / n
+	return res, nil
+}
+
+// sdcMapFor materializes per-instruction predictions for a model.
+func sdcMapFor(pd *ProgramData, model *core.Model) map[*ir.Instr]float64 {
+	out := make(map[*ir.Instr]float64)
+	pd.Module.Instrs(func(in *ir.Instr) {
+		if in.HasResult() {
+			out[in] = model.InstrSDC(in)
+		}
+	})
+	return out
+}

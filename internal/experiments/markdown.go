@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Markdown rendering: the same experiment results as the text renderers,
+// as GitHub-flavored tables — used by `cmd/experiments -format md` to
+// regenerate the results section of EXPERIMENTS.md mechanically.
+
+// MarkdownTable1 renders Table I as markdown.
+func MarkdownTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "### Table I: benchmark characteristics")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | Suite/Author | Area | Static | Dynamic | Output lines | Mem (B) |")
+	fmt.Fprintln(w, "|---|---|---|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %s | %d | %d | %d | %d |\n",
+			r.Name, r.Suite, r.Area, r.StaticInstr, r.DynInstr, r.OutputLines, r.MemBytes)
+	}
+	fmt.Fprintln(w)
+}
+
+// MarkdownFig5 renders Figure 5 as markdown.
+func MarkdownFig5(w io.Writer, res *Fig5Result) {
+	fmt.Fprintln(w, "### Figure 5: overall SDC probabilities (FI vs models)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | FI | ±95% | TRIDENT | fs+fc | fs |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			r.Name, pct(r.FI), pct(r.FIErr), pct(r.Trident), pct(r.FSFC), pct(r.FS))
+	}
+	fmt.Fprintf(w, "| **mean** | %s | | %s | %s | %s |\n",
+		pct(res.MeanFI), pct(res.MeanTrident), pct(res.MeanFSFC), pct(res.MeanFS))
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "MAE vs FI: TRIDENT %s, fs+fc %s, fs %s; paired t-test TRIDENT vs FI: p = %.3f.\n",
+		pct(res.MAETrident), pct(res.MAEFSFC), pct(res.MAEFS), res.PValueTrident)
+	fmt.Fprintln(w)
+}
+
+// MarkdownTable2 renders Table II as markdown.
+func MarkdownTable2(w io.Writer, res *Table2Result) {
+	fmt.Fprintln(w, "### Table II: per-instruction paired t-test p-values (p < 0.05 = rejected)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | Instrs | TRIDENT | fs+fc | fs |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "| %s | %d | %.3f | %.3f | %.3f |\n",
+			r.Name, r.Instrs, r.PTrident, r.PFSFC, r.PFS)
+	}
+	n := len(res.Rows)
+	fmt.Fprintf(w, "\nRejections: TRIDENT %d/%d, fs+fc %d/%d, fs %d/%d.\n\n",
+		res.RejectedTrident, n, res.RejectedFSFC, n, res.RejectedFS, n)
+}
+
+// MarkdownFig6 renders both scalability figures as markdown.
+func MarkdownFig6(w io.Writer, a []Fig6aPoint, b []Fig6bPoint) {
+	fmt.Fprintln(w, "### Figure 6a: cost of the overall SDC estimate")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Samples | TRIDENT (s) | FI (s) |")
+	fmt.Fprintln(w, "|---:|---:|---:|")
+	for _, p := range a {
+		fmt.Fprintf(w, "| %d | %.2f | %.2f |\n", p.Samples, p.ModelSeconds, p.FISeconds)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "### Figure 6b: cost of per-instruction estimates")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Instrs | TRIDENT (s) | FI-100 (s) | FI-500 (s) | FI-1000 (s) |")
+	fmt.Fprintln(w, "|---:|---:|---:|---:|---:|")
+	for _, p := range b {
+		fmt.Fprintf(w, "| %d | %.2f | %.2f | %.2f | %.2f |\n",
+			p.Instrs, p.ModelSeconds, p.FISeconds[100], p.FISeconds[500], p.FISeconds[1000])
+	}
+	fmt.Fprintln(w)
+}
+
+// MarkdownFig7 renders Figure 7 as markdown.
+func MarkdownFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "### Figure 7: per-benchmark per-instruction analysis time")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | Instrs | TRIDENT (s) | FI-100 (s) | Pruning | Dyn deps | Static edges |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d | %.4f | %.2f | %.2f%% | %d | %d |\n",
+			r.Name, r.Instrs, r.ModelSeconds, r.FISeconds100,
+			r.PruningRatio*100, r.DynDeps, r.StaticEdges)
+	}
+	fmt.Fprintln(w)
+}
+
+// MarkdownFig8 renders Figure 8 as markdown.
+func MarkdownFig8(w io.Writer, res *Fig8Result) {
+	fmt.Fprintln(w, "### Figure 8: SDC probability after selective duplication")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | Baseline | TRI 1/3 | fs+fc 1/3 | fs 1/3 | TRI 2/3 | fs+fc 2/3 | fs 2/3 | Full ovh |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|---:|")
+	for _, r := range res.Rows {
+		one := r.ByBound["1/3"]
+		two := r.ByBound["2/3"]
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s | %s | %.1f%% |\n",
+			r.Name, pct(r.BaselineSDC),
+			pct(one["trident"].SDC), pct(one["fs+fc"].SDC), pct(one["fs"].SDC),
+			pct(two["trident"].SDC), pct(two["fs+fc"].SDC), pct(two["fs"].SDC),
+			r.FullOverhead*100)
+	}
+	fmt.Fprintln(w)
+	for _, bound := range []string{"1/3", "2/3"} {
+		fmt.Fprintf(w, "Mean SDC reduction at %s: TRIDENT %.0f%%, fs+fc %.0f%%, fs %.0f%%.\n",
+			bound,
+			res.MeanReduction[bound]["trident"]*100,
+			res.MeanReduction[bound]["fs+fc"]*100,
+			res.MeanReduction[bound]["fs"]*100)
+	}
+	fmt.Fprintln(w)
+}
+
+// MarkdownFig9 renders Figure 9 as markdown.
+func MarkdownFig9(w io.Writer, res *Fig9Result) {
+	fmt.Fprintln(w, "### Figure 9: TRIDENT vs ePVF vs PVF")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | FI | TRIDENT | ePVF | PVF |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			r.Name, pct(r.FI), pct(r.Trident), pct(r.EPVF), pct(r.PVF))
+	}
+	fmt.Fprintf(w, "| **mean** | %s | %s | %s | %s |\n",
+		pct(res.MeanFI), pct(res.MeanTrident), pct(res.MeanEPVF), pct(res.MeanPVF))
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "MAE vs FI: TRIDENT %s, ePVF %s, PVF %s.\n\n",
+		pct(res.MAETrident), pct(res.MAEEPVF), pct(res.MAEPVF))
+}
+
+// MarkdownInputs renders the input-sensitivity table as markdown.
+func MarkdownInputs(w io.Writer, rows []InputRow) {
+	fmt.Fprintln(w, "### Input sensitivity (paper §IX future work)")
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "| Benchmark |")
+	if len(rows) > 0 {
+		for _, pt := range rows[0].Points {
+			fmt.Fprintf(w, " FI v%d | TRI v%d |", pt.Variant, pt.Variant)
+		}
+	}
+	fmt.Fprintln(w, " FI spread | TRI spread | tracks |")
+	fmt.Fprint(w, "|---|")
+	if len(rows) > 0 {
+		for range rows[0].Points {
+			fmt.Fprint(w, "---:|---:|")
+		}
+	}
+	fmt.Fprintln(w, "---:|---:|---|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s |", r.Name)
+		for _, pt := range r.Points {
+			fmt.Fprintf(w, " %s | %s |", pct(pt.FI), pct(pt.Trident))
+		}
+		fmt.Fprintf(w, " %s | %s | %v |\n", pct(r.SpreadFI), pct(r.SpreadModel), r.Tracks)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// pct formats a probability as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// RenderTable1 writes the Table I reproduction.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I: Characteristics of Benchmarks")
+	fmt.Fprintf(w, "%-14s %-22s %-34s %8s %10s %7s %8s\n",
+		"Benchmark", "Suite/Author", "Area", "Static", "Dynamic", "Output", "MemB")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-22s %-34s %8d %10d %7d %8d\n",
+			r.Name, r.Suite, r.Area, r.StaticInstr, r.DynInstr, r.OutputLines, r.MemBytes)
+	}
+}
+
+// RenderFig5 writes the Figure 5 reproduction.
+func RenderFig5(w io.Writer, res *Fig5Result) {
+	fmt.Fprintln(w, "Figure 5: Overall SDC probabilities (FI vs models)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n",
+		"Benchmark", "FI", "±95%", "TRIDENT", "fs+fc", "fs")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n",
+			r.Name, pct(r.FI), pct(r.FIErr), pct(r.Trident), pct(r.FSFC), pct(r.FS))
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %10s\n", "MEAN",
+		pct(res.MeanFI), "", pct(res.MeanTrident), pct(res.MeanFSFC), pct(res.MeanFS))
+	fmt.Fprintf(w, "MAE vs FI: TRIDENT %s, fs+fc %s, fs %s\n",
+		pct(res.MAETrident), pct(res.MAEFSFC), pct(res.MAEFS))
+	fmt.Fprintf(w, "paired t-test TRIDENT vs FI across benchmarks: p = %.3f (p > 0.05 means indistinguishable)\n",
+		res.PValueTrident)
+}
+
+// RenderTable2 writes the Table II reproduction.
+func RenderTable2(w io.Writer, res *Table2Result) {
+	fmt.Fprintln(w, "Table II: p-values of per-instruction paired t-tests (p < 0.05 = rejected)")
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %10s\n", "Benchmark", "Instrs", "TRIDENT", "fs+fc", "fs")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-14s %8d %10.3f %10.3f %10.3f\n",
+			r.Name, r.Instrs, r.PTrident, r.PFSFC, r.PFS)
+	}
+	n := len(res.Rows)
+	fmt.Fprintf(w, "No. of rejections: TRIDENT %d/%d, fs+fc %d/%d, fs %d/%d\n",
+		res.RejectedTrident, n, res.RejectedFSFC, n, res.RejectedFS, n)
+}
+
+// RenderFig6a writes the Figure 6a reproduction.
+func RenderFig6a(w io.Writer, points []Fig6aPoint) {
+	fmt.Fprintln(w, "Figure 6a: computation to predict the overall SDC probability")
+	fmt.Fprintf(w, "%10s %16s %16s %10s\n", "Samples", "TRIDENT (s)", "FI (s)", "Speedup")
+	for _, p := range points {
+		speedup := 0.0
+		if p.ModelSeconds > 0 {
+			speedup = p.FISeconds / p.ModelSeconds
+		}
+		fmt.Fprintf(w, "%10d %16.3f %16.3f %9.1fx\n",
+			p.Samples, p.ModelSeconds, p.FISeconds, speedup)
+	}
+}
+
+// RenderFig6b writes the Figure 6b reproduction.
+func RenderFig6b(w io.Writer, points []Fig6bPoint) {
+	fmt.Fprintln(w, "Figure 6b: computation to predict per-instruction SDC probabilities")
+	fmt.Fprintf(w, "%10s %14s %12s %12s %12s\n",
+		"Instrs", "TRIDENT (s)", "FI-100 (s)", "FI-500 (s)", "FI-1000 (s)")
+	for _, p := range points {
+		fmt.Fprintf(w, "%10d %14.3f %12.2f %12.2f %12.2f\n",
+			p.Instrs, p.ModelSeconds, p.FISeconds[100], p.FISeconds[500], p.FISeconds[1000])
+	}
+}
+
+// RenderFig7 writes the Figure 7 reproduction.
+func RenderFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "Figure 7: per-benchmark time to derive all per-instruction SDC probabilities")
+	fmt.Fprintf(w, "%-14s %8s %14s %12s %10s %10s %8s\n",
+		"Benchmark", "Instrs", "TRIDENT (s)", "FI-100 (s)", "Pruning", "DynDeps", "Static")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %14.4f %12.2f %9.2f%% %10d %8d\n",
+			r.Name, r.Instrs, r.ModelSeconds, r.FISeconds100,
+			r.PruningRatio*100, r.DynDeps, r.StaticEdges)
+	}
+}
+
+// RenderFig8 writes the Figure 8 reproduction.
+func RenderFig8(w io.Writer, res *Fig8Result) {
+	fmt.Fprintln(w, "Figure 8: SDC probability after selective duplication (FI-evaluated)")
+	fmt.Fprintf(w, "%-14s %9s | %9s %9s %9s | %9s %9s %9s | %9s\n",
+		"Benchmark", "Baseline",
+		"TRI 1/3", "fsfc 1/3", "fs 1/3",
+		"TRI 2/3", "fsfc 2/3", "fs 2/3", "FullOvh")
+	for _, r := range res.Rows {
+		oneThird := r.ByBound["1/3"]
+		twoThirds := r.ByBound["2/3"]
+		fmt.Fprintf(w, "%-14s %9s | %9s %9s %9s | %9s %9s %9s | %8.2f%%\n",
+			r.Name, pct(r.BaselineSDC),
+			pct(oneThird["trident"].SDC), pct(oneThird["fs+fc"].SDC), pct(oneThird["fs"].SDC),
+			pct(twoThirds["trident"].SDC), pct(twoThirds["fs+fc"].SDC), pct(twoThirds["fs"].SDC),
+			r.FullOverhead*100)
+	}
+	fmt.Fprintf(w, "mean full-duplication overhead: %.2f%%\n", res.MeanFullOverhead*100)
+	for _, bound := range []string{"1/3", "2/3"} {
+		fmt.Fprintf(w, "mean SDC reduction at %s bound: TRIDENT %.0f%%, fs+fc %.0f%%, fs %.0f%%\n",
+			bound,
+			res.MeanReduction[bound]["trident"]*100,
+			res.MeanReduction[bound]["fs+fc"]*100,
+			res.MeanReduction[bound]["fs"]*100)
+	}
+}
+
+// RenderFig9 writes the Figure 9 reproduction.
+func RenderFig9(w io.Writer, res *Fig9Result) {
+	fmt.Fprintln(w, "Figure 9: overall SDC probabilities (FI vs TRIDENT vs ePVF vs PVF)")
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n", "Benchmark", "FI", "TRIDENT", "ePVF", "PVF")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n",
+			r.Name, pct(r.FI), pct(r.Trident), pct(r.EPVF), pct(r.PVF))
+	}
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s\n", "MEAN",
+		pct(res.MeanFI), pct(res.MeanTrident), pct(res.MeanEPVF), pct(res.MeanPVF))
+	fmt.Fprintf(w, "MAE vs FI: TRIDENT %s, ePVF %s, PVF %s\n",
+		pct(res.MAETrident), pct(res.MAEEPVF), pct(res.MAEPVF))
+}
+
+// RenderSeparator writes a section break.
+func RenderSeparator(w io.Writer) {
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"trident/internal/stats"
+)
+
+// Table2Row is one benchmark's per-instruction paired t-test p-values for
+// the three models (Table II). A p-value above 0.05 means the model's
+// per-instruction predictions are statistically indistinguishable from the
+// FI measurements.
+type Table2Row struct {
+	Name string
+	// PTrident, PFSFC, PFS are the paired t-test p-values.
+	PTrident, PFSFC, PFS float64
+	// Instrs is the number of static instructions tested.
+	Instrs int
+}
+
+// Table2Result aggregates the rejections the paper counts (TRIDENT: 3/11
+// rejected; fs+fc: 9/11; fs: 7/11).
+type Table2Result struct {
+	Rows []Table2Row
+	// Rejected* counts benchmarks with p < 0.05 per model.
+	RejectedTrident, RejectedFSFC, RejectedFS int
+}
+
+// Table2 regenerates Table II: for every executed register-writing
+// instruction, measure its SDC probability with PerInstr injections and
+// compare the three models' per-instruction predictions via the paired
+// t-test.
+func Table2(cfg Config) (*Table2Result, error) {
+	cfg = cfg.withDefaults()
+	data, err := loadAll(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{}
+	for _, pd := range data {
+		targets := pd.Injector.Targets()
+		measured, err := pd.Injector.PerInstrSDC(targets, cfg.PerInstr)
+		if err != nil {
+			return nil, err
+		}
+		var fi, tri, fsfc, fs []float64
+		for _, in := range targets {
+			fi = append(fi, measured[in])
+			tri = append(tri, pd.Trident.InstrSDC(in))
+			fsfc = append(fsfc, pd.FSFC.InstrSDC(in))
+			fs = append(fs, pd.FSOnly.InstrSDC(in))
+		}
+		row := Table2Row{Name: pd.Program.Name, Instrs: len(targets)}
+		row.PTrident = pValue(tri, fi)
+		row.PFSFC = pValue(fsfc, fi)
+		row.PFS = pValue(fs, fi)
+		res.Rows = append(res.Rows, row)
+		if row.PTrident < 0.05 {
+			res.RejectedTrident++
+		}
+		if row.PFSFC < 0.05 {
+			res.RejectedFSFC++
+		}
+		if row.PFS < 0.05 {
+			res.RejectedFS++
+		}
+	}
+	return res, nil
+}
+
+func pValue(pred, meas []float64) float64 {
+	tt, err := stats.PairedTTest(pred, meas)
+	if err != nil {
+		return 1
+	}
+	return tt.P
+}

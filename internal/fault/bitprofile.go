@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"fmt"
+
+	"trident/internal/ir"
+)
+
+// BitOutcome aggregates injection outcomes for one bit position.
+type BitOutcome struct {
+	// Bit is the flipped bit position.
+	Bit int
+	// Counts tallies outcomes across the trials at this position.
+	Counts map[Outcome]int
+	// Trials is the number of injections performed at this position.
+	Trials int
+}
+
+// Rate returns the fraction of this bit's trials with the given outcome.
+func (b *BitOutcome) Rate(o Outcome) float64 {
+	if b.Trials == 0 {
+		return 0
+	}
+	return float64(b.Counts[o]) / float64(b.Trials)
+}
+
+// BitProfile measures how the injection outcome depends on the flipped
+// bit position of one instruction's destination register — the
+// bit-sensitivity view behind the paper's single-bit-flip fault model
+// discussion (§V-A2, citing Sangchoolie et al.). For each bit position of
+// the result type, perBit injections hit uniformly random dynamic
+// instances.
+func (inj *Injector) BitProfile(target *ir.Instr, perBit int) ([]BitOutcome, error) {
+	execs := inj.execCount[target]
+	if execs == 0 || !target.HasResult() {
+		return nil, fmt.Errorf("fault: %s is not an injectable target", target.Pos())
+	}
+	width := target.Type.Bits()
+	r := newRNG(inj.opts.Seed ^ 0xB17B17B17)
+
+	out := make([]BitOutcome, width)
+	var specs []trialSpec
+	for bit := 0; bit < width; bit++ {
+		out[bit] = BitOutcome{Bit: bit, Counts: make(map[Outcome]int)}
+		for k := 0; k < perBit; k++ {
+			specs = append(specs, trialSpec{
+				instr:    target,
+				instance: 1 + r.intn(execs),
+				bit:      bit,
+			})
+		}
+	}
+	res, err := inj.runTrials(specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range res.Trials {
+		b := &out[tr.Bit]
+		b.Counts[tr.Outcome]++
+		b.Trials++
+	}
+	return out, nil
+}
+
+// BitSensitivity summarizes a bit profile as the fraction of bit
+// positions whose SDC rate exceeds the threshold — a quick measure of how
+// concentrated an instruction's vulnerability is.
+func BitSensitivity(profile []BitOutcome, threshold float64) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range profile {
+		if b.Rate(SDC) > threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(profile))
+}

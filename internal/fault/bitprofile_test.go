@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"testing"
+
+	"trident/internal/ir"
+)
+
+func TestBitProfileMaskedLowBits(t *testing.T) {
+	// %x is masked by "and 0xFF00": only bits 8..15 matter.
+	inj := newInjector(t, `
+module "bits"
+func @main() void {
+entry:
+  %x = add i64 4660, i64 0
+  %m = and %x, i64 65280
+  print %m
+  ret
+}
+`, 1)
+	var x *ir.Instr
+	inj.module.Instrs(func(in *ir.Instr) {
+		if in.Name == "x" {
+			x = in
+		}
+	})
+	profile, err := inj.BitProfile(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profile) != 64 {
+		t.Fatalf("profile covers %d bits, want 64", len(profile))
+	}
+	for _, b := range profile {
+		want := Benign
+		if b.Bit >= 8 && b.Bit < 16 {
+			want = SDC
+		}
+		if got := b.Rate(want); got != 1 {
+			t.Errorf("bit %d: rate(%v) = %v, want 1", b.Bit, want, got)
+		}
+		if b.Trials != 2 {
+			t.Errorf("bit %d: %d trials", b.Bit, b.Trials)
+		}
+	}
+	// 8 of 64 bits are SDC-prone.
+	if got := BitSensitivity(profile, 0.5); got != 8.0/64 {
+		t.Errorf("BitSensitivity = %v, want 0.125", got)
+	}
+}
+
+func TestBitProfileRejectsNonTarget(t *testing.T) {
+	inj := newInjector(t, masked, 1)
+	var print *ir.Instr
+	inj.module.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpPrint {
+			print = in
+		}
+	})
+	if _, err := inj.BitProfile(print, 1); err == nil {
+		t.Error("print should not be bit-profilable")
+	}
+}
+
+func TestBitSensitivityEmpty(t *testing.T) {
+	if BitSensitivity(nil, 0.5) != 0 {
+		t.Error("empty profile sensitivity should be 0")
+	}
+}

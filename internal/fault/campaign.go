@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"trident/internal/ir"
+)
+
+// rng is the deterministic xorshift64* generator used for target sampling.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// intn returns a pseudo-random value in [0, n).
+func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+
+// CampaignResult aggregates a set of injection trials.
+type CampaignResult struct {
+	// Trials are the individual injections, in sampling order.
+	Trials []Injection
+	// Counts indexes outcome tallies by Outcome.
+	Counts map[Outcome]int
+}
+
+// N returns the number of trials.
+func (c *CampaignResult) N() int { return len(c.Trials) }
+
+// Rate returns the fraction of trials with the given outcome.
+func (c *CampaignResult) Rate(o Outcome) float64 {
+	if len(c.Trials) == 0 {
+		return 0
+	}
+	return float64(c.Counts[o]) / float64(len(c.Trials))
+}
+
+// SDCProb returns the measured SDC probability (SDC / activated faults).
+func (c *CampaignResult) SDCProb() float64 { return c.Rate(SDC) }
+
+// MeanCrashLatency returns the mean dynamic-instruction distance between
+// injection and trap over the campaign's crash outcomes (0 if none).
+func (c *CampaignResult) MeanCrashLatency() float64 {
+	var sum, n float64
+	for _, tr := range c.Trials {
+		if tr.Outcome == Crash {
+			sum += float64(tr.CrashLatency)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// ErrorBar95 returns the half-width of the 95% confidence interval on the
+// SDC probability under the normal approximation — the error bars the
+// paper reports (±0.07% to ±1.76% at 3000 samples).
+func (c *CampaignResult) ErrorBar95() float64 {
+	n := float64(len(c.Trials))
+	if n == 0 {
+		return 0
+	}
+	p := c.SDCProb()
+	return 1.96 * math.Sqrt(p*(1-p)/n)
+}
+
+// trialSpec is a pre-sampled injection target; sampling happens
+// sequentially for determinism, execution happens in parallel.
+type trialSpec struct {
+	instr    *ir.Instr
+	instance uint64
+	bit      int
+}
+
+// runTrials executes the specs with the configured worker pool.
+func (inj *Injector) runTrials(specs []trialSpec) (*CampaignResult, error) {
+	res := &CampaignResult{
+		Trials: make([]Injection, len(specs)),
+		Counts: make(map[Outcome]int),
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, inj.opts.Workers)
+	for i, spec := range specs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, spec trialSpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			detail, err := inj.InjectDetail(spec.instr, spec.instance, spec.bit)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			res.Trials[i] = Injection{
+				Instr:        spec.instr,
+				Instance:     spec.instance,
+				Bit:          spec.bit,
+				Outcome:      detail.Outcome,
+				CrashLatency: detail.CrashLatency,
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, tr := range res.Trials {
+		res.Counts[tr.Outcome]++
+	}
+	return res, nil
+}
+
+// CampaignRandom performs n statistical injections sampled uniformly over
+// the activation space (dynamic register writes), the paper's overall-SDC
+// measurement (§V-B1).
+func (inj *Injector) CampaignRandom(n int) (*CampaignResult, error) {
+	r := newRNG(inj.opts.Seed)
+	specs := make([]trialSpec, n)
+	for i := range specs {
+		in, instance := inj.pick(1 + r.intn(inj.total))
+		specs[i] = trialSpec{instr: in, instance: instance, bit: randomBit(r, in)}
+	}
+	return inj.runTrials(specs)
+}
+
+// CampaignPerInstr performs n injections into random dynamic instances of
+// one static instruction, the paper's per-instruction measurement (§V-B2,
+// 100 faults per instruction).
+func (inj *Injector) CampaignPerInstr(target *ir.Instr, n int) (*CampaignResult, error) {
+	execs := inj.execCount[target]
+	if execs == 0 || !target.HasResult() {
+		return nil, fmt.Errorf("fault: %s is not an injectable target", target.Pos())
+	}
+	r := newRNG(inj.opts.Seed ^ uint64(target.ID)*0x9E3779B97F4A7C15)
+	specs := make([]trialSpec, n)
+	for i := range specs {
+		specs[i] = trialSpec{
+			instr:    target,
+			instance: 1 + r.intn(execs),
+			bit:      randomBit(r, target),
+		}
+	}
+	return inj.runTrials(specs)
+}
+
+// PerInstrSDC measures per-instruction SDC probabilities for the given
+// targets with n trials each, returning a map target → SDC probability.
+func (inj *Injector) PerInstrSDC(targets []*ir.Instr, n int) (map[*ir.Instr]float64, error) {
+	out := make(map[*ir.Instr]float64, len(targets))
+	for _, in := range targets {
+		res, err := inj.CampaignPerInstr(in, n)
+		if err != nil {
+			return nil, err
+		}
+		out[in] = res.SDCProb()
+	}
+	return out, nil
+}

@@ -1,0 +1,270 @@
+// Package fault is the repository's LLFI equivalent: it injects transient
+// hardware faults — single bit flips in the destination register of one
+// dynamic instruction per run (paper §II-A, §V-A2) — and classifies the
+// outcome against a golden run as Benign, SDC, Crash, Hang, or Detected.
+//
+// Faults are only injected into executed register-writing instructions, so
+// every injected fault is activated, matching the paper's definition of
+// SDC probability as conditional on activation.
+package fault
+
+import (
+	"fmt"
+
+	"trident/internal/interp"
+	"trident/internal/ir"
+)
+
+// Outcome classifies one fault-injection run.
+type Outcome uint8
+
+// Injection outcomes.
+const (
+	// Benign: the program output matched the golden run.
+	Benign Outcome = iota + 1
+	// SDC: the program completed with different output.
+	SDC
+	// Crash: a hardware-exception-like trap terminated the run.
+	Crash
+	// Hang: the run exceeded its instruction budget.
+	Hang
+	// Detected: a duplication check caught the corruption.
+	Detected
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Benign:
+		return "benign"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Injection describes one fault-injection trial.
+type Injection struct {
+	// Instr is the static instruction whose destination register was
+	// corrupted.
+	Instr *ir.Instr
+	// Instance is the 1-based dynamic occurrence of Instr that was hit.
+	Instance uint64
+	// Bit is the flipped bit position within the result type's width.
+	Bit int
+	// Outcome classifies the run.
+	Outcome Outcome
+	// CrashLatency is the number of dynamic instructions executed between
+	// the injection and the trap, for Crash outcomes (0 otherwise) — the
+	// quantity behind long-latency-crash characterizations.
+	CrashLatency uint64
+}
+
+// Options configure an injector.
+type Options struct {
+	// Seed drives the deterministic PRNG used for sampling targets.
+	Seed uint64
+	// HangFactor multiplies the golden dynamic instruction count to set
+	// the hang budget (0 = default 10).
+	HangFactor uint64
+	// Workers is the number of concurrent injection runs in campaigns
+	// (0 = 4). Each run is independent; memory states are never shared.
+	Workers int
+}
+
+const (
+	defaultHangFactor = 10
+	defaultWorkers    = 4
+)
+
+// Injector runs fault-injection trials against one module and input.
+type Injector struct {
+	module *ir.Module
+	opts   Options
+
+	goldenOutput string
+	goldenDyn    uint64
+	hangBudget   uint64
+
+	// execCount maps each register-writing static instruction to its
+	// dynamic count in the golden run; it defines the activation space.
+	execCount map[*ir.Instr]uint64
+	// targets enumerates register-writing instructions with nonzero
+	// counts, with cumulative counts for weighted sampling.
+	targets []*ir.Instr
+	cum     []uint64
+	total   uint64
+}
+
+// New creates an injector, performing the golden run.
+func New(m *ir.Module, opts Options) (*Injector, error) {
+	if opts.HangFactor == 0 {
+		opts.HangFactor = defaultHangFactor
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = defaultWorkers
+	}
+	inj := &Injector{module: m, opts: opts, execCount: make(map[*ir.Instr]uint64)}
+
+	res, err := interp.Run(m, interp.Options{Hooks: interp.Hooks{
+		OnResult: func(_ *interp.Context, in *ir.Instr, bits uint64) uint64 {
+			inj.execCount[in]++
+			return bits
+		},
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("fault: golden run: %w", err)
+	}
+	if res.Outcome != interp.OutcomeOK {
+		return nil, fmt.Errorf("fault: golden run ended in %s", res.Outcome)
+	}
+	inj.goldenOutput = res.Output
+	inj.goldenDyn = res.DynInstrs
+	inj.hangBudget = res.DynInstrs * opts.HangFactor
+	if inj.hangBudget < 100_000 {
+		inj.hangBudget = 100_000
+	}
+
+	m.Instrs(func(in *ir.Instr) {
+		if c := inj.execCount[in]; c > 0 && in.HasResult() {
+			inj.targets = append(inj.targets, in)
+			inj.total += c
+			inj.cum = append(inj.cum, inj.total)
+		}
+	})
+	if inj.total == 0 {
+		return nil, fmt.Errorf("fault: program executes no register-writing instructions")
+	}
+	return inj, nil
+}
+
+// GoldenOutput returns the fault-free program output.
+func (inj *Injector) GoldenOutput() string { return inj.goldenOutput }
+
+// GoldenDynInstrs returns the fault-free dynamic instruction count.
+func (inj *Injector) GoldenDynInstrs() uint64 { return inj.goldenDyn }
+
+// ActivationSpace returns the number of dynamic register writes — the
+// population faults are sampled from.
+func (inj *Injector) ActivationSpace() uint64 { return inj.total }
+
+// ExecCount returns the golden dynamic count of a static instruction.
+func (inj *Injector) ExecCount(in *ir.Instr) uint64 { return inj.execCount[in] }
+
+// Targets returns the injectable static instructions (executed,
+// register-writing), in program order.
+func (inj *Injector) Targets() []*ir.Instr {
+	out := make([]*ir.Instr, len(inj.targets))
+	copy(out, inj.targets)
+	return out
+}
+
+// Inject runs one trial: the bit-th bit of the result of the instance-th
+// dynamic execution of target is flipped.
+func (inj *Injector) Inject(target *ir.Instr, instance uint64, bit int) (Outcome, error) {
+	d, err := inj.InjectDetail(target, instance, bit)
+	return d.Outcome, err
+}
+
+// Detail carries the full observation of one injection trial.
+type Detail struct {
+	// Outcome classifies the run.
+	Outcome Outcome
+	// CrashLatency is the number of dynamic instructions executed between
+	// the injection and the trap, for Crash outcomes.
+	CrashLatency uint64
+}
+
+// InjectDetail is Inject with crash-latency measurement: how many dynamic
+// instructions execute between the bit flip and the trap. Short latencies
+// mean crashes are easy to contain; long-latency crashes behave like SDCs
+// for checkpointing purposes (Li et al.'s characterization in the paper's
+// related work).
+func (inj *Injector) InjectDetail(target *ir.Instr, instance uint64, bit int) (Detail, error) {
+	if instance == 0 {
+		return Detail{}, fmt.Errorf("fault: instance is 1-based")
+	}
+	var seen uint64
+	var injectedAt uint64
+	injected := false
+	res, err := interp.Run(inj.module, interp.Options{
+		MaxDynInstrs: inj.hangBudget,
+		Hooks: interp.Hooks{
+			OnResult: func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64 {
+				if injected || in != target {
+					return bits
+				}
+				seen++
+				if seen != instance {
+					return bits
+				}
+				injected = true
+				injectedAt = ctx.DynCount
+				return bits ^ (1 << uint(bit))
+			},
+		},
+	})
+	if err != nil {
+		return Detail{}, fmt.Errorf("fault: injected run: %w", err)
+	}
+	if !injected {
+		return Detail{}, fmt.Errorf("fault: instance %d of %s never executed", instance, target.Pos())
+	}
+	d := Detail{Outcome: inj.classify(res)}
+	if d.Outcome == Crash && res.DynInstrs >= injectedAt {
+		d.CrashLatency = res.DynInstrs - injectedAt
+	}
+	return d, nil
+}
+
+func (inj *Injector) classify(res *interp.Result) Outcome {
+	switch res.Outcome {
+	case interp.OutcomeCrash:
+		return Crash
+	case interp.OutcomeHang:
+		return Hang
+	case interp.OutcomeDetected:
+		return Detected
+	default:
+		if res.Output == inj.goldenOutput {
+			return Benign
+		}
+		return SDC
+	}
+}
+
+// pick maps a uniform draw in [1, total] to (instruction, instance) by
+// binary search over the cumulative counts.
+func (inj *Injector) pick(k uint64) (*ir.Instr, uint64) {
+	lo, hi := 0, len(inj.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if inj.cum[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	in := inj.targets[lo]
+	prev := uint64(0)
+	if lo > 0 {
+		prev = inj.cum[lo-1]
+	}
+	return in, k - prev
+}
+
+// randomBit picks a bit position within the instruction's result width.
+func randomBit(r *rng, in *ir.Instr) int {
+	w := in.Type.Bits()
+	if w <= 1 {
+		return 0
+	}
+	return int(r.intn(uint64(w)))
+}

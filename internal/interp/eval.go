@@ -1,0 +1,205 @@
+package interp
+
+import (
+	"math"
+
+	"trident/internal/ir"
+)
+
+// evalBinary computes a two-operand operation on bit patterns of type t.
+// The ok result is false for integer division/remainder by zero, which
+// traps.
+func evalBinary(op ir.Opcode, t ir.Type, lhs, rhs uint64) (bits uint64, ok bool) {
+	w := t.Bits()
+	switch op {
+	case ir.OpAdd:
+		return lhs + rhs, true
+	case ir.OpSub:
+		return lhs - rhs, true
+	case ir.OpMul:
+		return lhs * rhs, true
+	case ir.OpSDiv, ir.OpSRem:
+		d := ir.SignExtend(rhs, w)
+		if d == 0 {
+			return 0, false
+		}
+		n := ir.SignExtend(lhs, w)
+		if n == math.MinInt64 && d == -1 {
+			// Wrap instead of the Go runtime panic; LLVM leaves this
+			// undefined, and wrapping keeps faulty runs deterministic.
+			if op == ir.OpSDiv {
+				return uint64(n), true
+			}
+			return 0, true
+		}
+		if op == ir.OpSDiv {
+			return uint64(n / d), true
+		}
+		return uint64(n % d), true
+	case ir.OpUDiv, ir.OpURem:
+		if rhs == 0 {
+			return 0, false
+		}
+		if op == ir.OpUDiv {
+			return lhs / rhs, true
+		}
+		return lhs % rhs, true
+	case ir.OpAnd:
+		return lhs & rhs, true
+	case ir.OpOr:
+		return lhs | rhs, true
+	case ir.OpXor:
+		return lhs ^ rhs, true
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		// Shift amounts reduce modulo the width so corrupted shift
+		// operands still produce a defined result.
+		sh := uint(rhs) % uint(w)
+		switch op {
+		case ir.OpShl:
+			return lhs << sh, true
+		case ir.OpLShr:
+			return ir.TruncateToWidth(lhs, w) >> sh, true
+		default: // AShr
+			return uint64(ir.SignExtend(lhs, w) >> sh), true
+		}
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a := ir.FloatFromBits(t, lhs)
+		b := ir.FloatFromBits(t, rhs)
+		var r float64
+		switch op {
+		case ir.OpFAdd:
+			r = a + b
+		case ir.OpFSub:
+			r = a - b
+		case ir.OpFMul:
+			r = a * b
+		default:
+			r = a / b // IEEE: ±Inf/NaN, no trap
+		}
+		return ir.FloatToBits(t, r), true
+	default:
+		return 0, true
+	}
+}
+
+// evalCmp computes a comparison on bit patterns of type t, yielding 0 or 1.
+func evalCmp(pred ir.Predicate, t ir.Type, lhs, rhs uint64) uint64 {
+	var r bool
+	switch pred {
+	case ir.PredEQ:
+		r = ir.TruncateToWidth(lhs, t.Bits()) == ir.TruncateToWidth(rhs, t.Bits())
+	case ir.PredNE:
+		r = ir.TruncateToWidth(lhs, t.Bits()) != ir.TruncateToWidth(rhs, t.Bits())
+	case ir.PredSLT, ir.PredSLE, ir.PredSGT, ir.PredSGE:
+		a := ir.SignExtend(lhs, t.Bits())
+		b := ir.SignExtend(rhs, t.Bits())
+		switch pred {
+		case ir.PredSLT:
+			r = a < b
+		case ir.PredSLE:
+			r = a <= b
+		case ir.PredSGT:
+			r = a > b
+		default:
+			r = a >= b
+		}
+	case ir.PredULT, ir.PredULE, ir.PredUGT, ir.PredUGE:
+		a := ir.TruncateToWidth(lhs, t.Bits())
+		b := ir.TruncateToWidth(rhs, t.Bits())
+		switch pred {
+		case ir.PredULT:
+			r = a < b
+		case ir.PredULE:
+			r = a <= b
+		case ir.PredUGT:
+			r = a > b
+		default:
+			r = a >= b
+		}
+	case ir.PredOEQ, ir.PredONE, ir.PredOLT, ir.PredOLE, ir.PredOGT, ir.PredOGE:
+		a := ir.FloatFromBits(t, lhs)
+		b := ir.FloatFromBits(t, rhs)
+		switch pred {
+		case ir.PredOEQ:
+			r = a == b
+		case ir.PredONE:
+			r = a != b && !math.IsNaN(a) && !math.IsNaN(b)
+		case ir.PredOLT:
+			r = a < b
+		case ir.PredOLE:
+			r = a <= b
+		case ir.PredOGT:
+			r = a > b
+		default:
+			r = a >= b
+		}
+	}
+	if r {
+		return 1
+	}
+	return 0
+}
+
+// evalCast converts a bit pattern from type st to type dt.
+func evalCast(op ir.Opcode, st, dt ir.Type, src uint64) uint64 {
+	switch op {
+	case ir.OpTrunc:
+		return ir.TruncateToWidth(src, dt.Bits())
+	case ir.OpZExt:
+		return ir.TruncateToWidth(src, st.Bits())
+	case ir.OpSExt:
+		return uint64(ir.SignExtend(src, st.Bits()))
+	case ir.OpFPTrunc:
+		return ir.FloatToBits(ir.F32, ir.FloatFromBits(ir.F64, src))
+	case ir.OpFPExt:
+		return ir.FloatToBits(ir.F64, ir.FloatFromBits(ir.F32, src))
+	case ir.OpFPToSI:
+		f := ir.FloatFromBits(st, src)
+		switch {
+		case math.IsNaN(f):
+			return 0
+		case f >= math.MaxInt64:
+			var max int64 = math.MaxInt64
+			return uint64(max)
+		case f <= math.MinInt64:
+			var min int64 = math.MinInt64
+			return uint64(min)
+		default:
+			return uint64(int64(f))
+		}
+	case ir.OpSIToFP:
+		return ir.FloatToBits(dt, float64(ir.SignExtend(src, st.Bits())))
+	case ir.OpBitcast:
+		return src
+	default:
+		return src
+	}
+}
+
+// evalIntrinsic evaluates a built-in math routine.
+func evalIntrinsic(kind ir.Intrinsic, args []float64) float64 {
+	switch kind {
+	case ir.IntrinsicSqrt:
+		return math.Sqrt(args[0])
+	case ir.IntrinsicExp:
+		return math.Exp(args[0])
+	case ir.IntrinsicLog:
+		return math.Log(args[0])
+	case ir.IntrinsicSin:
+		return math.Sin(args[0])
+	case ir.IntrinsicCos:
+		return math.Cos(args[0])
+	case ir.IntrinsicPow:
+		return math.Pow(args[0], args[1])
+	case ir.IntrinsicFabs:
+		return math.Abs(args[0])
+	case ir.IntrinsicFloor:
+		return math.Floor(args[0])
+	case ir.IntrinsicFmin:
+		return math.Min(args[0], args[1])
+	case ir.IntrinsicFmax:
+		return math.Max(args[0], args[1])
+	default:
+		return math.NaN()
+	}
+}

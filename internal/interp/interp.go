@@ -1,0 +1,490 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"trident/internal/ir"
+)
+
+// TrapKind classifies hardware-exception-like failures.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone TrapKind = iota
+	// TrapOOBLoad is a read outside every live segment.
+	TrapOOBLoad
+	// TrapOOBStore is a write outside every live segment.
+	TrapOOBStore
+	// TrapDivZero is an integer division or remainder by zero.
+	TrapDivZero
+	// TrapStackOverflow is call nesting beyond the configured depth.
+	TrapStackOverflow
+	// TrapDetected is a duplication check firing: the original and shadow
+	// computations disagreed. It terminates the run but is a successful
+	// detection, not a crash.
+	TrapDetected
+)
+
+// String returns a short name for the trap kind.
+func (k TrapKind) String() string {
+	switch k {
+	case TrapOOBLoad:
+		return "out-of-bounds load"
+	case TrapOOBStore:
+		return "out-of-bounds store"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapStackOverflow:
+		return "stack overflow"
+	case TrapDetected:
+		return "error detected by check"
+	default:
+		return "none"
+	}
+}
+
+// Trap describes a crash: the failing instruction and the offending
+// address when applicable.
+type Trap struct {
+	Kind  TrapKind
+	Instr *ir.Instr
+	Addr  uint64
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Kind == TrapOOBLoad || t.Kind == TrapOOBStore {
+		return fmt.Sprintf("%s at %#x (%s)", t.Kind, t.Addr, t.Instr.Pos())
+	}
+	return fmt.Sprintf("%s (%s)", t.Kind, t.Instr.Pos())
+}
+
+// errHang signals instruction-budget exhaustion internally.
+var errHang = errors.New("interp: instruction budget exhausted")
+
+// Outcome classifies a completed execution.
+type Outcome uint8
+
+// Execution outcomes.
+const (
+	// OutcomeOK means the program ran to completion.
+	OutcomeOK Outcome = iota
+	// OutcomeCrash means a trap terminated the program.
+	OutcomeCrash
+	// OutcomeHang means the instruction budget was exhausted.
+	OutcomeHang
+	// OutcomeDetected means a duplication check caught a corrupted value.
+	OutcomeDetected
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeDetected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Hooks are optional observation points. Nil members are skipped. Hooks
+// receive the live Context; they must not retain it past the call.
+type Hooks struct {
+	// OnResult fires after an instruction computes its result and may
+	// return altered bits — the fault-injection point. The value has
+	// already been truncated to the result type's width; returned bits are
+	// truncated again.
+	OnResult func(ctx *Context, in *ir.Instr, bits uint64) uint64
+	// OnBranch fires when a branch executes; taken is the successor index
+	// (0 = true edge; always 0 for unconditional branches).
+	OnBranch func(ctx *Context, in *ir.Instr, taken int)
+	// OnBinary fires before a two-operand arithmetic, logic or comparison
+	// instruction computes, with the operand bit patterns — the value
+	// profile used to derive fs masking tuples. It also fires for
+	// intrinsics (rhs is 0 for one-argument intrinsics).
+	OnBinary func(ctx *Context, in *ir.Instr, lhs, rhs uint64)
+	// OnLoad fires after a successful load.
+	OnLoad func(ctx *Context, in *ir.Instr, addr, bits uint64)
+	// OnStore fires after a successful store.
+	OnStore func(ctx *Context, in *ir.Instr, addr, bits uint64)
+	// OnPrint fires when a Print instruction emits a line.
+	OnPrint func(ctx *Context, in *ir.Instr, line string)
+}
+
+// Options configure an execution.
+type Options struct {
+	// MaxDynInstrs bounds the number of executed instructions; exceeding
+	// it classifies the run as a hang. Zero means the default (50M).
+	MaxDynInstrs uint64
+	// MaxCallDepth bounds call nesting. Zero means the default (1024).
+	MaxCallDepth int
+	// Hooks are the observation points.
+	Hooks Hooks
+	// TraceWriter, when non-nil, receives one line per executed
+	// instruction ("<dyn#> <location> <instruction>") — a debugging aid;
+	// it slows execution substantially.
+	TraceWriter io.Writer
+}
+
+const (
+	defaultMaxDynInstrs = 50_000_000
+	defaultMaxCallDepth = 1024
+)
+
+// Context is the mutable machine state exposed to hooks.
+type Context struct {
+	// Mem is the live address space.
+	Mem *Memory
+	// DynCount is the number of instructions executed so far.
+	DynCount uint64
+	// DynResults is the number of register-writing instructions executed
+	// so far — the fault-injection sample space.
+	DynResults uint64
+
+	opts   Options
+	output strings.Builder
+	lines  int
+	depth  int
+}
+
+// Result describes a completed execution.
+type Result struct {
+	// Outcome classifies the run.
+	Outcome Outcome
+	// Trap holds crash details when Outcome is OutcomeCrash.
+	Trap *Trap
+	// Output is the program's observable output (one line per Print).
+	Output string
+	// OutputLines is the number of Print executions.
+	OutputLines int
+	// DynInstrs is the number of executed instructions.
+	DynInstrs uint64
+	// DynResults is the number of executed register-writing instructions.
+	DynResults uint64
+	// PeakMemBytes is the peak allocated footprint.
+	PeakMemBytes uint64
+}
+
+// Run executes m's main function under the given options.
+func Run(m *ir.Module, opts Options) (*Result, error) {
+	main := m.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: module %q has no main", m.Name)
+	}
+	if len(main.Params) != 0 {
+		return nil, fmt.Errorf("interp: main must take no parameters")
+	}
+	if opts.MaxDynInstrs == 0 {
+		opts.MaxDynInstrs = defaultMaxDynInstrs
+	}
+	if opts.MaxCallDepth == 0 {
+		opts.MaxCallDepth = defaultMaxCallDepth
+	}
+
+	ctx := &Context{Mem: NewMemory(), opts: opts}
+	globalBase := make(map[*ir.Global]uint64, len(m.Globals))
+	for _, g := range m.Globals {
+		seg := ctx.Mem.Allocate(g.Name, uint64(g.SizeBytes()))
+		globalBase[g] = seg.Base
+		for i, bits := range g.Init {
+			if !ctx.Mem.Store(g.Elem, seg.Base+uint64(i*g.Elem.Bytes()), bits) {
+				return nil, fmt.Errorf("interp: initializing @%s failed", g.Name)
+			}
+		}
+	}
+
+	vm := &machine{ctx: ctx, globals: globalBase}
+	_, err := vm.call(main, nil)
+
+	res := &Result{
+		Output:       ctx.output.String(),
+		OutputLines:  ctx.lines,
+		DynInstrs:    ctx.DynCount,
+		DynResults:   ctx.DynResults,
+		PeakMemBytes: ctx.Mem.PeakBytes(),
+	}
+	switch {
+	case err == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(err, errHang):
+		res.Outcome = OutcomeHang
+	default:
+		var trap *Trap
+		if !errors.As(err, &trap) {
+			return nil, err
+		}
+		if trap.Kind == TrapDetected {
+			res.Outcome = OutcomeDetected
+		} else {
+			res.Outcome = OutcomeCrash
+		}
+		res.Trap = trap
+	}
+	return res, nil
+}
+
+// machine executes functions against a shared context.
+type machine struct {
+	ctx     *Context
+	globals map[*ir.Global]uint64
+}
+
+// frame is one function activation.
+type frame struct {
+	fn      *ir.Func
+	regs    []uint64
+	params  []uint64
+	allocas []*Segment
+}
+
+// eval resolves an operand to its bit pattern in the current frame.
+func (vm *machine) eval(fr *frame, v ir.Value) uint64 {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Bits
+	case *ir.Instr:
+		return fr.regs[x.ID]
+	case *ir.Param:
+		return fr.params[x.Index]
+	case *ir.Global:
+		return vm.globals[x]
+	default:
+		panic(fmt.Sprintf("interp: unknown value kind %T", v))
+	}
+}
+
+// call runs fn with the given argument bits and returns its result bits.
+func (vm *machine) call(fn *ir.Func, args []uint64) (uint64, error) {
+	ctx := vm.ctx
+	if ctx.depth >= ctx.opts.MaxCallDepth {
+		return 0, &Trap{Kind: TrapStackOverflow, Instr: fn.Entry().Instrs[0]}
+	}
+	ctx.depth++
+	fr := &frame{fn: fn, regs: make([]uint64, fn.NumInstrs()), params: args}
+	defer func() {
+		for _, seg := range fr.allocas {
+			ctx.Mem.Release(seg)
+		}
+		ctx.depth--
+	}()
+
+	block := fn.Entry()
+	var prev *ir.Block
+	for {
+		// Phis evaluate simultaneously on block entry.
+		nPhi := 0
+		for _, in := range block.Instrs {
+			if in.Op != ir.OpPhi {
+				break
+			}
+			nPhi++
+		}
+		if nPhi > 0 {
+			vals := make([]uint64, nPhi)
+			for i := 0; i < nPhi; i++ {
+				in := block.Instrs[i]
+				found := false
+				for j, pb := range in.PhiBlocks {
+					if pb == prev {
+						vals[i] = vm.eval(fr, in.Operands[j])
+						found = true
+						break
+					}
+				}
+				if !found {
+					return 0, fmt.Errorf("interp: phi %s has no incoming for block %s",
+						in.Pos(), prev.Name)
+				}
+			}
+			for i := 0; i < nPhi; i++ {
+				in := block.Instrs[i]
+				if err := vm.finishResult(fr, in, vals[i]); err != nil {
+					return 0, err
+				}
+			}
+		}
+
+		for _, in := range block.Instrs[nPhi:] {
+			ctx.DynCount++
+			if ctx.DynCount > ctx.opts.MaxDynInstrs {
+				return 0, errHang
+			}
+			if w := ctx.opts.TraceWriter; w != nil {
+				fmt.Fprintf(w, "%8d %-24s %s\n", ctx.DynCount, in.Pos(), ir.FormatInstr(in))
+			}
+			switch in.Op {
+			case ir.OpBr:
+				if h := ctx.opts.Hooks.OnBranch; h != nil {
+					h(ctx, in, 0)
+				}
+				prev, block = block, in.Targets[0]
+			case ir.OpCondBr:
+				cond := vm.eval(fr, in.Operands[0]) & 1
+				taken := 1 // false edge
+				if cond != 0 {
+					taken = 0
+				}
+				if h := ctx.opts.Hooks.OnBranch; h != nil {
+					h(ctx, in, taken)
+				}
+				prev, block = block, in.Targets[taken]
+			case ir.OpRet:
+				var ret uint64
+				if len(in.Operands) == 1 {
+					ret = vm.eval(fr, in.Operands[0])
+				}
+				return ret, nil
+			case ir.OpStore:
+				bits := vm.eval(fr, in.Operands[0])
+				addr := vm.eval(fr, in.Operands[1])
+				if !ctx.Mem.Store(in.Elem, addr, bits) {
+					return 0, &Trap{Kind: TrapOOBStore, Instr: in, Addr: addr}
+				}
+				if h := ctx.opts.Hooks.OnStore; h != nil {
+					h(ctx, in, addr, bits)
+				}
+			case ir.OpCheck:
+				a := vm.eval(fr, in.Operands[0])
+				b := vm.eval(fr, in.Operands[1])
+				if a != b {
+					return 0, &Trap{Kind: TrapDetected, Instr: in}
+				}
+			case ir.OpPrint:
+				bits := vm.eval(fr, in.Operands[0])
+				line := ir.FormatValue(in.Operands[0].ValueType(), bits, in.Format)
+				ctx.output.WriteString(line)
+				ctx.output.WriteByte('\n')
+				ctx.lines++
+				if h := ctx.opts.Hooks.OnPrint; h != nil {
+					h(ctx, in, line)
+				}
+			default:
+				bits, err := vm.compute(fr, in)
+				if err != nil {
+					return 0, err
+				}
+				if err := vm.finishResult(fr, in, bits); err != nil {
+					return 0, err
+				}
+			}
+			if in.IsTerminator() {
+				break
+			}
+		}
+		if block == nil {
+			return 0, fmt.Errorf("interp: fell off end of block in %s", fn.Name)
+		}
+	}
+}
+
+// finishResult truncates, offers the result to the fault-injection hook,
+// counts it, and writes the register.
+func (vm *machine) finishResult(fr *frame, in *ir.Instr, bits uint64) error {
+	ctx := vm.ctx
+	if in.Op == ir.OpPhi {
+		// Phis execute as part of block entry; they still count as dynamic
+		// register writes (LLFI injects into them too).
+		ctx.DynCount++
+		if ctx.DynCount > ctx.opts.MaxDynInstrs {
+			return errHang
+		}
+	}
+	if !in.HasResult() {
+		return nil
+	}
+	bits = ir.TruncateToWidth(bits, in.Type.Bits())
+	ctx.DynResults++
+	if h := ctx.opts.Hooks.OnResult; h != nil {
+		bits = ir.TruncateToWidth(h(ctx, in, bits), in.Type.Bits())
+	}
+	fr.regs[in.ID] = bits
+	return nil
+}
+
+// compute evaluates a non-control, non-memory-write instruction.
+func (vm *machine) compute(fr *frame, in *ir.Instr) (uint64, error) {
+	ctx := vm.ctx
+	switch in.Op {
+	case ir.OpAlloca:
+		seg := ctx.Mem.Allocate("alloca", uint64(in.Count*in.Elem.Bytes()))
+		fr.allocas = append(fr.allocas, seg)
+		return seg.Base, nil
+	case ir.OpLoad:
+		addr := vm.eval(fr, in.Operands[0])
+		bits, ok := ctx.Mem.Load(in.Elem, addr)
+		if !ok {
+			return 0, &Trap{Kind: TrapOOBLoad, Instr: in, Addr: addr}
+		}
+		if h := ctx.opts.Hooks.OnLoad; h != nil {
+			h(ctx, in, addr, bits)
+		}
+		return bits, nil
+	case ir.OpGep:
+		base := vm.eval(fr, in.Operands[0])
+		idxOp := in.Operands[1]
+		idx := ir.SignExtend(vm.eval(fr, idxOp), idxOp.ValueType().Bits())
+		return base + uint64(idx*int64(in.Elem.Bytes())), nil
+	case ir.OpCall:
+		args := make([]uint64, len(in.Operands))
+		for i, a := range in.Operands {
+			args[i] = vm.eval(fr, a)
+		}
+		return vm.call(in.Callee, args)
+	case ir.OpSelect:
+		if vm.eval(fr, in.Operands[0])&1 != 0 {
+			return vm.eval(fr, in.Operands[1]), nil
+		}
+		return vm.eval(fr, in.Operands[2]), nil
+	case ir.OpIntrinsic:
+		args := make([]float64, len(in.Operands))
+		var rawLHS, rawRHS uint64
+		for i, a := range in.Operands {
+			raw := vm.eval(fr, a)
+			if i == 0 {
+				rawLHS = raw
+			} else {
+				rawRHS = raw
+			}
+			args[i] = ir.FloatFromBits(a.ValueType(), raw)
+		}
+		if h := ctx.opts.Hooks.OnBinary; h != nil {
+			h(ctx, in, rawLHS, rawRHS)
+		}
+		return ir.FloatToBits(in.Type, evalIntrinsic(in.Intr, args)), nil
+	default:
+		switch {
+		case in.Op.IsBinary():
+			lhs := vm.eval(fr, in.Operands[0])
+			rhs := vm.eval(fr, in.Operands[1])
+			if h := ctx.opts.Hooks.OnBinary; h != nil {
+				h(ctx, in, lhs, rhs)
+			}
+			bits, ok := evalBinary(in.Op, in.Operands[0].ValueType(), lhs, rhs)
+			if !ok {
+				return 0, &Trap{Kind: TrapDivZero, Instr: in}
+			}
+			return bits, nil
+		case in.Op.IsCmp():
+			lhs := vm.eval(fr, in.Operands[0])
+			rhs := vm.eval(fr, in.Operands[1])
+			if h := ctx.opts.Hooks.OnBinary; h != nil {
+				h(ctx, in, lhs, rhs)
+			}
+			return evalCmp(in.Pred, in.Operands[0].ValueType(), lhs, rhs), nil
+		case in.Op.IsCast():
+			src := vm.eval(fr, in.Operands[0])
+			return evalCast(in.Op, in.Operands[0].ValueType(), in.Type, src), nil
+		}
+		return 0, fmt.Errorf("interp: cannot execute %s at %s", in.Op, in.Pos())
+	}
+}

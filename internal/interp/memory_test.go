@@ -1,0 +1,139 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trident/internal/ir"
+)
+
+func TestMemoryAllocateAndAccess(t *testing.T) {
+	m := NewMemory()
+	s := m.Allocate("a", 16)
+	if s.Base == 0 {
+		t.Fatal("segment base should not be 0")
+	}
+	if !m.Store(ir.I32, s.Base+4, 0xDEADBEEF) {
+		t.Fatal("in-bounds store failed")
+	}
+	got, ok := m.Load(ir.I32, s.Base+4)
+	if !ok || got != 0xDEADBEEF {
+		t.Fatalf("load = %#x, %v", got, ok)
+	}
+}
+
+func TestMemoryLittleEndianOverlap(t *testing.T) {
+	m := NewMemory()
+	s := m.Allocate("a", 8)
+	m.Store(ir.I64, s.Base, 0x0807060504030201)
+	b, ok := m.Load(ir.I8, s.Base+2)
+	if !ok || b != 0x03 {
+		t.Fatalf("byte 2 = %#x", b)
+	}
+	h, ok := m.Load(ir.I16, s.Base+4)
+	if !ok || h != 0x0605 {
+		t.Fatalf("half at 4 = %#x", h)
+	}
+}
+
+func TestMemoryOutOfBounds(t *testing.T) {
+	m := NewMemory()
+	s := m.Allocate("a", 8)
+	cases := []struct {
+		name string
+		addr uint64
+		t    ir.Type
+	}{
+		{"below", s.Base - 1, ir.I8},
+		{"straddle end", s.End() - 2, ir.I32},
+		{"far away", 0x123456789A, ir.I8},
+		{"null", 0, ir.I8},
+		{"wrap", ^uint64(0) - 1, ir.I64},
+	}
+	for _, c := range cases {
+		if _, ok := m.Load(c.t, c.addr); ok {
+			t.Errorf("%s: load should trap", c.name)
+		}
+		if m.Store(c.t, c.addr, 1) {
+			t.Errorf("%s: store should trap", c.name)
+		}
+	}
+}
+
+func TestMemoryGapBetweenSegments(t *testing.T) {
+	m := NewMemory()
+	a := m.Allocate("a", 8)
+	b := m.Allocate("b", 8)
+	if a.End() >= b.Base {
+		t.Fatal("segments should not be adjacent")
+	}
+	if _, ok := m.Load(ir.I8, a.End()); ok {
+		t.Error("gap access should trap")
+	}
+}
+
+func TestMemoryRelease(t *testing.T) {
+	m := NewMemory()
+	a := m.Allocate("a", 8)
+	b := m.Allocate("b", 8)
+	m.Release(a)
+	if _, ok := m.Load(ir.I8, a.Base); ok {
+		t.Error("released segment should trap")
+	}
+	if _, ok := m.Load(ir.I8, b.Base); !ok {
+		t.Error("live segment should still be accessible")
+	}
+	if m.CurrentBytes() != 8 {
+		t.Errorf("CurrentBytes = %d, want 8", m.CurrentBytes())
+	}
+	if m.NumSegments() != 1 {
+		t.Errorf("NumSegments = %d, want 1", m.NumSegments())
+	}
+}
+
+func TestMemoryPeakTracksHighWater(t *testing.T) {
+	m := NewMemory()
+	a := m.Allocate("a", 100)
+	m.Allocate("b", 50)
+	m.Release(a)
+	m.Allocate("c", 10)
+	if m.PeakBytes() != 150 {
+		t.Errorf("PeakBytes = %d, want 150", m.PeakBytes())
+	}
+}
+
+func TestMemoryZeroSizeAllocation(t *testing.T) {
+	m := NewMemory()
+	a := m.Allocate("a", 0)
+	b := m.Allocate("b", 0)
+	if a.Base == b.Base {
+		t.Error("zero-size allocations should get distinct addresses")
+	}
+}
+
+func TestMemoryRoundTripProperty(t *testing.T) {
+	m := NewMemory()
+	s := m.Allocate("a", 64)
+	f := func(off8 uint8, bits uint64) bool {
+		off := uint64(off8 % 56)
+		if !m.Store(ir.I64, s.Base+off, bits) {
+			return false
+		}
+		got, ok := m.Load(ir.I64, s.Base+off)
+		return ok && got == bits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryNarrowTypeTruncates(t *testing.T) {
+	m := NewMemory()
+	s := m.Allocate("a", 8)
+	m.Store(ir.I64, s.Base, 0)
+	m.Store(ir.I8, s.Base, 0x1FF) // only low byte lands
+	got, _ := m.Load(ir.I64, s.Base)
+	if got != 0xFF {
+		t.Errorf("after i8 store, word = %#x, want 0xff", got)
+	}
+}

@@ -1,0 +1,236 @@
+package ir
+
+import "fmt"
+
+// Builder constructs IR instruction-by-instruction at an insertion point,
+// in the style of llvm::IRBuilder. Builder methods panic on structurally
+// impossible requests (e.g. emitting into no block); this is construction-
+// time programmer error, not runtime input, so panicking is appropriate —
+// the verifier catches the subtler mistakes and returns errors.
+type Builder struct {
+	fn  *Func
+	bb  *Block
+	seq int // counter for generated block names
+}
+
+// NewBuilder returns a builder positioned at the end of fn's entry block
+// (if any).
+func NewBuilder(fn *Func) *Builder {
+	b := &Builder{fn: fn}
+	if len(fn.Blocks) > 0 {
+		b.bb = fn.Blocks[len(fn.Blocks)-1]
+	}
+	return b
+}
+
+// Func returns the function being built.
+func (b *Builder) Func() *Func { return b.fn }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.bb }
+
+// SetBlock moves the insertion point to the end of bb.
+func (b *Builder) SetBlock(bb *Block) { b.bb = bb }
+
+// NewBlock creates a block with the given name (a unique name is generated
+// when empty) and returns it without moving the insertion point.
+func (b *Builder) NewBlock(name string) *Block {
+	if name == "" {
+		name = fmt.Sprintf("bb%d", b.seq)
+		b.seq++
+	}
+	return b.fn.NewBlock(name)
+}
+
+func (b *Builder) emit(in *Instr) *Instr {
+	if b.bb == nil {
+		panic("ir: builder has no insertion block")
+	}
+	return b.bb.appendInstr(in)
+}
+
+// Named assigns a register name to the most recently emitted instruction
+// and returns it, for readable printed IR.
+func (b *Builder) Named(name string, in *Instr) *Instr {
+	in.Name = name
+	return in
+}
+
+// Binary emits a two-operand instruction of the given opcode. The result
+// type is the type of lhs.
+func (b *Builder) Binary(op Opcode, lhs, rhs Value) *Instr {
+	return b.emit(&Instr{Op: op, Type: lhs.ValueType(), Operands: []Value{lhs, rhs}})
+}
+
+// Add emits an integer addition.
+func (b *Builder) Add(lhs, rhs Value) *Instr { return b.Binary(OpAdd, lhs, rhs) }
+
+// Sub emits an integer subtraction.
+func (b *Builder) Sub(lhs, rhs Value) *Instr { return b.Binary(OpSub, lhs, rhs) }
+
+// Mul emits an integer multiplication.
+func (b *Builder) Mul(lhs, rhs Value) *Instr { return b.Binary(OpMul, lhs, rhs) }
+
+// SDiv emits a signed integer division.
+func (b *Builder) SDiv(lhs, rhs Value) *Instr { return b.Binary(OpSDiv, lhs, rhs) }
+
+// SRem emits a signed integer remainder.
+func (b *Builder) SRem(lhs, rhs Value) *Instr { return b.Binary(OpSRem, lhs, rhs) }
+
+// And emits a bitwise and.
+func (b *Builder) And(lhs, rhs Value) *Instr { return b.Binary(OpAnd, lhs, rhs) }
+
+// Or emits a bitwise or.
+func (b *Builder) Or(lhs, rhs Value) *Instr { return b.Binary(OpOr, lhs, rhs) }
+
+// Xor emits a bitwise xor.
+func (b *Builder) Xor(lhs, rhs Value) *Instr { return b.Binary(OpXor, lhs, rhs) }
+
+// Shl emits a left shift.
+func (b *Builder) Shl(lhs, rhs Value) *Instr { return b.Binary(OpShl, lhs, rhs) }
+
+// LShr emits a logical right shift.
+func (b *Builder) LShr(lhs, rhs Value) *Instr { return b.Binary(OpLShr, lhs, rhs) }
+
+// AShr emits an arithmetic right shift.
+func (b *Builder) AShr(lhs, rhs Value) *Instr { return b.Binary(OpAShr, lhs, rhs) }
+
+// FAdd emits a floating-point addition.
+func (b *Builder) FAdd(lhs, rhs Value) *Instr { return b.Binary(OpFAdd, lhs, rhs) }
+
+// FSub emits a floating-point subtraction.
+func (b *Builder) FSub(lhs, rhs Value) *Instr { return b.Binary(OpFSub, lhs, rhs) }
+
+// FMul emits a floating-point multiplication.
+func (b *Builder) FMul(lhs, rhs Value) *Instr { return b.Binary(OpFMul, lhs, rhs) }
+
+// FDiv emits a floating-point division.
+func (b *Builder) FDiv(lhs, rhs Value) *Instr { return b.Binary(OpFDiv, lhs, rhs) }
+
+// ICmp emits an integer comparison producing an I1.
+func (b *Builder) ICmp(pred Predicate, lhs, rhs Value) *Instr {
+	return b.emit(&Instr{Op: OpICmp, Type: I1, Pred: pred, Operands: []Value{lhs, rhs}})
+}
+
+// FCmp emits a floating-point comparison producing an I1.
+func (b *Builder) FCmp(pred Predicate, lhs, rhs Value) *Instr {
+	return b.emit(&Instr{Op: OpFCmp, Type: I1, Pred: pred, Operands: []Value{lhs, rhs}})
+}
+
+// Cast emits a conversion of src to type to.
+func (b *Builder) Cast(op Opcode, src Value, to Type) *Instr {
+	return b.emit(&Instr{Op: op, Type: to, Operands: []Value{src}})
+}
+
+// Trunc emits an integer truncation.
+func (b *Builder) Trunc(src Value, to Type) *Instr { return b.Cast(OpTrunc, src, to) }
+
+// ZExt emits an unsigned integer extension.
+func (b *Builder) ZExt(src Value, to Type) *Instr { return b.Cast(OpZExt, src, to) }
+
+// SExt emits a signed integer extension.
+func (b *Builder) SExt(src Value, to Type) *Instr { return b.Cast(OpSExt, src, to) }
+
+// FPToSI emits a float-to-signed-integer conversion.
+func (b *Builder) FPToSI(src Value, to Type) *Instr { return b.Cast(OpFPToSI, src, to) }
+
+// SIToFP emits a signed-integer-to-float conversion.
+func (b *Builder) SIToFP(src Value, to Type) *Instr { return b.Cast(OpSIToFP, src, to) }
+
+// FPTrunc emits a float narrowing conversion.
+func (b *Builder) FPTrunc(src Value, to Type) *Instr { return b.Cast(OpFPTrunc, src, to) }
+
+// FPExt emits a float widening conversion.
+func (b *Builder) FPExt(src Value, to Type) *Instr { return b.Cast(OpFPExt, src, to) }
+
+// Select emits a conditional select.
+func (b *Builder) Select(cond, ifTrue, ifFalse Value) *Instr {
+	return b.emit(&Instr{Op: OpSelect, Type: ifTrue.ValueType(),
+		Operands: []Value{cond, ifTrue, ifFalse}})
+}
+
+// Phi emits an empty phi of the given type; fill it with AddIncoming. Phis
+// must precede all non-phi instructions in their block.
+func (b *Builder) Phi(t Type) *Instr {
+	return b.emit(&Instr{Op: OpPhi, Type: t})
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a phi.
+func (b *Builder) AddIncoming(phi *Instr, v Value, from *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Operands = append(phi.Operands, v)
+	phi.PhiBlocks = append(phi.PhiBlocks, from)
+}
+
+// Call emits a call to callee with the given arguments.
+func (b *Builder) Call(callee *Func, args ...Value) *Instr {
+	return b.emit(&Instr{Op: OpCall, Type: callee.RetType, Callee: callee, Operands: args})
+}
+
+// Intrinsic emits a built-in math operation; the result type is the type
+// of the first argument.
+func (b *Builder) Intrinsic(in Intrinsic, args ...Value) *Instr {
+	if len(args) == 0 {
+		panic("ir: intrinsic with no arguments")
+	}
+	return b.emit(&Instr{Op: OpIntrinsic, Type: args[0].ValueType(), Intr: in, Operands: args})
+}
+
+// Alloca emits a stack allocation of count elements of type elem, yielding
+// a Ptr.
+func (b *Builder) Alloca(elem Type, count int) *Instr {
+	return b.emit(&Instr{Op: OpAlloca, Type: Ptr, Elem: elem, Count: count})
+}
+
+// Load emits a load of an elem-typed value from addr.
+func (b *Builder) Load(elem Type, addr Value) *Instr {
+	return b.emit(&Instr{Op: OpLoad, Type: elem, Elem: elem, Operands: []Value{addr}})
+}
+
+// Store emits a store of v to addr.
+func (b *Builder) Store(v, addr Value) *Instr {
+	return b.emit(&Instr{Op: OpStore, Type: Void, Elem: v.ValueType(),
+		Operands: []Value{v, addr}})
+}
+
+// Gep emits address arithmetic: base + index*elem.Bytes(), yielding a Ptr.
+func (b *Builder) Gep(elem Type, base, index Value) *Instr {
+	return b.emit(&Instr{Op: OpGep, Type: Ptr, Elem: elem, Operands: []Value{base, index}})
+}
+
+// Br emits an unconditional branch to target.
+func (b *Builder) Br(target *Block) *Instr {
+	return b.emit(&Instr{Op: OpBr, Type: Void, Targets: []*Block{target}})
+}
+
+// CondBr emits a conditional branch on cond to ifTrue/ifFalse.
+func (b *Builder) CondBr(cond Value, ifTrue, ifFalse *Block) *Instr {
+	return b.emit(&Instr{Op: OpCondBr, Type: Void, Operands: []Value{cond},
+		Targets: []*Block{ifTrue, ifFalse}})
+}
+
+// Ret emits a return; v may be nil for void functions.
+func (b *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Type: Void}
+	if v != nil {
+		in.Operands = []Value{v}
+	}
+	return b.emit(in)
+}
+
+// Print emits a program-output instruction with the default format.
+func (b *Builder) Print(v Value) *Instr {
+	return b.emit(&Instr{Op: OpPrint, Type: Void, Operands: []Value{v}})
+}
+
+// Printf emits a program-output instruction with an explicit format.
+func (b *Builder) PrintFmt(v Value, format OutputFormat) *Instr {
+	return b.emit(&Instr{Op: OpPrint, Type: Void, Operands: []Value{v}, Format: format})
+}
+
+// Check emits a duplication-detector check of original against shadow.
+func (b *Builder) Check(original, shadow Value) *Instr {
+	return b.emit(&Instr{Op: OpCheck, Type: Void, Operands: []Value{original, shadow}})
+}

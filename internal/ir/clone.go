@@ -1,0 +1,97 @@
+package ir
+
+// CloneModule deep-copies a module and returns the clone together with
+// the mapping from original instructions to their clones, so analyses
+// performed on the original (e.g. model-selected protection sets) can be
+// carried over. The original is not modified.
+func CloneModule(m *Module) (*Module, map[*Instr]*Instr) {
+	clone := NewModule(m.Name)
+
+	globals := make(map[*Global]*Global, len(m.Globals))
+	for _, g := range m.Globals {
+		ng := clone.AddGlobal(g.Name, g.Elem, g.Count, append([]uint64(nil), g.Init...))
+		globals[g] = ng
+	}
+
+	// First pass: create functions, params, blocks and instruction shells
+	// so cross-references (calls, branch targets, operands) can resolve in
+	// the second pass.
+	funcs := make(map[*Func]*Func, len(m.Funcs))
+	params := make(map[*Param]*Param)
+	blocks := make(map[*Block]*Block)
+	instrs := make(map[*Instr]*Instr)
+	for _, f := range m.Funcs {
+		nparams := make([]*Param, len(f.Params))
+		for i, p := range f.Params {
+			nparams[i] = NewParam(p.Name, p.Type)
+			params[p] = nparams[i]
+		}
+		nf := clone.NewFunc(f.Name, f.RetType, nparams...)
+		funcs[f] = nf
+		for _, b := range f.Blocks {
+			nb := nf.NewBlock(b.Name)
+			blocks[b] = nb
+			for _, in := range b.Instrs {
+				ni := &Instr{
+					ID:     in.ID,
+					Name:   in.Name,
+					Op:     in.Op,
+					Type:   in.Type,
+					Pred:   in.Pred,
+					Elem:   in.Elem,
+					Count:  in.Count,
+					Intr:   in.Intr,
+					Format: in.Format,
+					Block:  nb,
+				}
+				instrs[in] = ni
+				nb.Instrs = append(nb.Instrs, ni)
+			}
+		}
+	}
+
+	cloneValue := func(v Value) Value {
+		switch x := v.(type) {
+		case *Const:
+			return &Const{Type: x.Type, Bits: x.Bits}
+		case *Instr:
+			return instrs[x]
+		case *Param:
+			return params[x]
+		case *Global:
+			return globals[x]
+		default:
+			return nil
+		}
+	}
+
+	// Second pass: wire operands, targets, phi blocks and callees.
+	for old, ni := range instrs {
+		if len(old.Operands) > 0 {
+			ni.Operands = make([]Value, len(old.Operands))
+			for i, op := range old.Operands {
+				ni.Operands[i] = cloneValue(op)
+			}
+		}
+		if len(old.Targets) > 0 {
+			ni.Targets = make([]*Block, len(old.Targets))
+			for i, t := range old.Targets {
+				ni.Targets[i] = blocks[t]
+			}
+		}
+		if len(old.PhiBlocks) > 0 {
+			ni.PhiBlocks = make([]*Block, len(old.PhiBlocks))
+			for i, pb := range old.PhiBlocks {
+				ni.PhiBlocks[i] = blocks[pb]
+			}
+		}
+		if old.Callee != nil {
+			ni.Callee = funcs[old.Callee]
+		}
+	}
+
+	for _, f := range clone.Funcs {
+		f.Renumber()
+	}
+	return clone, instrs
+}

@@ -1,0 +1,43 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the parser with arbitrary text: it must never panic,
+// and whenever it accepts an input, printing and re-parsing must be a
+// fixed point (the round-trip invariant).
+//
+// Run with: go test -fuzz=FuzzParse ./internal/ir
+// Without -fuzz it executes the seed corpus as regular tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleSource,
+		"module \"m\"\nfunc @main() void {\nentry:\n  ret\n}\n",
+		"module \"m\"\nglobal @g i32 x 4 = [1, 2]\nfunc @main() void {\nentry:\n  %v = load i32, @g\n  print %v\n  ret\n}\n",
+		"",
+		"module",
+		"module \"m\"\nfunc @main() void {\nentry:\n  %x = add i32 1\n  ret\n}\n",
+		"module \"m\"\nfunc @main() void {\nentry:\n  %x = phi i32 [i32 1, entry]\n  ret\n}\n",
+		strings.Repeat("module \"m\"\n", 3),
+		"module \"m\"\nfunc @f(%a i64) i64 {\nentry:\n  ret %a\n}\nfunc @main() void {\nentry:\n  %x = call @f(i64 1)\n  print %x\n  ret\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		text1 := Print(m)
+		m2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("accepted module does not re-parse: %v\n%s", err, text1)
+		}
+		if text2 := Print(m2); text1 != text2 {
+			t.Fatalf("print/parse not a fixed point:\n%s\nvs\n%s", text1, text2)
+		}
+	})
+}

@@ -1,0 +1,676 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax or resolution error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a module in the textual format produced by Print. Parsing is
+// two-phase per function so that phis and branches may reference registers
+// and blocks defined later.
+func Parse(src string) (*Module, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	m, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range m.Funcs {
+		f.Renumber()
+	}
+	if err := Verify(m); err != nil {
+		return nil, fmt.Errorf("parsed module fails verification: %w", err)
+	}
+	return m, nil
+}
+
+type parser struct {
+	lines []string
+	pos   int // current line index
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-empty, non-comment line, trimmed, or "" at EOF.
+func (p *parser) next() (string, int, bool) {
+	for p.pos < len(p.lines) {
+		ln := p.pos
+		line := p.lines[ln]
+		p.pos++
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, ln, true
+		}
+	}
+	return "", p.pos, false
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	line, ln, ok := p.next()
+	if !ok || !strings.HasPrefix(line, "module ") {
+		return nil, p.errf(ln, "expected module header, got %q", line)
+	}
+	name, err := strconv.Unquote(strings.TrimSpace(strings.TrimPrefix(line, "module ")))
+	if err != nil {
+		return nil, p.errf(ln, "bad module name: %v", err)
+	}
+	m := NewModule(name)
+
+	// Pre-scan function signatures so calls can resolve forward.
+	if err := p.prescanFuncs(m); err != nil {
+		return nil, err
+	}
+
+	for {
+		line, ln, ok := p.next()
+		if !ok {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "global "):
+			if err := p.parseGlobal(m, line, ln); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "func "):
+			if err := p.parseFunc(m, line, ln); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(ln, "unexpected top-level line %q", line)
+		}
+	}
+	return m, nil
+}
+
+// prescanFuncs registers every function's name and signature without
+// parsing bodies, then rewinds.
+func (p *parser) prescanFuncs(m *Module) error {
+	saved := p.pos
+	for {
+		line, ln, ok := p.next()
+		if !ok {
+			break
+		}
+		if !strings.HasPrefix(line, "func ") {
+			continue
+		}
+		name, params, ret, err := p.parseFuncHeader(line, ln)
+		if err != nil {
+			return err
+		}
+		m.NewFunc(name, ret, params...)
+	}
+	p.pos = saved
+	return nil
+}
+
+func (p *parser) parseFuncHeader(line string, ln int) (string, []*Param, Type, error) {
+	// func @name(%a i32, %b f64) void {
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.IndexByte(rest, '(')
+	closeIdx := strings.LastIndexByte(rest, ')')
+	if open < 0 || closeIdx < open || !strings.HasPrefix(rest, "@") {
+		return "", nil, Void, p.errf(ln, "malformed func header %q", line)
+	}
+	name := rest[1:open]
+	var params []*Param
+	paramsText := strings.TrimSpace(rest[open+1 : closeIdx])
+	if paramsText != "" {
+		for _, part := range strings.Split(paramsText, ",") {
+			fields := strings.Fields(strings.TrimSpace(part))
+			if len(fields) != 2 || !strings.HasPrefix(fields[0], "%") {
+				return "", nil, Void, p.errf(ln, "malformed parameter %q", part)
+			}
+			t, ok := TypeByName(fields[1])
+			if !ok {
+				return "", nil, Void, p.errf(ln, "unknown type %q", fields[1])
+			}
+			params = append(params, NewParam(fields[0][1:], t))
+		}
+	}
+	tail := strings.Fields(strings.TrimSpace(rest[closeIdx+1:]))
+	if len(tail) != 2 || tail[1] != "{" {
+		return "", nil, Void, p.errf(ln, "malformed func header tail %q", line)
+	}
+	ret, ok := TypeByName(tail[0])
+	if !ok {
+		return "", nil, Void, p.errf(ln, "unknown return type %q", tail[0])
+	}
+	return name, params, ret, nil
+}
+
+func (p *parser) parseGlobal(m *Module, line string, ln int) error {
+	// global @name i32 x 100 [= [1, 2]]
+	rest := strings.TrimPrefix(line, "global ")
+	var initText string
+	if i := strings.IndexByte(rest, '='); i >= 0 {
+		initText = strings.TrimSpace(rest[i+1:])
+		rest = strings.TrimSpace(rest[:i])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 4 || !strings.HasPrefix(fields[0], "@") || fields[2] != "x" {
+		return p.errf(ln, "malformed global %q", line)
+	}
+	elem, ok := TypeByName(fields[1])
+	if !ok {
+		return p.errf(ln, "unknown type %q", fields[1])
+	}
+	count, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return p.errf(ln, "bad element count %q", fields[3])
+	}
+	var init []uint64
+	if initText != "" {
+		if !strings.HasPrefix(initText, "[") || !strings.HasSuffix(initText, "]") {
+			return p.errf(ln, "malformed initializer %q", initText)
+		}
+		inner := strings.TrimSpace(initText[1 : len(initText)-1])
+		if inner != "" {
+			for _, lit := range strings.Split(inner, ",") {
+				bits, err := parseLiteral(elem, strings.TrimSpace(lit))
+				if err != nil {
+					return p.errf(ln, "bad initializer element %q: %v", lit, err)
+				}
+				init = append(init, bits)
+			}
+		}
+	}
+	m.AddGlobal(fields[0][1:], elem, count, init)
+	return nil
+}
+
+func parseLiteral(t Type, lit string) (uint64, error) {
+	if t.IsFloat() {
+		v, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			return 0, err
+		}
+		return FloatToBits(t, v), nil
+	}
+	if strings.HasPrefix(lit, "0x") {
+		v, err := strconv.ParseUint(lit[2:], 16, 64)
+		return v, err
+	}
+	v, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return TruncateToWidth(uint64(v), t.Bits()), nil
+}
+
+// pending is an unresolved operand reference recorded during the first
+// pass over a function body.
+type pending struct {
+	instr *Instr
+	index int    // operand slot
+	name  string // register, param, or global name (with sigil stripped)
+	isReg bool   // %name (register/param) vs @name (global)
+	line  int
+}
+
+type pendingTarget struct {
+	instr *Instr
+	index int
+	name  string
+	line  int
+}
+
+type pendingPhi struct {
+	instr *Instr
+	index int
+	name  string
+	line  int
+}
+
+type funcParser struct {
+	p          *parser
+	m          *Module
+	f          *Func
+	blocks     map[string]*Block
+	regs       map[string]Value // %name -> Param or Instr
+	pends      []pending
+	targets    []pendingTarget
+	phis       []pendingPhi
+	typeFixups []typeFixup
+}
+
+func (p *parser) parseFunc(m *Module, header string, ln int) error {
+	name, _, _, err := p.parseFuncHeader(header, ln)
+	if err != nil {
+		return err
+	}
+	f := m.Func(name)
+	fp := &funcParser{
+		p: p, m: m, f: f,
+		blocks: make(map[string]*Block),
+		regs:   make(map[string]Value),
+	}
+	for _, prm := range f.Params {
+		fp.regs[prm.Name] = prm
+	}
+
+	// First pass: collect body lines and pre-create blocks.
+	var body []struct {
+		text string
+		ln   int
+	}
+	for {
+		line, bln, ok := p.next()
+		if !ok {
+			return p.errf(bln, "unexpected EOF in function %s", name)
+		}
+		if line == "}" {
+			break
+		}
+		body = append(body, struct {
+			text string
+			ln   int
+		}{line, bln})
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			bn := strings.TrimSuffix(line, ":")
+			if _, dup := fp.blocks[bn]; dup {
+				return p.errf(bln, "duplicate block %q", bn)
+			}
+			fp.blocks[bn] = f.NewBlock(bn)
+		}
+	}
+
+	// Second pass: parse instructions into blocks.
+	var cur *Block
+	for _, bl := range body {
+		if strings.HasSuffix(bl.text, ":") && !strings.Contains(bl.text, " ") {
+			cur = fp.blocks[strings.TrimSuffix(bl.text, ":")]
+			continue
+		}
+		if cur == nil {
+			return p.errf(bl.ln, "instruction before first block label")
+		}
+		if err := fp.parseInstr(cur, bl.text, bl.ln); err != nil {
+			return err
+		}
+	}
+
+	// Resolution pass.
+	for _, pd := range fp.pends {
+		v, err := fp.resolve(pd.name, pd.isReg, pd.line)
+		if err != nil {
+			return err
+		}
+		pd.instr.Operands[pd.index] = v
+	}
+	for _, pt := range fp.targets {
+		b, ok := fp.blocks[pt.name]
+		if !ok {
+			return p.errf(pt.line, "unknown block %q", pt.name)
+		}
+		pt.instr.Targets[pt.index] = b
+	}
+	for _, ph := range fp.phis {
+		b, ok := fp.blocks[ph.name]
+		if !ok {
+			return p.errf(ph.line, "unknown phi block %q", ph.name)
+		}
+		ph.instr.PhiBlocks[ph.index] = b
+	}
+	for _, tf := range fp.typeFixups {
+		v := tf.instr.Operands[tf.index]
+		if v == nil {
+			continue // a resolution error was already reported
+		}
+		if tf.elem {
+			tf.instr.Elem = v.ValueType()
+		} else {
+			tf.instr.Type = v.ValueType()
+		}
+	}
+	return nil
+}
+
+func (fp *funcParser) resolve(name string, isReg bool, line int) (Value, error) {
+	if isReg {
+		v, ok := fp.regs[name]
+		if !ok {
+			return nil, fp.p.errf(line, "unknown register %%%s", name)
+		}
+		return v, nil
+	}
+	g := fp.m.Global(name)
+	if g == nil {
+		return nil, fp.p.errf(line, "unknown global @%s", name)
+	}
+	return g, nil
+}
+
+// addOperand parses one operand token sequence and either resolves it (for
+// constants) or records a pending reference. tok is e.g. "%x", "@g",
+// "i32 5", "f64 -1.5".
+func (fp *funcParser) addOperand(in *Instr, tok string, line int) error {
+	idx := len(in.Operands)
+	tok = strings.TrimSpace(tok)
+	switch {
+	case strings.HasPrefix(tok, "%"):
+		in.Operands = append(in.Operands, nil)
+		fp.pends = append(fp.pends, pending{in, idx, tok[1:], true, line})
+	case strings.HasPrefix(tok, "@"):
+		in.Operands = append(in.Operands, nil)
+		fp.pends = append(fp.pends, pending{in, idx, tok[1:], false, line})
+	default:
+		fields := strings.Fields(tok)
+		if len(fields) != 2 {
+			return fp.p.errf(line, "malformed operand %q", tok)
+		}
+		t, ok := TypeByName(fields[0])
+		if !ok {
+			return fp.p.errf(line, "unknown operand type %q", fields[0])
+		}
+		bits, err := parseLiteral(t, fields[1])
+		if err != nil {
+			return fp.p.errf(line, "bad constant %q: %v", tok, err)
+		}
+		in.Operands = append(in.Operands, &Const{Type: t, Bits: bits})
+	}
+	return nil
+}
+
+// splitArgs splits a comma-separated operand list at the top level.
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (fp *funcParser) parseInstr(bb *Block, line string, ln int) error {
+	var name string
+	if strings.HasPrefix(line, "%") {
+		eq := strings.Index(line, "=")
+		if eq < 0 {
+			return fp.p.errf(ln, "register without assignment in %q", line)
+		}
+		name = strings.TrimSpace(line[1:eq])
+		line = strings.TrimSpace(line[eq+1:])
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return fp.p.errf(ln, "empty instruction")
+	}
+	mnemonic := fields[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(line, mnemonic))
+
+	op, known := opcodeByName[mnemonic]
+	if !known {
+		return fp.p.errf(ln, "unknown opcode %q", mnemonic)
+	}
+	in := &Instr{Op: op, Name: name}
+	defer func() { bb.appendInstr(in) }()
+
+	switch {
+	case op.IsBinary(), op.IsCmp():
+		args := rest
+		if op.IsCmp() {
+			predFields := strings.Fields(rest)
+			if len(predFields) < 2 {
+				return fp.p.errf(ln, "malformed comparison %q", line)
+			}
+			pred, ok := predicateByName[predFields[0]]
+			if !ok {
+				return fp.p.errf(ln, "unknown predicate %q", predFields[0])
+			}
+			in.Pred = pred
+			in.Type = I1
+			args = strings.TrimSpace(strings.TrimPrefix(rest, predFields[0]))
+		}
+		parts := splitArgs(args)
+		if len(parts) != 2 {
+			return fp.p.errf(ln, "%s expects 2 operands", mnemonic)
+		}
+		for _, part := range parts {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+		if op.IsBinary() {
+			fp.deferResultType(in, 0, ln)
+		}
+	case op.IsCast():
+		toIdx := strings.LastIndex(rest, " to ")
+		if toIdx < 0 {
+			return fp.p.errf(ln, "cast without 'to' in %q", line)
+		}
+		t, ok := TypeByName(strings.TrimSpace(rest[toIdx+4:]))
+		if !ok {
+			return fp.p.errf(ln, "unknown cast target type")
+		}
+		in.Type = t
+		if err := fp.addOperand(in, rest[:toIdx], ln); err != nil {
+			return err
+		}
+	case op == OpSelect:
+		parts := splitArgs(rest)
+		if len(parts) != 3 {
+			return fp.p.errf(ln, "select expects 3 operands")
+		}
+		for _, part := range parts {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+		fp.deferResultType(in, 1, ln)
+	case op == OpPhi:
+		// phi i32 [%a, entry], [i32 0, bb1]
+		fieldsPhi := strings.Fields(rest)
+		if len(fieldsPhi) < 1 {
+			return fp.p.errf(ln, "malformed phi")
+		}
+		t, ok := TypeByName(fieldsPhi[0])
+		if !ok {
+			return fp.p.errf(ln, "unknown phi type %q", fieldsPhi[0])
+		}
+		in.Type = t
+		body := strings.TrimSpace(strings.TrimPrefix(rest, fieldsPhi[0]))
+		for body != "" {
+			if !strings.HasPrefix(body, "[") {
+				return fp.p.errf(ln, "malformed phi arm at %q", body)
+			}
+			end := strings.IndexByte(body, ']')
+			if end < 0 {
+				return fp.p.errf(ln, "unclosed phi arm")
+			}
+			arm := body[1:end]
+			body = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(body[end+1:]), ","))
+			comma := strings.LastIndexByte(arm, ',')
+			if comma < 0 {
+				return fp.p.errf(ln, "phi arm without block")
+			}
+			if err := fp.addOperand(in, arm[:comma], ln); err != nil {
+				return err
+			}
+			in.PhiBlocks = append(in.PhiBlocks, nil)
+			fp.phis = append(fp.phis, pendingPhi{in, len(in.PhiBlocks) - 1,
+				strings.TrimSpace(arm[comma+1:]), ln})
+		}
+	case op == OpCall:
+		open := strings.IndexByte(rest, '(')
+		closeIdx := strings.LastIndexByte(rest, ')')
+		if open < 0 || closeIdx < open || !strings.HasPrefix(rest, "@") {
+			return fp.p.errf(ln, "malformed call %q", line)
+		}
+		callee := fp.m.Func(rest[1:open])
+		if callee == nil {
+			return fp.p.errf(ln, "unknown function %q", rest[1:open])
+		}
+		in.Callee = callee
+		in.Type = callee.RetType
+		for _, part := range splitArgs(rest[open+1 : closeIdx]) {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+	case op == OpIntrinsic:
+		open := strings.IndexByte(rest, '(')
+		closeIdx := strings.LastIndexByte(rest, ')')
+		if open < 0 || closeIdx < open {
+			return fp.p.errf(ln, "malformed intrinsic %q", line)
+		}
+		kind, ok := intrinsicByName[strings.TrimSpace(rest[:open])]
+		if !ok {
+			return fp.p.errf(ln, "unknown intrinsic %q", rest[:open])
+		}
+		in.Intr = kind
+		args := splitArgs(rest[open+1 : closeIdx])
+		if len(args) != kind.NumArgs() {
+			return fp.p.errf(ln, "intrinsic %s expects %d arguments, has %d",
+				kind, kind.NumArgs(), len(args))
+		}
+		for _, part := range args {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+		fp.deferResultType(in, 0, ln)
+	case op == OpAlloca:
+		f := strings.Fields(rest)
+		if len(f) != 3 || f[1] != "x" {
+			return fp.p.errf(ln, "malformed alloca %q", line)
+		}
+		elem, ok := TypeByName(f[0])
+		if !ok {
+			return fp.p.errf(ln, "unknown alloca type %q", f[0])
+		}
+		count, err := strconv.Atoi(f[2])
+		if err != nil {
+			return fp.p.errf(ln, "bad alloca count %q", f[2])
+		}
+		in.Elem, in.Count, in.Type = elem, count, Ptr
+	case op == OpLoad:
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return fp.p.errf(ln, "malformed load %q", line)
+		}
+		elem, ok := TypeByName(parts[0])
+		if !ok {
+			return fp.p.errf(ln, "unknown load type %q", parts[0])
+		}
+		in.Elem, in.Type = elem, elem
+		if err := fp.addOperand(in, parts[1], ln); err != nil {
+			return err
+		}
+	case op == OpStore, op == OpCheck:
+		parts := splitArgs(rest)
+		if len(parts) != 2 {
+			return fp.p.errf(ln, "malformed %s %q", mnemonic, line)
+		}
+		for _, part := range parts {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+		if op == OpStore {
+			fp.deferElemType(in, 0, ln)
+		}
+	case op == OpGep:
+		parts := splitArgs(rest)
+		if len(parts) != 3 {
+			return fp.p.errf(ln, "malformed gep %q", line)
+		}
+		elem, ok := TypeByName(parts[0])
+		if !ok {
+			return fp.p.errf(ln, "unknown gep type %q", parts[0])
+		}
+		in.Elem, in.Type = elem, Ptr
+		for _, part := range parts[1:] {
+			if err := fp.addOperand(in, part, ln); err != nil {
+				return err
+			}
+		}
+	case op == OpBr:
+		in.Targets = []*Block{nil}
+		fp.targets = append(fp.targets, pendingTarget{in, 0, strings.TrimSpace(rest), ln})
+	case op == OpCondBr:
+		parts := splitArgs(rest)
+		if len(parts) != 3 {
+			return fp.p.errf(ln, "malformed condbr %q", line)
+		}
+		if err := fp.addOperand(in, parts[0], ln); err != nil {
+			return err
+		}
+		in.Targets = []*Block{nil, nil}
+		fp.targets = append(fp.targets,
+			pendingTarget{in, 0, parts[1], ln}, pendingTarget{in, 1, parts[2], ln})
+	case op == OpRet:
+		if rest != "" {
+			if err := fp.addOperand(in, rest, ln); err != nil {
+				return err
+			}
+		}
+	case op == OpPrint:
+		if strings.HasPrefix(rest, "g2 ") {
+			in.Format = FormatG2
+			rest = strings.TrimSpace(rest[3:])
+		}
+		if err := fp.addOperand(in, rest, ln); err != nil {
+			return err
+		}
+	default:
+		return fp.p.errf(ln, "unhandled opcode %q", mnemonic)
+	}
+
+	if in.HasResult() {
+		if name == "" {
+			return fp.p.errf(ln, "%s requires a result register", mnemonic)
+		}
+		if _, dup := fp.regs[name]; dup {
+			return fp.p.errf(ln, "register %%%s redefined", name)
+		}
+		fp.regs[name] = in
+	} else if name != "" {
+		return fp.p.errf(ln, "%s does not produce a result", mnemonic)
+	}
+	return nil
+}
+
+// deferResultType sets the instruction's result type from operand idx,
+// now if it is a constant, or after resolution otherwise.
+func (fp *funcParser) deferResultType(in *Instr, idx, line int) {
+	if v := in.Operands[idx]; v != nil {
+		in.Type = v.ValueType()
+		return
+	}
+	fp.typeFixups = append(fp.typeFixups, typeFixup{in, idx, false})
+}
+
+// deferElemType sets in.Elem from operand idx after resolution.
+func (fp *funcParser) deferElemType(in *Instr, idx, line int) {
+	if v := in.Operands[idx]; v != nil {
+		in.Elem = v.ValueType()
+		return
+	}
+	fp.typeFixups = append(fp.typeFixups, typeFixup{in, idx, true})
+}
+
+type typeFixup struct {
+	instr *Instr
+	index int
+	elem  bool // fix Elem instead of Type
+}

@@ -1,0 +1,255 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSource = `
+module "sample"
+
+global @data i32 x 8 = [3, 1, 4, 1, 5]
+global @coef f64 x 2 = [0.5, -1.25]
+
+func @scale(%x i32) i32 {
+entry:
+  %d = mul %x, i32 2
+  ret %d
+}
+
+func @main() void {
+entry:
+  %buf = alloca i32 x 8
+  br loop
+loop:
+  %i = phi i32 [i32 0, entry], [%inc, body]
+  %c = icmp slt %i, i32 8
+  condbr %c, body, done
+body:
+  %src = gep i32, @data, %i
+  %v = load i32, %src
+  %sv = call @scale(%v)
+  %dst = gep i32, %buf, %i
+  store %sv, %dst
+  %inc = add %i, i32 1
+  br loop
+done:
+  %p0 = gep i32, %buf, i32 0
+  %first = load i32, %p0
+  %f = sitofp %first to f64
+  %cp = gep f64, @coef, i32 1
+  %cv = load f64, %cp
+  %scaled = fmul %f, %cv
+  %root = intrinsic fabs(%scaled)
+  print %root
+  print g2 %scaled
+  ret
+}
+`
+
+func TestParseSample(t *testing.T) {
+	m, err := Parse(sampleSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Name != "sample" {
+		t.Errorf("module name = %q", m.Name)
+	}
+	if len(m.Globals) != 2 || len(m.Funcs) != 2 {
+		t.Fatalf("got %d globals, %d funcs", len(m.Globals), len(m.Funcs))
+	}
+	data := m.Global("data")
+	if data.Count != 8 || len(data.Init) != 5 || data.Init[2] != 4 {
+		t.Errorf("global data parsed wrong: %+v", data)
+	}
+	coef := m.Global("coef")
+	if FloatFromBits(F64, coef.Init[1]) != -1.25 {
+		t.Errorf("coef[1] = %v", FloatFromBits(F64, coef.Init[1]))
+	}
+
+	main := m.Func("main")
+	loop := main.Block("loop")
+	phi := loop.Instrs[0]
+	if phi.Op != OpPhi || len(phi.Operands) != 2 {
+		t.Fatalf("phi parsed wrong: %v", phi)
+	}
+	if phi.PhiBlocks[0].Name != "entry" || phi.PhiBlocks[1].Name != "body" {
+		t.Errorf("phi blocks = %s, %s", phi.PhiBlocks[0].Name, phi.PhiBlocks[1].Name)
+	}
+	// %inc is a forward reference resolved to the add in body.
+	inc, ok := phi.Operands[1].(*Instr)
+	if !ok || inc.Op != OpAdd {
+		t.Errorf("phi forward reference not resolved: %v", phi.Operands[1])
+	}
+
+	done := main.Block("done")
+	var prints []*Instr
+	for _, in := range done.Instrs {
+		if in.Op == OpPrint {
+			prints = append(prints, in)
+		}
+	}
+	if len(prints) != 2 {
+		t.Fatalf("got %d prints", len(prints))
+	}
+	if prints[0].Format != FormatDefault || prints[1].Format != FormatG2 {
+		t.Error("print formats parsed wrong")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	m1, err := Parse(sampleSource)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text1 := Print(m1)
+	m2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("Parse of printed module: %v\n%s", err, text1)
+	}
+	text2 := Print(m2)
+	if text1 != text2 {
+		t.Errorf("print/parse/print is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s",
+			text1, text2)
+	}
+}
+
+func TestBuiltThenPrintedParses(t *testing.T) {
+	m := buildCountdown(t)
+	text := Print(m)
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(Print(built)): %v\n%s", err, text)
+	}
+	if m2.Func("main").NumInstrs() != m.Func("main").NumInstrs() {
+		t.Error("instruction count changed across round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no module", "func @main() void {\nentry:\n  ret\n}\n", "expected module"},
+		{"bad opcode", "module \"m\"\nfunc @main() void {\nentry:\n  %x = frobnicate i32 1, i32 2\n  ret\n}\n", "unknown opcode"},
+		{"unknown register", "module \"m\"\nfunc @main() void {\nentry:\n  %x = add %nope, i32 1\n  ret\n}\n", "unknown register"},
+		{"unknown global", "module \"m\"\nfunc @main() void {\nentry:\n  %x = load i32, @nope\n  ret\n}\n", "unknown global"},
+		{"unknown block", "module \"m\"\nfunc @main() void {\nentry:\n  br nowhere\n}\n", "unknown block"},
+		{"redefined register", "module \"m\"\nfunc @main() void {\nentry:\n  %x = add i32 1, i32 1\n  %x = add i32 2, i32 2\n  ret\n}\n", "redefined"},
+		{"type error caught by verify", "module \"m\"\nfunc @main() void {\nentry:\n  %x = add i32 1, i64 2\n  ret\n}\n", "verification"},
+		{"bad predicate", "module \"m\"\nfunc @main() void {\nentry:\n  %x = icmp wat i32 1, i32 2\n  ret\n}\n", "unknown predicate"},
+		{"unterminated func", "module \"m\"\nfunc @main() void {\nentry:\n  ret\n", "unexpected EOF"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := `
+; leading comment
+module "c"   ; trailing comment
+
+func @main() void {
+entry:
+  ; a comment on its own
+
+  %x = add i32 1, i32 2 ; inline
+  print %x
+  ret
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if m.Func("main").NumInstrs() != 3 {
+		t.Errorf("NumInstrs = %d, want 3", m.Func("main").NumInstrs())
+	}
+}
+
+func TestFormatInstrSpellings(t *testing.T) {
+	m, err := Parse(sampleSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Print(m)
+	for _, want := range []string{
+		"%c = icmp slt %i, i32 8",
+		"condbr %c, body, done",
+		"%i = phi i32 [i32 0, entry], [%inc, body]",
+		"%sv = call @scale(%v)",
+		"store %sv, %dst",
+		"%root = intrinsic fabs(%scaled)",
+		"print g2 %scaled",
+		"global @coef f64 x 2 = [0.5, -1.25]",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("printed module missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestParseCheckInstruction(t *testing.T) {
+	m, err := Parse(`
+module "chk"
+func @main() void {
+entry:
+  %a = add i64 1, i64 2
+  %b = add i64 1, i64 2
+  check %a, %b
+  print %a
+  ret
+}
+`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var chk *Instr
+	m.Instrs(func(in *Instr) {
+		if in.Op == OpCheck {
+			chk = in
+		}
+	})
+	if chk == nil {
+		t.Fatal("no check instruction")
+	}
+	if !strings.Contains(Print(m), "check %a, %b") {
+		t.Error("check not printed")
+	}
+	// Mismatched check operand types are rejected.
+	if _, err := Parse(`
+module "bad"
+func @main() void {
+entry:
+  %a = add i64 1, i64 2
+  %b = add i32 1, i32 2
+  check %a, %b
+  ret
+}
+`); err == nil {
+		t.Error("mismatched check types should fail verification")
+	}
+}
+
+func TestParseIntrinsicArityErrors(t *testing.T) {
+	for _, src := range []string{
+		"module \"m\"\nfunc @main() void {\nentry:\n  %x = intrinsic fabs()\n  ret\n}\n",
+		"module \"m\"\nfunc @main() void {\nentry:\n  %x = intrinsic pow(f64 1.0)\n  ret\n}\n",
+		"module \"m\"\nfunc @main() void {\nentry:\n  %x = intrinsic sqrt(f64 1.0, f64 2.0)\n  ret\n}\n",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("arity-violating intrinsic accepted: %s", src)
+		}
+	}
+}

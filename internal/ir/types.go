@@ -1,0 +1,374 @@
+// Package ir defines a typed, register-based intermediate representation
+// modeled on a subset of LLVM IR — the subset the TRIDENT error-propagation
+// model reasons about: static data-dependence chains through virtual
+// registers, an explicit control-flow graph of basic blocks, loads and
+// stores against a flat memory, comparisons feeding conditional branches,
+// and designated program-output instructions.
+//
+// The package provides the in-memory IR (Module/Func/Block/Instr), a
+// Builder for programmatic construction, a verifier, a textual printer and
+// a parser for the printed form.
+package ir
+
+import "fmt"
+
+// Type is the scalar type of an IR value. The IR is deliberately
+// first-order: aggregates are expressed as typed memory regions accessed
+// via Gep/Load/Store, which is all the error-propagation model needs.
+type Type uint8
+
+// Scalar types. Void is only valid as a function return type.
+const (
+	Void Type = iota
+	I1
+	I8
+	I16
+	I32
+	I64
+	F32
+	F64
+	Ptr
+)
+
+// Bits returns the width of the type in bits as represented in a machine
+// register. Pointers are 64-bit. Void has width 0.
+func (t Type) Bits() int {
+	switch t {
+	case I1:
+		return 1
+	case I8:
+		return 8
+	case I16:
+		return 16
+	case I32:
+		return 32
+	case I64, Ptr:
+		return 64
+	case F32:
+		return 32
+	case F64:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// Bytes returns the storage footprint of the type in memory, in bytes.
+func (t Type) Bytes() int {
+	switch t {
+	case I1, I8:
+		return 1
+	case I16:
+		return 2
+	case I32, F32:
+		return 4
+	case I64, F64, Ptr:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// IsInt reports whether t is an integer type (including I1).
+func (t Type) IsInt() bool { return t >= I1 && t <= I64 }
+
+// IsFloat reports whether t is a floating-point type.
+func (t Type) IsFloat() bool { return t == F32 || t == F64 }
+
+// String returns the textual spelling of the type used by the printer and
+// parser.
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I1:
+		return "i1"
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case Ptr:
+		return "ptr"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// typeByName maps textual spellings back to types for the parser.
+var typeByName = map[string]Type{
+	"void": Void, "i1": I1, "i8": I8, "i16": I16, "i32": I32,
+	"i64": I64, "f32": F32, "f64": F64, "ptr": Ptr,
+}
+
+// TypeByName returns the type with the given textual spelling.
+func TypeByName(name string) (Type, bool) {
+	t, ok := typeByName[name]
+	return t, ok
+}
+
+// Opcode identifies the operation an instruction performs.
+type Opcode uint8
+
+// Instruction opcodes. The set mirrors the LLVM instructions that appear in
+// the -O2 output of the paper's benchmarks and that the TRIDENT sub-models
+// distinguish.
+const (
+	OpInvalid Opcode = iota
+
+	// Integer arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpUDiv
+	OpSRem
+	OpURem
+
+	// Bitwise.
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+
+	// Floating point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Comparisons (yield I1).
+	OpICmp
+	OpFCmp
+
+	// Conversions.
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPTrunc
+	OpFPExt
+	OpFPToSI
+	OpSIToFP
+	OpBitcast
+
+	// Other value-producing instructions.
+	OpSelect
+	OpPhi
+	OpCall
+	OpIntrinsic
+
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGep
+
+	// Control flow (terminators).
+	OpBr
+	OpCondBr
+	OpRet
+
+	// Program output. The operand is written to the program's observable
+	// output; TRIDENT treats reaching a Print as reaching the output.
+	OpPrint
+
+	// Detector check inserted by the selective-duplication pass: if the two
+	// operands (original and shadow computation) differ, execution stops
+	// with a detection, which is not an SDC.
+	OpCheck
+)
+
+var opcodeNames = map[Opcode]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv",
+	OpUDiv: "udiv", OpSRem: "srem", OpURem: "urem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpTrunc: "trunc", OpZExt: "zext", OpSExt: "sext",
+	OpFPTrunc: "fptrunc", OpFPExt: "fpext",
+	OpFPToSI: "fptosi", OpSIToFP: "sitofp", OpBitcast: "bitcast",
+	OpSelect: "select", OpPhi: "phi", OpCall: "call",
+	OpIntrinsic: "intrinsic",
+	OpAlloca:    "alloca", OpLoad: "load", OpStore: "store", OpGep: "gep",
+	OpBr: "br", OpCondBr: "condbr", OpRet: "ret",
+	OpPrint: "print", OpCheck: "check",
+}
+
+// String returns the textual mnemonic of the opcode.
+func (op Opcode) String() string {
+	if s, ok := opcodeNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// opcodeByName maps mnemonics back to opcodes for the parser.
+var opcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opcodeNames))
+	for op, s := range opcodeNames {
+		m[s] = op
+	}
+	return m
+}()
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	return op == OpBr || op == OpCondBr || op == OpRet
+}
+
+// IsBinary reports whether the opcode is a two-operand arithmetic, bitwise
+// or floating-point operation.
+func (op Opcode) IsBinary() bool { return op >= OpAdd && op <= OpFDiv }
+
+// IsCast reports whether the opcode is a conversion.
+func (op Opcode) IsCast() bool { return op >= OpTrunc && op <= OpBitcast }
+
+// IsCmp reports whether the opcode is a comparison.
+func (op Opcode) IsCmp() bool { return op == OpICmp || op == OpFCmp }
+
+// HasResult reports whether instructions with this opcode define a register.
+func (op Opcode) HasResult() bool {
+	switch op {
+	case OpStore, OpBr, OpCondBr, OpRet, OpPrint, OpCheck:
+		return false
+	case OpCall:
+		// Calls to void functions have no result; the instruction decides.
+		return true
+	default:
+		return op != OpInvalid
+	}
+}
+
+// Predicate is the condition code of a comparison instruction.
+type Predicate uint8
+
+// Comparison predicates. Integer predicates are signed (S*) or unsigned
+// (U*); float predicates are ordered (O*).
+const (
+	PredInvalid Predicate = iota
+	PredEQ
+	PredNE
+	PredSLT
+	PredSLE
+	PredSGT
+	PredSGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+	PredOEQ
+	PredONE
+	PredOLT
+	PredOLE
+	PredOGT
+	PredOGE
+)
+
+var predicateNames = map[Predicate]string{
+	PredEQ: "eq", PredNE: "ne",
+	PredSLT: "slt", PredSLE: "sle", PredSGT: "sgt", PredSGE: "sge",
+	PredULT: "ult", PredULE: "ule", PredUGT: "ugt", PredUGE: "uge",
+	PredOEQ: "oeq", PredONE: "one",
+	PredOLT: "olt", PredOLE: "ole", PredOGT: "ogt", PredOGE: "oge",
+}
+
+// String returns the textual spelling of the predicate.
+func (p Predicate) String() string {
+	if s, ok := predicateNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+var predicateByName = func() map[string]Predicate {
+	m := make(map[string]Predicate, len(predicateNames))
+	for p, s := range predicateNames {
+		m[s] = p
+	}
+	return m
+}()
+
+// Intrinsic identifies a built-in math routine evaluated natively by the
+// interpreter. They model libm calls in the original benchmarks; the fs
+// sub-model treats them as fully propagating, like other arithmetic.
+type Intrinsic uint8
+
+// Intrinsic kinds.
+const (
+	IntrinsicInvalid Intrinsic = iota
+	IntrinsicSqrt
+	IntrinsicExp
+	IntrinsicLog
+	IntrinsicSin
+	IntrinsicCos
+	IntrinsicPow
+	IntrinsicFabs
+	IntrinsicFloor
+	IntrinsicFmin
+	IntrinsicFmax
+)
+
+var intrinsicNames = map[Intrinsic]string{
+	IntrinsicSqrt: "sqrt", IntrinsicExp: "exp", IntrinsicLog: "log",
+	IntrinsicSin: "sin", IntrinsicCos: "cos", IntrinsicPow: "pow",
+	IntrinsicFabs: "fabs", IntrinsicFloor: "floor",
+	IntrinsicFmin: "fmin", IntrinsicFmax: "fmax",
+}
+
+// String returns the textual name of the intrinsic.
+func (in Intrinsic) String() string {
+	if s, ok := intrinsicNames[in]; ok {
+		return s
+	}
+	return fmt.Sprintf("intrinsic(%d)", uint8(in))
+}
+
+var intrinsicByName = func() map[string]Intrinsic {
+	m := make(map[string]Intrinsic, len(intrinsicNames))
+	for in, s := range intrinsicNames {
+		m[s] = in
+	}
+	return m
+}()
+
+// NumIntrinsicArgs returns the number of arguments the intrinsic takes.
+func (in Intrinsic) NumArgs() int {
+	switch in {
+	case IntrinsicPow, IntrinsicFmin, IntrinsicFmax:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// OutputFormat describes how a Print instruction renders its operand, which
+// matters to the model: reduced-precision float output masks low mantissa
+// bits (paper §IV-E "Floating Point").
+type OutputFormat uint8
+
+// Output formats.
+const (
+	// FormatDefault renders the full value (all bits significant).
+	FormatDefault OutputFormat = iota
+	// FormatG2 renders a float with 2 significant digits ("%g" with
+	// precision 2), the reduced-precision case the paper analyzes.
+	FormatG2
+)
+
+// String returns the textual spelling of the format.
+func (f OutputFormat) String() string {
+	if f == FormatG2 {
+		return "g2"
+	}
+	return "default"
+}

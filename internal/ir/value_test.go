@@ -1,0 +1,227 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeBitsAndBytes(t *testing.T) {
+	tests := []struct {
+		t     Type
+		bits  int
+		bytes int
+	}{
+		{Void, 0, 0},
+		{I1, 1, 1},
+		{I8, 8, 1},
+		{I16, 16, 2},
+		{I32, 32, 4},
+		{I64, 64, 8},
+		{F32, 32, 4},
+		{F64, 64, 8},
+		{Ptr, 64, 8},
+	}
+	for _, tt := range tests {
+		if got := tt.t.Bits(); got != tt.bits {
+			t.Errorf("%s.Bits() = %d, want %d", tt.t, got, tt.bits)
+		}
+		if got := tt.t.Bytes(); got != tt.bytes {
+			t.Errorf("%s.Bytes() = %d, want %d", tt.t, got, tt.bytes)
+		}
+	}
+}
+
+func TestTypeClassification(t *testing.T) {
+	for _, ty := range []Type{I1, I8, I16, I32, I64} {
+		if !ty.IsInt() || ty.IsFloat() {
+			t.Errorf("%s misclassified", ty)
+		}
+	}
+	for _, ty := range []Type{F32, F64} {
+		if ty.IsInt() || !ty.IsFloat() {
+			t.Errorf("%s misclassified", ty)
+		}
+	}
+	if Ptr.IsInt() || Ptr.IsFloat() {
+		t.Error("Ptr misclassified")
+	}
+}
+
+func TestTypeByNameRoundTrip(t *testing.T) {
+	for _, ty := range []Type{Void, I1, I8, I16, I32, I64, F32, F64, Ptr} {
+		got, ok := TypeByName(ty.String())
+		if !ok || got != ty {
+			t.Errorf("TypeByName(%q) = %v, %v", ty.String(), got, ok)
+		}
+	}
+	if _, ok := TypeByName("i128"); ok {
+		t.Error("TypeByName accepted unknown type")
+	}
+}
+
+func TestConstInt(t *testing.T) {
+	tests := []struct {
+		t    Type
+		v    int64
+		want int64
+	}{
+		{I32, 42, 42},
+		{I32, -1, -1},
+		{I8, 200, -56},       // wraps in 8 bits
+		{I16, -40000, 25536}, // wraps in 16 bits
+		{I64, math.MinInt64, math.MinInt64},
+		{I1, 1, -1}, // single bit set is -1 in two's complement of width 1
+	}
+	for _, tt := range tests {
+		c := ConstInt(tt.t, tt.v)
+		if got := c.Int(); got != tt.want {
+			t.Errorf("ConstInt(%s, %d).Int() = %d, want %d", tt.t, tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestConstFloat(t *testing.T) {
+	c := ConstFloat(F64, 3.25)
+	if c.Float() != 3.25 {
+		t.Errorf("F64 const = %v, want 3.25", c.Float())
+	}
+	c32 := ConstFloat(F32, 3.25)
+	if c32.Float() != 3.25 {
+		t.Errorf("F32 const = %v, want 3.25", c32.Float())
+	}
+	// F32 rounds to float32 precision.
+	c32b := ConstFloat(F32, 0.1)
+	if c32b.Float() != float64(float32(0.1)) {
+		t.Errorf("F32 const not rounded to float32: %v", c32b.Float())
+	}
+}
+
+func TestConstBool(t *testing.T) {
+	if ConstBool(true).Bits != 1 || ConstBool(false).Bits != 0 {
+		t.Error("ConstBool bit patterns wrong")
+	}
+	if ConstBool(true).Type != I1 {
+		t.Error("ConstBool type wrong")
+	}
+}
+
+func TestSignExtendProperties(t *testing.T) {
+	// Property: sign-extending then truncating is the identity on the low
+	// bits, for every width.
+	f := func(bits uint64) bool {
+		for _, w := range []int{1, 8, 16, 32, 64} {
+			tr := TruncateToWidth(bits, w)
+			se := SignExtend(tr, w)
+			if TruncateToWidth(uint64(se), w) != tr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignExtendKnown(t *testing.T) {
+	tests := []struct {
+		bits  uint64
+		width int
+		want  int64
+	}{
+		{0xFF, 8, -1},
+		{0x7F, 8, 127},
+		{0x80, 8, -128},
+		{0xFFFF, 16, -1},
+		{0x8000, 16, -32768},
+		{0xFFFFFFFF, 32, -1},
+		{1, 1, -1},
+		{0, 1, 0},
+	}
+	for _, tt := range tests {
+		if got := SignExtend(tt.bits, tt.width); got != tt.want {
+			t.Errorf("SignExtend(%#x, %d) = %d, want %d", tt.bits, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestFloatBitsRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN payloads may not round-trip via float32
+		}
+		if FloatFromBits(F64, FloatToBits(F64, v)) != v {
+			return false
+		}
+		v32 := float64(float32(v))
+		return math.IsInf(v32, 0) || FloatFromBits(F32, FloatToBits(F32, v32)) == v32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		t      Type
+		bits   uint64
+		format OutputFormat
+		want   string
+	}{
+		{I32, ConstInt(I32, -7).Bits, FormatDefault, "-7"},
+		{I64, 123, FormatDefault, "123"},
+		{F64, FloatToBits(F64, 1.5), FormatDefault, "1.5"},
+		{F64, FloatToBits(F64, 1.23456789), FormatG2, "1.2"},
+		{F32, FloatToBits(F32, 2.0), FormatDefault, "2"},
+		{Ptr, 0x1000, FormatDefault, "0x1000"},
+	}
+	for _, tt := range tests {
+		if got := FormatValue(tt.t, tt.bits, tt.format); got != tt.want {
+			t.Errorf("FormatValue(%s, %#x, %v) = %q, want %q",
+				tt.t, tt.bits, tt.format, got, tt.want)
+		}
+	}
+}
+
+func TestGlobalValue(t *testing.T) {
+	g := &Global{Name: "arr", Elem: I32, Count: 10}
+	if g.ValueType() != Ptr {
+		t.Error("global address should be ptr-typed")
+	}
+	if g.SizeBytes() != 40 {
+		t.Errorf("SizeBytes = %d, want 40", g.SizeBytes())
+	}
+	if g.ValueString() != "@arr" {
+		t.Errorf("ValueString = %q", g.ValueString())
+	}
+}
+
+func TestOpcodePropertyHelpers(t *testing.T) {
+	if !OpAdd.IsBinary() || !OpFDiv.IsBinary() || OpICmp.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+	if !OpTrunc.IsCast() || !OpBitcast.IsCast() || OpSelect.IsCast() {
+		t.Error("IsCast wrong")
+	}
+	if !OpICmp.IsCmp() || !OpFCmp.IsCmp() || OpAdd.IsCmp() {
+		t.Error("IsCmp wrong")
+	}
+	for _, op := range []Opcode{OpBr, OpCondBr, OpRet} {
+		if !op.IsTerminator() {
+			t.Errorf("%s should be a terminator", op)
+		}
+	}
+	for _, op := range []Opcode{OpStore, OpPrint, OpBr, OpCondBr, OpRet} {
+		if op.HasResult() {
+			t.Errorf("%s should not have a result", op)
+		}
+	}
+}
+
+func TestIntrinsicArity(t *testing.T) {
+	if IntrinsicSqrt.NumArgs() != 1 || IntrinsicPow.NumArgs() != 2 ||
+		IntrinsicFmin.NumArgs() != 2 {
+		t.Error("intrinsic arity wrong")
+	}
+}

@@ -1,0 +1,373 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VerifyError describes a structural or type error found by Verify.
+type VerifyError struct {
+	Where string // "func:block:#id" or coarser location
+	Msg   string
+}
+
+// Error implements error.
+func (e *VerifyError) Error() string { return e.Where + ": " + e.Msg }
+
+// Verify checks the module for structural well-formedness: every block ends
+// in exactly one terminator, operand and result types agree, phis match
+// their predecessors, branch targets belong to the same function, and main
+// exists. It returns all problems found, joined.
+func Verify(m *Module) error {
+	var errs []error
+	report := func(where, format string, args ...any) {
+		errs = append(errs, &VerifyError{Where: where, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if m.Func("main") == nil {
+		report(m.Name, "module has no main function")
+	}
+	seenGlobals := make(map[string]bool, len(m.Globals))
+	for _, g := range m.Globals {
+		if seenGlobals[g.Name] {
+			report("@"+g.Name, "duplicate global name")
+		}
+		seenGlobals[g.Name] = true
+		if g.Count <= 0 {
+			report("@"+g.Name, "global has non-positive element count %d", g.Count)
+		}
+		if len(g.Init) > g.Count {
+			report("@"+g.Name, "initializer longer than global (%d > %d)", len(g.Init), g.Count)
+		}
+	}
+
+	seenFuncs := make(map[string]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		if seenFuncs[f.Name] {
+			report("@"+f.Name, "duplicate function name")
+		}
+		seenFuncs[f.Name] = true
+		verifyFunc(f, report)
+	}
+	return errors.Join(errs...)
+}
+
+func verifyFunc(f *Func, report func(where, format string, args ...any)) {
+	if len(f.Blocks) == 0 {
+		report(f.Name, "function has no blocks")
+		return
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	blockNames := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+		if blockNames[b.Name] {
+			report(f.Name+":"+b.Name, "duplicate block name")
+		}
+		blockNames[b.Name] = true
+	}
+
+	for _, b := range f.Blocks {
+		where := f.Name + ":" + b.Name
+		if len(b.Instrs) == 0 {
+			report(where, "empty block")
+			continue
+		}
+		term := b.Instrs[len(b.Instrs)-1]
+		if !term.IsTerminator() {
+			report(where, "block does not end in a terminator (ends in %s)", term.Op)
+		}
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				report(in.Pos(), "terminator %s in the middle of a block", in.Op)
+			}
+			if in.Op == OpPhi && i > 0 && b.Instrs[i-1].Op != OpPhi {
+				report(in.Pos(), "phi after non-phi instruction")
+			}
+			verifyInstr(in, blockSet, report)
+		}
+	}
+
+	preds := make(map[*Block][]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				continue
+			}
+			if len(in.Operands) != len(in.PhiBlocks) {
+				report(in.Pos(), "phi has %d values but %d blocks", len(in.Operands), len(in.PhiBlocks))
+				continue
+			}
+			want := preds[b]
+			if len(in.PhiBlocks) != len(want) {
+				report(in.Pos(), "phi covers %d incoming edges, block has %d predecessors",
+					len(in.PhiBlocks), len(want))
+			}
+			for _, pb := range in.PhiBlocks {
+				found := false
+				for _, w := range want {
+					if w == pb {
+						found = true
+						break
+					}
+				}
+				if !found {
+					report(in.Pos(), "phi incoming block %s is not a predecessor", pb.Name)
+				}
+			}
+		}
+	}
+
+	if term := f.Entry(); term != nil {
+		for _, in := range f.Entry().Instrs {
+			if in.Op == OpPhi {
+				report(in.Pos(), "phi in entry block")
+			}
+		}
+	}
+}
+
+func verifyInstr(in *Instr, blocks map[*Block]bool, report func(where, format string, args ...any)) {
+	where := in.Pos()
+	wantOperands := func(n int) bool {
+		if len(in.Operands) != n {
+			report(where, "%s expects %d operands, has %d", in.Op, n, len(in.Operands))
+			return false
+		}
+		return true
+	}
+	for i, v := range in.Operands {
+		if v == nil {
+			report(where, "operand %d is nil", i)
+			return
+		}
+	}
+
+	switch {
+	case in.Op.IsBinary():
+		if !wantOperands(2) {
+			return
+		}
+		lt, rt := in.Operands[0].ValueType(), in.Operands[1].ValueType()
+		if lt != rt {
+			report(where, "%s operand types differ: %s vs %s", in.Op, lt, rt)
+		}
+		if in.Type != lt {
+			report(where, "%s result type %s differs from operand type %s", in.Op, in.Type, lt)
+		}
+		isFloatOp := in.Op >= OpFAdd && in.Op <= OpFDiv
+		if isFloatOp && !lt.IsFloat() {
+			report(where, "%s on non-float type %s", in.Op, lt)
+		}
+		if !isFloatOp && !lt.IsInt() && lt != Ptr {
+			report(where, "%s on non-integer type %s", in.Op, lt)
+		}
+	case in.Op.IsCmp():
+		if !wantOperands(2) {
+			return
+		}
+		lt, rt := in.Operands[0].ValueType(), in.Operands[1].ValueType()
+		if lt != rt {
+			report(where, "%s operand types differ: %s vs %s", in.Op, lt, rt)
+		}
+		if in.Type != I1 {
+			report(where, "%s result type is %s, want i1", in.Op, in.Type)
+		}
+		if in.Pred == PredInvalid {
+			report(where, "%s without predicate", in.Op)
+		}
+		if in.Op == OpFCmp && !lt.IsFloat() {
+			report(where, "fcmp on non-float type %s", lt)
+		}
+		if in.Op == OpICmp && !(lt.IsInt() || lt == Ptr) {
+			report(where, "icmp on non-integer type %s", lt)
+		}
+	case in.Op.IsCast():
+		if !wantOperands(1) {
+			return
+		}
+		st, dt := in.Operands[0].ValueType(), in.Type
+		switch in.Op {
+		case OpTrunc:
+			if !st.IsInt() || !dt.IsInt() || dt.Bits() >= st.Bits() {
+				report(where, "trunc %s -> %s is not a narrowing int cast", st, dt)
+			}
+		case OpZExt, OpSExt:
+			if !st.IsInt() || !dt.IsInt() || dt.Bits() <= st.Bits() {
+				report(where, "%s %s -> %s is not a widening int cast", in.Op, st, dt)
+			}
+		case OpFPTrunc:
+			if st != F64 || dt != F32 {
+				report(where, "fptrunc must be f64 -> f32, got %s -> %s", st, dt)
+			}
+		case OpFPExt:
+			if st != F32 || dt != F64 {
+				report(where, "fpext must be f32 -> f64, got %s -> %s", st, dt)
+			}
+		case OpFPToSI:
+			if !st.IsFloat() || !dt.IsInt() {
+				report(where, "fptosi %s -> %s", st, dt)
+			}
+		case OpSIToFP:
+			if !st.IsInt() || !dt.IsFloat() {
+				report(where, "sitofp %s -> %s", st, dt)
+			}
+		case OpBitcast:
+			if st.Bits() != dt.Bits() {
+				report(where, "bitcast between widths %d and %d", st.Bits(), dt.Bits())
+			}
+		}
+	case in.Op == OpSelect:
+		if !wantOperands(3) {
+			return
+		}
+		if in.Operands[0].ValueType() != I1 {
+			report(where, "select condition is %s, want i1", in.Operands[0].ValueType())
+		}
+		if in.Operands[1].ValueType() != in.Operands[2].ValueType() {
+			report(where, "select arms have different types")
+		}
+		if in.Type != in.Operands[1].ValueType() {
+			report(where, "select result type mismatch")
+		}
+	case in.Op == OpPhi:
+		for i, v := range in.Operands {
+			if v.ValueType() != in.Type {
+				report(where, "phi incoming %d has type %s, want %s", i, v.ValueType(), in.Type)
+			}
+		}
+	case in.Op == OpCall:
+		if in.Callee == nil {
+			report(where, "call without callee")
+			return
+		}
+		if len(in.Operands) != len(in.Callee.Params) {
+			report(where, "call to %s with %d args, want %d",
+				in.Callee.Name, len(in.Operands), len(in.Callee.Params))
+			return
+		}
+		for i, a := range in.Operands {
+			if a.ValueType() != in.Callee.Params[i].Type {
+				report(where, "call arg %d has type %s, want %s",
+					i, a.ValueType(), in.Callee.Params[i].Type)
+			}
+		}
+		if in.Type != in.Callee.RetType {
+			report(where, "call result type %s, callee returns %s", in.Type, in.Callee.RetType)
+		}
+	case in.Op == OpIntrinsic:
+		if in.Intr == IntrinsicInvalid {
+			report(where, "intrinsic without kind")
+			return
+		}
+		if !wantOperands(in.Intr.NumArgs()) {
+			return
+		}
+		for i, a := range in.Operands {
+			if !a.ValueType().IsFloat() {
+				report(where, "intrinsic %s arg %d is %s, want float", in.Intr, i, a.ValueType())
+			}
+		}
+	case in.Op == OpAlloca:
+		if in.Count <= 0 {
+			report(where, "alloca with non-positive count %d", in.Count)
+		}
+		if in.Elem == Void || in.Type != Ptr {
+			report(where, "malformed alloca")
+		}
+	case in.Op == OpLoad:
+		if !wantOperands(1) {
+			return
+		}
+		if in.Operands[0].ValueType() != Ptr {
+			report(where, "load address is %s, want ptr", in.Operands[0].ValueType())
+		}
+		if in.Type != in.Elem || in.Elem == Void {
+			report(where, "load element/result type mismatch")
+		}
+	case in.Op == OpStore:
+		if !wantOperands(2) {
+			return
+		}
+		if in.Operands[1].ValueType() != Ptr {
+			report(where, "store address is %s, want ptr", in.Operands[1].ValueType())
+		}
+		if in.Operands[0].ValueType() != in.Elem {
+			report(where, "store value type %s differs from element type %s",
+				in.Operands[0].ValueType(), in.Elem)
+		}
+	case in.Op == OpGep:
+		if !wantOperands(2) {
+			return
+		}
+		if in.Operands[0].ValueType() != Ptr {
+			report(where, "gep base is %s, want ptr", in.Operands[0].ValueType())
+		}
+		if !in.Operands[1].ValueType().IsInt() {
+			report(where, "gep index is %s, want int", in.Operands[1].ValueType())
+		}
+		if in.Elem == Void || in.Type != Ptr {
+			report(where, "malformed gep")
+		}
+	case in.Op == OpBr:
+		if len(in.Targets) != 1 {
+			report(where, "br with %d targets", len(in.Targets))
+			return
+		}
+		if !blocks[in.Targets[0]] {
+			report(where, "br target not in function")
+		}
+	case in.Op == OpCondBr:
+		if !wantOperands(1) {
+			return
+		}
+		if in.Operands[0].ValueType() != I1 {
+			report(where, "condbr condition is %s, want i1", in.Operands[0].ValueType())
+		}
+		if len(in.Targets) != 2 {
+			report(where, "condbr with %d targets", len(in.Targets))
+			return
+		}
+		for _, t := range in.Targets {
+			if !blocks[t] {
+				report(where, "condbr target not in function")
+			}
+		}
+	case in.Op == OpRet:
+		fn := in.Block.Fn
+		if fn.RetType == Void {
+			if len(in.Operands) != 0 {
+				report(where, "ret with value in void function")
+			}
+		} else {
+			if len(in.Operands) != 1 {
+				report(where, "ret without value in non-void function")
+			} else if in.Operands[0].ValueType() != fn.RetType {
+				report(where, "ret type %s, function returns %s",
+					in.Operands[0].ValueType(), fn.RetType)
+			}
+		}
+	case in.Op == OpPrint:
+		if !wantOperands(1) {
+			return
+		}
+		if in.Operands[0].ValueType() == Void {
+			report(where, "print of void value")
+		}
+	case in.Op == OpCheck:
+		if !wantOperands(2) {
+			return
+		}
+		if in.Operands[0].ValueType() != in.Operands[1].ValueType() {
+			report(where, "check operand types differ: %s vs %s",
+				in.Operands[0].ValueType(), in.Operands[1].ValueType())
+		}
+	default:
+		report(where, "unknown opcode %d", in.Op)
+	}
+}

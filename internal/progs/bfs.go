@@ -1,0 +1,210 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "bfs-parboil",
+		Suite:      "Parboil",
+		Area:       "Graph traversal",
+		Input:      "synthetic 64-node CSR graph, out-degree 3, source 0",
+		BuildInput: buildBFSParboil,
+	})
+	register(Program{
+		Name:       "bfs-rodinia",
+		Suite:      "Rodinia",
+		Area:       "Graph traversal",
+		Input:      "synthetic 64-node CSR graph, out-degree 4, mask-array sweeps",
+		BuildInput: buildBFSRodinia,
+	})
+}
+
+// csrGraph synthesizes a deterministic CSR graph: every node gets exactly
+// `degree` out-edges drawn from the LCG stream.
+func csrGraph(nodes, degree int, seed uint64) (rowPtr, edges []uint64) {
+	g := newLCG(seed)
+	rowPtr = make([]uint64, nodes+1)
+	edges = make([]uint64, nodes*degree)
+	for v := 0; v < nodes; v++ {
+		rowPtr[v] = uint64(v * degree)
+		for e := 0; e < degree; e++ {
+			// Bias edges forward so BFS discovers several levels.
+			tgt := (uint64(v) + 1 + g.next()%uint64(nodes/2)) % uint64(nodes)
+			edges[v*degree+e] = tgt
+		}
+	}
+	rowPtr[nodes] = uint64(nodes * degree)
+	return rowPtr, edges
+}
+
+// buildBFSParboil is the Parboil BFS: a frontier-queue traversal that
+// assigns each node its breadth level. The queue is an explicit array with
+// head/tail cursors carried through an outer while-style loop.
+func buildBFSParboil(variant int) *ir.Module {
+	const (
+		nodes  = 64
+		degree = 3
+	)
+	rowPtr, edges := csrGraph(nodes, degree, inputSeed(0xBF5, variant))
+
+	m := ir.NewModule("bfs-parboil")
+	gRow := m.AddGlobal("rowptr", ir.I64, nodes+1, rowPtr)
+	gEdge := m.AddGlobal("edges", ir.I64, nodes*degree, edges)
+	gLevel := m.AddGlobal("level", ir.I64, nodes, nil)
+	gQueue := m.AddGlobal("queue", ir.I64, nodes*2, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// level[v] = -1 for all, then level[0] = 0, queue[0] = 0.
+	countedLoop(b, "init", iconst(nodes), nil,
+		func(b *ir.Builder, v *ir.Instr, _ []*ir.Instr) []ir.Value {
+			b.Store(iconst(-1), b.Gep(ir.I64, gLevel, v))
+			return nil
+		})
+	b.Store(iconst(0), b.Gep(ir.I64, gLevel, iconst(0)))
+	b.Store(iconst(0), b.Gep(ir.I64, gQueue, iconst(0)))
+
+	// Process the queue: a bounded scan where head chases tail.
+	// Accumulator 0: tail (next free slot), starts at 1.
+	drain := countedLoop(b, "head", iconst(nodes), []ir.Value{iconst(1)},
+		func(b *ir.Builder, head *ir.Instr, accs []*ir.Instr) []ir.Value {
+			tail := accs[0]
+			// Stop expanding when head has passed tail: emit nothing.
+			active := b.ICmp(ir.PredSLT, head, tail)
+			newTail := ifThenElse(b, "visit", active,
+				func(b *ir.Builder) ir.Value {
+					v := b.Load(ir.I64, b.Gep(ir.I64, gQueue, head))
+					lv := b.Load(ir.I64, b.Gep(ir.I64, gLevel, v))
+					start := b.Load(ir.I64, b.Gep(ir.I64, gRow, v))
+					end := b.Load(ir.I64, b.Gep(ir.I64, gRow, b.Add(v, iconst(1))))
+					span := b.Sub(end, start)
+					inner := countedLoop(b, "edge", span, []ir.Value{tail},
+						func(b *ir.Builder, e *ir.Instr, iaccs []*ir.Instr) []ir.Value {
+							idx := b.Add(start, e)
+							nb := b.Load(ir.I64, b.Gep(ir.I64, gEdge, idx))
+							nbLevel := b.Load(ir.I64, b.Gep(ir.I64, gLevel, nb))
+							fresh := b.ICmp(ir.PredSLT, nbLevel, iconst(0))
+							t2 := ifThenElse(b, "push", fresh,
+								func(b *ir.Builder) ir.Value {
+									b.Store(b.Add(lv, iconst(1)), b.Gep(ir.I64, gLevel, nb))
+									b.Store(nb, b.Gep(ir.I64, gQueue, iaccs[0]))
+									return b.Add(iaccs[0], iconst(1))
+								},
+								func(*ir.Builder) ir.Value { return iaccs[0] })
+							return []ir.Value{t2}
+						})
+					return inner.Accs[0]
+				},
+				func(*ir.Builder) ir.Value { return tail })
+			return []ir.Value{newTail}
+		})
+
+	// Output: visited count and the level histogram-ish dump.
+	b.Print(drain.Accs[0])
+	sum := countedLoop(b, "out", iconst(nodes), []ir.Value{iconst(0)},
+		func(b *ir.Builder, v *ir.Instr, accs []*ir.Instr) []ir.Value {
+			lv := b.Load(ir.I64, b.Gep(ir.I64, gLevel, v))
+			rem := b.SRem(v, iconst(8))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) { b.Print(lv) })
+			return []ir.Value{b.Add(accs[0], lv)}
+		})
+	b.Print(sum.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// buildBFSRodinia is the Rodinia-style BFS: no queue, but repeated sweeps
+// over mask arrays (frontier mask, updating mask, visited flags) until no
+// node changes — the GPU-friendly formulation, which produces very
+// different branch and memory-dependence profiles from the queue version.
+func buildBFSRodinia(variant int) *ir.Module {
+	const (
+		nodes  = 64
+		degree = 4
+		sweeps = 12 // upper bound on BFS depth
+	)
+	rowPtr, edges := csrGraph(nodes, degree, inputSeed(0xB0D1, variant))
+
+	m := ir.NewModule("bfs-rodinia")
+	gRow := m.AddGlobal("rowptr", ir.I64, nodes+1, rowPtr)
+	gEdge := m.AddGlobal("edges", ir.I64, nodes*degree, edges)
+	gCost := m.AddGlobal("cost", ir.I64, nodes, nil)
+	gMask := m.AddGlobal("mask", ir.I64, nodes, nil)
+	gNew := m.AddGlobal("newmask", ir.I64, nodes, nil)
+	gVisited := m.AddGlobal("visited", ir.I64, nodes, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	countedLoop(b, "init", iconst(nodes), nil,
+		func(b *ir.Builder, v *ir.Instr, _ []*ir.Instr) []ir.Value {
+			b.Store(iconst(-1), b.Gep(ir.I64, gCost, v))
+			b.Store(iconst(0), b.Gep(ir.I64, gMask, v))
+			b.Store(iconst(0), b.Gep(ir.I64, gVisited, v))
+			return nil
+		})
+	b.Store(iconst(0), b.Gep(ir.I64, gCost, iconst(0)))
+	b.Store(iconst(1), b.Gep(ir.I64, gMask, iconst(0)))
+	b.Store(iconst(1), b.Gep(ir.I64, gVisited, iconst(0)))
+
+	countedLoop(b, "sweep", iconst(sweeps), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			// Kernel 1: expand the frontier into the updating mask.
+			countedLoop(b, "expand", iconst(nodes), nil,
+				func(b *ir.Builder, v *ir.Instr, _ []*ir.Instr) []ir.Value {
+					mk := b.Load(ir.I64, b.Gep(ir.I64, gMask, v))
+					inFrontier := b.ICmp(ir.PredSGT, mk, iconst(0))
+					ifThen(b, "front", inFrontier, func(b *ir.Builder) {
+						b.Store(iconst(0), b.Gep(ir.I64, gMask, v))
+						cost := b.Load(ir.I64, b.Gep(ir.I64, gCost, v))
+						start := b.Load(ir.I64, b.Gep(ir.I64, gRow, v))
+						end := b.Load(ir.I64, b.Gep(ir.I64, gRow, b.Add(v, iconst(1))))
+						span := b.Sub(end, start)
+						countedLoop(b, "nbr", span, nil,
+							func(b *ir.Builder, e *ir.Instr, _ []*ir.Instr) []ir.Value {
+								nb := b.Load(ir.I64, b.Gep(ir.I64, gEdge, b.Add(start, e)))
+								seen := b.Load(ir.I64, b.Gep(ir.I64, gVisited, nb))
+								fresh := b.ICmp(ir.PredEQ, seen, iconst(0))
+								ifThen(b, "mark", fresh, func(b *ir.Builder) {
+									b.Store(b.Add(cost, iconst(1)), b.Gep(ir.I64, gCost, nb))
+									b.Store(iconst(1), b.Gep(ir.I64, gNew, nb))
+								})
+								return nil
+							})
+					})
+					return nil
+				})
+			// Kernel 2: fold the updating mask into the frontier.
+			countedLoop(b, "fold", iconst(nodes), nil,
+				func(b *ir.Builder, v *ir.Instr, _ []*ir.Instr) []ir.Value {
+					nm := b.Load(ir.I64, b.Gep(ir.I64, gNew, v))
+					pending := b.ICmp(ir.PredSGT, nm, iconst(0))
+					ifThen(b, "commit", pending, func(b *ir.Builder) {
+						b.Store(iconst(1), b.Gep(ir.I64, gMask, v))
+						b.Store(iconst(1), b.Gep(ir.I64, gVisited, v))
+						b.Store(iconst(0), b.Gep(ir.I64, gNew, v))
+					})
+					return nil
+				})
+			return nil
+		})
+
+	// Output: total cost and sampled per-node costs.
+	total := countedLoop(b, "out", iconst(nodes), []ir.Value{iconst(0)},
+		func(b *ir.Builder, v *ir.Instr, accs []*ir.Instr) []ir.Value {
+			cv := b.Load(ir.I64, b.Gep(ir.I64, gCost, v))
+			rem := b.SRem(v, iconst(16))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) { b.Print(cv) })
+			return []ir.Value{b.Add(accs[0], cv)}
+		})
+	b.Print(total.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}

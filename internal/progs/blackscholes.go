@@ -1,0 +1,118 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "blackscholes",
+		Suite:      "Parsec",
+		Area:       "Finance",
+		Input:      "32 synthetic option contracts (spot, strike, time, type)",
+		BuildInput: buildBlackscholes,
+	})
+}
+
+// buildBlackscholes is the PARSEC option-pricing benchmark: for each
+// contract it evaluates the Black-Scholes closed form, calling the
+// polynomial approximation of the cumulative normal distribution that the
+// original code ships (here a separate IR function, exercising the
+// model's interprocedural propagation). Pure data-flow per option with
+// one data-dependent branch (put vs. call), and a price table written
+// then re-read for the summary — matching the original's propagation
+// structure.
+func buildBlackscholes(variant int) *ir.Module {
+	const n = 32
+	m := ir.NewModule("blackscholes")
+	spot := m.AddGlobal("spot", ir.F64, n, floatData(ir.F64, n, inputSeed(0xB5C0, variant), 80, 120))
+	strike := m.AddGlobal("strike", ir.F64, n, floatData(ir.F64, n, inputSeed(0xB5C1, variant), 80, 120))
+	tte := m.AddGlobal("time", ir.F64, n, floatData(ir.F64, n, inputSeed(0xB5C2, variant), 0.25, 2))
+	kind := m.AddGlobal("otype", ir.I64, n, intData(ir.I64, n, inputSeed(0xB5C3, variant), 2))
+	prices := m.AddGlobal("prices", ir.F64, n, nil)
+
+	cndfFn := buildCNDF(m)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	rate := fconst(0.02)
+	vol := fconst(0.30)
+
+	countedLoop(b, "price", iconst(n), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			s := b.Load(ir.F64, b.Gep(ir.F64, spot, i))
+			k := b.Load(ir.F64, b.Gep(ir.F64, strike, i))
+			t := b.Load(ir.F64, b.Gep(ir.F64, tte, i))
+
+			sqrtT := b.Intrinsic(ir.IntrinsicSqrt, t)
+			volSqrtT := b.FMul(vol, sqrtT)
+			logSK := b.Intrinsic(ir.IntrinsicLog, b.FDiv(s, k))
+			halfVol2 := b.FMul(fconst(0.5), b.FMul(vol, vol))
+			drift := b.FMul(b.FAdd(rate, halfVol2), t)
+			d1 := b.FDiv(b.FAdd(logSK, drift), volSqrtT)
+			d2 := b.FSub(d1, volSqrtT)
+
+			nd1 := b.Call(cndfFn, d1)
+			nd2 := b.Call(cndfFn, d2)
+			disc := b.Intrinsic(ir.IntrinsicExp, b.FMul(b.FSub(fconst(0), rate), t))
+			callPrice := b.FSub(b.FMul(s, nd1), b.FMul(b.FMul(k, disc), nd2))
+
+			// Put via parity: P = C - S + K·e^{-rT}.
+			ot := b.Load(ir.I64, b.Gep(ir.I64, kind, i))
+			isPut := b.ICmp(ir.PredEQ, ot, iconst(1))
+			price := ifThenElse(b, "kind", isPut,
+				func(b *ir.Builder) ir.Value {
+					return b.FAdd(b.FSub(callPrice, s), b.FMul(k, disc))
+				},
+				func(*ir.Builder) ir.Value { return callPrice })
+			b.Store(price, b.Gep(ir.F64, prices, i))
+			return nil
+		})
+
+	// Summary pass over the price table.
+	sum := countedLoop(b, "out", iconst(n), []ir.Value{fconst(0)},
+		func(b *ir.Builder, i *ir.Instr, accs []*ir.Instr) []ir.Value {
+			p := b.Load(ir.F64, b.Gep(ir.F64, prices, i))
+			rem := b.SRem(i, iconst(8))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) { b.Print(p) })
+			return []ir.Value{b.FAdd(accs[0], p)}
+		})
+	b.Print(sum.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// buildCNDF emits the PARSEC polynomial approximation of the cumulative
+// normal distribution as an IR function:
+// N(x) = 1 - n(x)·(a1·k + a2·k² + ... + a5·k⁵) with k = 1/(1+0.2316419·x),
+// mirrored for negative x (N(-x) = 1 - N(x)).
+func buildCNDF(m *ir.Module) *ir.Func {
+	f := m.NewFunc("cndf", ir.F64, ir.NewParam("x", ir.F64))
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+	x := f.Params[0]
+
+	neg := b.FCmp(ir.PredOLT, x, fconst(0))
+	ax := b.Intrinsic(ir.IntrinsicFabs, x)
+
+	k := b.FDiv(fconst(1), b.FAdd(fconst(1), b.FMul(fconst(0.2316419), ax)))
+	// Horner evaluation of the five-term polynomial.
+	var poly ir.Value = fconst(1.330274429)
+	coeffs := []float64{-1.821255978, 1.781477937, -0.356563782, 0.319381530}
+	for _, c := range coeffs {
+		poly = b.FAdd(b.FMul(poly, k), fconst(c))
+	}
+	poly = b.FMul(poly, k)
+
+	x2 := b.FMul(ax, ax)
+	pdf := b.FMul(fconst(0.3989422804014327),
+		b.Intrinsic(ir.IntrinsicExp, b.FMul(fconst(-0.5), x2)))
+	upper := b.FSub(fconst(1), b.FMul(pdf, poly))
+
+	lower := b.FSub(fconst(1), upper)
+	b.Ret(b.Select(neg, lower, upper))
+	return f
+}

@@ -1,0 +1,113 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "hercules",
+		Suite:      "Carnegie Mellon University",
+		Area:       "Earthquake simulation",
+		Input:      "1D ground column of 48 elements, 16 timesteps, point source",
+		BuildInput: buildHercules,
+	})
+}
+
+// buildHercules models the core of the Hercules octree earthquake
+// simulator: explicit time integration of the seismic wave equation over
+// a discretized medium. The reproduction is a 1D column with
+// heterogeneous material stiffness, a Ricker-like source injected at one
+// node, and leapfrog displacement/velocity updates — the same
+// stencil-over-timesteps propagation structure at small scale.
+func buildHercules(variant int) *ir.Module {
+	const (
+		n     = 48
+		steps = 16
+	)
+	m := ir.NewModule("hercules")
+	disp := m.AddGlobal("disp", ir.F64, n, nil)
+	vel := m.AddGlobal("vel", ir.F64, n, nil)
+	stiff := m.AddGlobal("stiff", ir.F64, n, floatData(ir.F64, n, inputSeed(0xE9, variant), 0.4, 1.2))
+	src := m.AddGlobal("source", ir.F64, steps, rickerPulse(steps))
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	dt := fconst(0.05)
+
+	countedLoop(b, "time", iconst(steps), nil,
+		func(b *ir.Builder, t *ir.Instr, _ []*ir.Instr) []ir.Value {
+			// Inject the source at the column's center.
+			sv := b.Load(ir.F64, b.Gep(ir.F64, src, t))
+			center := iconst(n / 2)
+			old := b.Load(ir.F64, b.Gep(ir.F64, vel, center))
+			b.Store(b.FAdd(old, sv), b.Gep(ir.F64, vel, center))
+
+			// Velocity update from the displacement Laplacian, scaled by
+			// local stiffness.
+			countedLoop(b, "vel", iconst(n), nil,
+				func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+					im := maxI64(b, b.Sub(i, iconst(1)), iconst(0))
+					ip := minI64(b, b.Add(i, iconst(1)), iconst(n-1))
+					um := b.Load(ir.F64, b.Gep(ir.F64, disp, im))
+					uc := b.Load(ir.F64, b.Gep(ir.F64, disp, i))
+					up := b.Load(ir.F64, b.Gep(ir.F64, disp, ip))
+					lap := b.FSub(b.FAdd(um, up), b.FMul(fconst(2), uc))
+					k := b.Load(ir.F64, b.Gep(ir.F64, stiff, i))
+					dv := b.FMul(b.FMul(k, lap), dt)
+					v0 := b.Load(ir.F64, b.Gep(ir.F64, vel, i))
+					// Light damping keeps the synthetic medium stable.
+					damped := b.FMul(b.FAdd(v0, dv), fconst(0.995))
+					b.Store(damped, b.Gep(ir.F64, vel, i))
+					return nil
+				})
+
+			// Displacement update.
+			countedLoop(b, "disp", iconst(n), nil,
+				func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+					v := b.Load(ir.F64, b.Gep(ir.F64, vel, i))
+					u := b.Load(ir.F64, b.Gep(ir.F64, disp, i))
+					b.Store(b.FAdd(u, b.FMul(v, dt)), b.Gep(ir.F64, disp, i))
+					return nil
+				})
+			return nil
+		})
+
+	// Output: sampled seismogram (displacements along the column) and the
+	// total kinetic energy.
+	energy := countedLoop(b, "out", iconst(n), []ir.Value{fconst(0)},
+		func(b *ir.Builder, i *ir.Instr, accs []*ir.Instr) []ir.Value {
+			u := b.Load(ir.F64, b.Gep(ir.F64, disp, i))
+			rem := b.SRem(i, iconst(8))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) { b.Print(u) })
+			v := b.Load(ir.F64, b.Gep(ir.F64, vel, i))
+			return []ir.Value{b.FAdd(accs[0], b.FMul(v, v))}
+		})
+	b.Print(energy.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// rickerPulse synthesizes a short Ricker-like source wavelet.
+func rickerPulse(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i-4) / 2
+		v := (1 - t*t) * expApprox(-t*t/2)
+		out[i] = ir.FloatToBits(ir.F64, v)
+	}
+	return out
+}
+
+// expApprox is a small deterministic exp used only for input synthesis.
+func expApprox(x float64) float64 {
+	// exp(x) via 16 squarings of (1 + x/65536).
+	v := 1 + x/65536
+	for i := 0; i < 16; i++ {
+		v *= v
+	}
+	return v
+}

@@ -1,0 +1,110 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "hotspot",
+		Suite:      "Rodinia",
+		Area:       "Temperature and power simulation",
+		Input:      "8x8 synthetic temperature/power grids, 6 iterations",
+		BuildInput: buildHotspot,
+	})
+}
+
+// buildHotspot is the Rodinia thermal simulation: an iterative 2D stencil
+// updating a temperature grid from neighbor temperatures and a static
+// power map. The paper singles this benchmark out for its Float data
+// printed through "%g" with reduced precision (§IV-E), so the temperature
+// state is f32 and the dump uses the reduced-precision output format.
+func buildHotspot(variant int) *ir.Module {
+	const (
+		dim   = 8
+		steps = 6
+	)
+	m := ir.NewModule("hotspot")
+	// The input variant shifts the temperature range far enough to show
+	// through the two-significant-digit output.
+	baseTemp := 320 + 30*float64(variant)
+	temp := m.AddGlobal("temp", ir.F32, dim*dim,
+		floatData(ir.F32, dim*dim, inputSeed(0x407, variant), baseTemp, baseTemp+20))
+	power := m.AddGlobal("power", ir.F32, dim*dim, floatData(ir.F32, dim*dim, inputSeed(0x70E, variant), 0, 0.5))
+	next := m.AddGlobal("next", ir.F32, dim*dim, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// Anisotropic conductances, as in the real kernel's Rx/Ry distinction.
+	cX := ir.ConstFloat(ir.F32, 0.12) // horizontal coupling
+	cY := ir.ConstFloat(ir.F32, 0.08) // vertical coupling
+	cP := ir.ConstFloat(ir.F32, 0.8)  // power coupling
+	cA := ir.ConstFloat(ir.F32, 80.0) // ambient sink
+	amb := ir.ConstFloat(ir.F32, 0.0015)
+
+	countedLoop(b, "step", iconst(steps), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			countedLoop(b, "row", iconst(dim), nil,
+				func(b *ir.Builder, y *ir.Instr, _ []*ir.Instr) []ir.Value {
+					countedLoop(b, "col", iconst(dim), nil,
+						func(b *ir.Builder, x *ir.Instr, _ []*ir.Instr) []ir.Value {
+							idx := b.Add(b.Mul(y, iconst(dim)), x)
+							tc := b.Load(ir.F32, b.Gep(ir.F32, temp, idx))
+
+							// Clamped neighbors.
+							load := func(ny, nx ir.Value) ir.Value {
+								nidx := b.Add(b.Mul(ny, iconst(dim)), nx)
+								return b.Load(ir.F32, b.Gep(ir.F32, temp, nidx))
+							}
+							ym := maxI64(b, b.Sub(y, iconst(1)), iconst(0))
+							yp := minI64(b, b.Add(y, iconst(1)), iconst(dim-1))
+							xm := maxI64(b, b.Sub(x, iconst(1)), iconst(0))
+							xp := minI64(b, b.Add(x, iconst(1)), iconst(dim-1))
+							up := load(ym, x)
+							down := load(yp, x)
+							left := load(y, xm)
+							right := load(y, xp)
+
+							// dT = cY*(up+down-2tc) + cX*(left+right-2tc)
+							//    + cP*power - amb*(tc - cA)
+							two := ir.ConstFloat(ir.F32, 2)
+							lapY := b.FSub(b.FAdd(up, down), b.FMul(two, tc))
+							lapX := b.FSub(b.FAdd(left, right), b.FMul(two, tc))
+							pw := b.Load(ir.F32, b.Gep(ir.F32, power, idx))
+							diffuse := b.FAdd(b.FMul(cY, lapY), b.FMul(cX, lapX))
+							dT := b.FAdd(diffuse, b.FMul(cP, pw))
+							sink := b.FMul(amb, b.FSub(tc, cA))
+							newT := b.FAdd(tc, b.FSub(dT, sink))
+							b.Store(newT, b.Gep(ir.F32, next, idx))
+							return nil
+						})
+					return nil
+				})
+			// Commit the step.
+			countedLoop(b, "commit", iconst(dim*dim), nil,
+				func(b *ir.Builder, k *ir.Instr, _ []*ir.Instr) []ir.Value {
+					v := b.Load(ir.F32, b.Gep(ir.F32, next, k))
+					b.Store(v, b.Gep(ir.F32, temp, k))
+					return nil
+				})
+			return nil
+		})
+
+	// Reduced-precision dump ("%g"-style), plus the peak temperature.
+	peak := countedLoop(b, "out", iconst(dim*dim), []ir.Value{ir.ConstFloat(ir.F32, 0)},
+		func(b *ir.Builder, k *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.Load(ir.F32, b.Gep(ir.F32, temp, k))
+			rem := b.SRem(k, iconst(9))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) {
+				b.PrintFmt(v, ir.FormatG2)
+			})
+			hotter := b.FCmp(ir.PredOGT, v, accs[0])
+			return []ir.Value{b.Select(hotter, v, accs[0])}
+		})
+	b.PrintFmt(peak.Accs[0], ir.FormatG2)
+	b.Ret(nil)
+	return mustBuild(m)
+}

@@ -1,0 +1,116 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "libquantum",
+		Suite:      "SPEC",
+		Area:       "Quantum computing",
+		Input:      "5-qubit register, Hadamard sweep + controlled phase + measure",
+		BuildInput: buildLibquantum,
+	})
+}
+
+// buildLibquantum reproduces the libquantum simulation core: a quantum
+// register as an amplitude vector over 2^q basis states, butterfly-style
+// Hadamard gate application (the structure of quantum_hadamard), a
+// controlled phase rotation (sigma-z flavored, kept real-valued), and a
+// measurement pass accumulating probabilities — integer bit manipulation
+// for basis-state indexing plus float amplitude arithmetic, libquantum's
+// signature mix.
+func buildLibquantum(variant int) *ir.Module {
+	const (
+		qubits = 5
+		states = 1 << qubits
+	)
+	m := ir.NewModule("libquantum")
+	amp := m.AddGlobal("amp", ir.F64, states, initialAmplitude(states, variant))
+	scratch := m.AddGlobal("scratch", ir.F64, states, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	invSqrt2 := fconst(0.7071067811865476)
+
+	// Hadamard sweep: for every target qubit, butterfly the amplitude
+	// pairs that differ in that bit.
+	countedLoop(b, "gate", iconst(qubits), nil,
+		func(b *ir.Builder, q *ir.Instr, _ []*ir.Instr) []ir.Value {
+			mask := b.Shl(iconst(1), q)
+			countedLoop(b, "bfly", iconst(states), nil,
+				func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+					bit := b.And(s, mask)
+					isLow := b.ICmp(ir.PredEQ, bit, iconst(0))
+					ifThen(b, "pair", isLow, func(b *ir.Builder) {
+						hi := b.Or(s, mask)
+						a0 := b.Load(ir.F64, b.Gep(ir.F64, amp, s))
+						a1 := b.Load(ir.F64, b.Gep(ir.F64, amp, hi))
+						sumA := b.FMul(invSqrt2, b.FAdd(a0, a1))
+						difA := b.FMul(invSqrt2, b.FSub(a0, a1))
+						b.Store(sumA, b.Gep(ir.F64, scratch, s))
+						b.Store(difA, b.Gep(ir.F64, scratch, hi))
+					})
+					return nil
+				})
+			countedLoop(b, "commit", iconst(states), nil,
+				func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+					v := b.Load(ir.F64, b.Gep(ir.F64, scratch, s))
+					b.Store(v, b.Gep(ir.F64, amp, s))
+					return nil
+				})
+			return nil
+		})
+
+	// Controlled phase: flip the sign of amplitudes whose top two qubits
+	// are both set (real-valued stand-in for the controlled rotation in
+	// Shor's modular exponentiation).
+	countedLoop(b, "phase", iconst(states), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			top := b.And(s, iconst(0b11000))
+			both := b.ICmp(ir.PredEQ, top, iconst(0b11000))
+			ifThen(b, "flip", both, func(b *ir.Builder) {
+				a := b.Load(ir.F64, b.Gep(ir.F64, amp, s))
+				b.Store(b.FSub(fconst(0), a), b.Gep(ir.F64, amp, s))
+			})
+			return nil
+		})
+
+	// Measurement: per-qubit probability of reading 1, plus total norm.
+	countedLoop(b, "measure", iconst(qubits), nil,
+		func(b *ir.Builder, q *ir.Instr, _ []*ir.Instr) []ir.Value {
+			mask := b.Shl(iconst(1), q)
+			prob := countedLoop(b, "acc", iconst(states), []ir.Value{fconst(0)},
+				func(b *ir.Builder, s *ir.Instr, accs []*ir.Instr) []ir.Value {
+					bit := b.And(s, mask)
+					set := b.ICmp(ir.PredNE, bit, iconst(0))
+					a := b.Load(ir.F64, b.Gep(ir.F64, amp, s))
+					sq := b.FMul(a, a)
+					contrib := b.Select(set, sq, fconst(0))
+					return []ir.Value{b.FAdd(accs[0], contrib)}
+				})
+			b.Print(prob.Accs[0])
+			return nil
+		})
+
+	norm := countedLoop(b, "norm", iconst(states), []ir.Value{fconst(0)},
+		func(b *ir.Builder, s *ir.Instr, accs []*ir.Instr) []ir.Value {
+			a := b.Load(ir.F64, b.Gep(ir.F64, amp, s))
+			return []ir.Value{b.FAdd(accs[0], b.FMul(a, a))}
+		})
+	b.Print(norm.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// initialAmplitude prepares a localized two-state superposition; the
+// input variant moves the occupied basis states.
+func initialAmplitude(states, variant int) []uint64 {
+	out := make([]uint64, states)
+	out[(1+3*variant)%states] = ir.FloatToBits(ir.F64, 0.8)
+	out[(6+5*variant)%states] = ir.FloatToBits(ir.F64, 0.6)
+	return out
+}

@@ -1,0 +1,156 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "lulesh",
+		Suite:      "Lawrence Livermore National Laboratory",
+		Area:       "Hydrodynamics modeling",
+		Input:      "1D Lagrangian shock tube, 24 elements, 10 timesteps",
+		BuildInput: buildLulesh,
+	})
+}
+
+// buildLulesh reproduces the structure of the LULESH hydrodynamics proxy
+// app at kernel scale: a Lagrangian mesh of elements carrying energy and
+// pressure between nodes carrying position and velocity, advanced by an
+// explicit time integrator — force gather, node kick, node drift, element
+// volume/energy update, equation-of-state closure. A hot left boundary
+// drives a shock into the tube.
+func buildLulesh(variant int) *ir.Module {
+	const (
+		elems = 24
+		nodes = elems + 1
+		steps = 10
+	)
+	m := ir.NewModule("lulesh")
+	pos := m.AddGlobal("pos", ir.F64, nodes, nodePositions(nodes))
+	velG := m.AddGlobal("vel", ir.F64, nodes, nil)
+	energy := m.AddGlobal("energy", ir.F64, elems, initialEnergy(elems, variant))
+	press := m.AddGlobal("press", ir.F64, elems, nil)
+	volRef := m.AddGlobal("volref", ir.F64, elems, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	dt := fconst(0.01)
+	gamma := fconst(1.4)
+
+	// Reference volumes from initial node spacing.
+	countedLoop(b, "refvol", iconst(elems), nil,
+		func(b *ir.Builder, e *ir.Instr, _ []*ir.Instr) []ir.Value {
+			x0 := b.Load(ir.F64, b.Gep(ir.F64, pos, e))
+			x1 := b.Load(ir.F64, b.Gep(ir.F64, pos, b.Add(e, iconst(1))))
+			b.Store(b.FSub(x1, x0), b.Gep(ir.F64, volRef, e))
+			return nil
+		})
+
+	countedLoop(b, "time", iconst(steps), nil,
+		func(b *ir.Builder, t *ir.Instr, _ []*ir.Instr) []ir.Value {
+			// EOS closure p = (gamma-1)·e/v plus the artificial viscosity q
+			// that real LULESH adds on compression to keep shocks stable:
+			// q = c_q·du² when the element is compressing (du < 0).
+			countedLoop(b, "eos", iconst(elems), nil,
+				func(b *ir.Builder, e *ir.Instr, _ []*ir.Instr) []ir.Value {
+					x0 := b.Load(ir.F64, b.Gep(ir.F64, pos, e))
+					x1 := b.Load(ir.F64, b.Gep(ir.F64, pos, b.Add(e, iconst(1))))
+					vol := b.FSub(x1, x0)
+					en := b.Load(ir.F64, b.Gep(ir.F64, energy, e))
+					p := b.FDiv(b.FMul(b.FSub(gamma, fconst(1)), en), vol)
+					// Pressure floor: shocks must not pull nodes apart.
+					floor := b.FCmp(ir.PredOLT, p, fconst(0))
+					clamped := b.Select(floor, fconst(0), p)
+
+					v0 := b.Load(ir.F64, b.Gep(ir.F64, velG, e))
+					v1 := b.Load(ir.F64, b.Gep(ir.F64, velG, b.Add(e, iconst(1))))
+					du := b.FSub(v1, v0)
+					compressing := b.FCmp(ir.PredOLT, du, fconst(0))
+					q := ifThenElse(b, "visc", compressing,
+						func(b *ir.Builder) ir.Value {
+							return b.FMul(fconst(2.0), b.FMul(du, du))
+						},
+						func(*ir.Builder) ir.Value { return fconst(0) })
+					b.Store(b.FAdd(clamped, q), b.Gep(ir.F64, press, e))
+					return nil
+				})
+
+			// Node kick from the pressure gradient (interior nodes only).
+			countedLoop(b, "kick", iconst(nodes-2), nil,
+				func(b *ir.Builder, k *ir.Instr, _ []*ir.Instr) []ir.Value {
+					nIdx := b.Add(k, iconst(1))
+					pl := b.Load(ir.F64, b.Gep(ir.F64, press, k))
+					pr := b.Load(ir.F64, b.Gep(ir.F64, press, nIdx))
+					force := b.FSub(pl, pr)
+					v0 := b.Load(ir.F64, b.Gep(ir.F64, velG, nIdx))
+					b.Store(b.FAdd(v0, b.FMul(force, dt)), b.Gep(ir.F64, velG, nIdx))
+					return nil
+				})
+
+			// Node drift.
+			countedLoop(b, "drift", iconst(nodes), nil,
+				func(b *ir.Builder, nd *ir.Instr, _ []*ir.Instr) []ir.Value {
+					v := b.Load(ir.F64, b.Gep(ir.F64, velG, nd))
+					x := b.Load(ir.F64, b.Gep(ir.F64, pos, nd))
+					b.Store(b.FAdd(x, b.FMul(v, dt)), b.Gep(ir.F64, pos, nd))
+					return nil
+				})
+
+			// Element energy update: de = -p * dv.
+			countedLoop(b, "work", iconst(elems), nil,
+				func(b *ir.Builder, e *ir.Instr, _ []*ir.Instr) []ir.Value {
+					x0 := b.Load(ir.F64, b.Gep(ir.F64, pos, e))
+					x1 := b.Load(ir.F64, b.Gep(ir.F64, pos, b.Add(e, iconst(1))))
+					vol := b.FSub(x1, x0)
+					ref := b.Load(ir.F64, b.Gep(ir.F64, volRef, e))
+					dv := b.FSub(vol, ref)
+					b.Store(vol, b.Gep(ir.F64, volRef, e))
+					p := b.Load(ir.F64, b.Gep(ir.F64, press, e))
+					en := b.Load(ir.F64, b.Gep(ir.F64, energy, e))
+					newE := b.FSub(en, b.FMul(p, dv))
+					b.Store(newE, b.Gep(ir.F64, energy, e))
+					return nil
+				})
+			return nil
+		})
+
+	// Output: total energy, origin energy (LULESH's headline check), and
+	// sampled element energies.
+	total := countedLoop(b, "out", iconst(elems), []ir.Value{fconst(0)},
+		func(b *ir.Builder, e *ir.Instr, accs []*ir.Instr) []ir.Value {
+			en := b.Load(ir.F64, b.Gep(ir.F64, energy, e))
+			rem := b.SRem(e, iconst(6))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) { b.Print(en) })
+			return []ir.Value{b.FAdd(accs[0], en)}
+		})
+	b.Print(total.Accs[0])
+	origin := b.Load(ir.F64, b.Gep(ir.F64, energy, iconst(0)))
+	b.Print(origin)
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// nodePositions lays the mesh nodes out uniformly on [0, 1].
+func nodePositions(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = ir.FloatToBits(ir.F64, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// initialEnergy deposits the shock energy in the leftmost element, like
+// LULESH's Sedov initialization deposits energy at the origin; the input
+// variant scales the deposited energy.
+func initialEnergy(elems, variant int) []uint64 {
+	out := make([]uint64, elems)
+	out[0] = ir.FloatToBits(ir.F64, 3.0+0.5*float64(variant))
+	for i := 1; i < elems; i++ {
+		out[i] = ir.FloatToBits(ir.F64, 0.01)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "nw",
+		Suite:      "Rodinia",
+		Area:       "DNA sequence optimization",
+		Input:      "two synthetic sequences of length 32, penalty 2",
+		BuildInput: buildNW,
+	})
+}
+
+// buildNW is Needleman-Wunsch global sequence alignment: the classic
+// quadratic dynamic program over a score matrix with a gap penalty. The
+// whole matrix lives in memory and every cell depends on three earlier
+// cells, producing long store→load chains across iterations.
+func buildNW(variant int) *ir.Module {
+	const (
+		n       = 32 // sequence length
+		dim     = n + 1
+		penalty = 2
+	)
+	m := ir.NewModule("nw")
+	seqA := m.AddGlobal("seqA", ir.I32, n, intData(ir.I32, n, inputSeed(0xA11CE, variant), 4))
+	seqB := m.AddGlobal("seqB", ir.I32, n, intData(ir.I32, n, inputSeed(0xB0B, variant), 4))
+	score := m.AddGlobal("score", ir.I32, dim*dim, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// Boundary rows: score[0][j] = -penalty*j, score[i][0] = -penalty*i.
+	countedLoop(b, "btop", iconst(dim), nil,
+		func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Mul(j, iconst(-penalty))
+			v32 := b.Trunc(v, ir.I32)
+			b.Store(v32, b.Gep(ir.I32, score, j))
+			return nil
+		})
+	countedLoop(b, "bleft", iconst(dim), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Mul(i, iconst(-penalty))
+			v32 := b.Trunc(v, ir.I32)
+			idx := b.Mul(i, iconst(dim))
+			b.Store(v32, b.Gep(ir.I32, score, idx))
+			return nil
+		})
+
+	// Fill: score[i][j] = max(diag + match, up - p, left - p).
+	countedLoop(b, "rows", iconst(n), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			countedLoop(b, "cols", iconst(n), nil,
+				func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+					ai := b.Load(ir.I32, b.Gep(ir.I32, seqA, i))
+					bj := b.Load(ir.I32, b.Gep(ir.I32, seqB, j))
+					same := b.ICmp(ir.PredEQ, ai, bj)
+					// Match bonus +3, mismatch -1.
+					bonus := b.Select(same, i32const(3), i32const(-1))
+
+					i1 := b.Add(i, iconst(1))
+					j1 := b.Add(j, iconst(1))
+					rowUp := b.Mul(i, iconst(dim))
+					rowCur := b.Mul(i1, iconst(dim))
+
+					diag := b.Load(ir.I32, b.Gep(ir.I32, score, b.Add(rowUp, j)))
+					up := b.Load(ir.I32, b.Gep(ir.I32, score, b.Add(rowUp, j1)))
+					left := b.Load(ir.I32, b.Gep(ir.I32, score, b.Add(rowCur, j)))
+
+					dv := b.Add(diag, bonus)
+					uv := b.Sub(up, i32const(penalty))
+					lv := b.Sub(left, i32const(penalty))
+					best := maxI64(b, dv, maxI64(b, uv, lv))
+					b.Store(best, b.Gep(ir.I32, score, b.Add(rowCur, j1)))
+					return nil
+				})
+			return nil
+		})
+
+	// Output: the alignment score plus the last row, like the Rodinia
+	// result dump.
+	final := b.Load(ir.I32, b.Gep(ir.I32, score, iconst(dim*dim-1)))
+	b.Print(final)
+	countedLoop(b, "dump", iconst(8), nil,
+		func(b *ir.Builder, k *ir.Instr, _ []*ir.Instr) []ir.Value {
+			idx := b.Add(iconst(n*dim), b.Mul(k, iconst(4)))
+			b.Print(b.Load(ir.I32, b.Gep(ir.I32, score, idx)))
+			return nil
+		})
+	b.Ret(nil)
+	return mustBuild(m)
+}

@@ -1,0 +1,108 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "pathfinder",
+		Suite:      "Rodinia",
+		Area:       "Dynamic programming",
+		Input:      "48x10 synthetic wall, weights in [0,10)",
+		BuildInput: buildPathfinder,
+	})
+}
+
+// buildPathfinder is the paper's running-example benchmark (§III): a
+// grid-path dynamic program. Row by row, each cell takes the cheapest of
+// its three upper neighbors plus its own weight; the result is the
+// cheapest path cost. The kernel alternates a write loop (dst) and a copy
+// loop (src), giving exactly the symmetric store/load loop pairs the
+// memory sub-model prunes.
+func buildPathfinder(variant int) *ir.Module {
+	const (
+		cols = 48
+		rows = 10
+	)
+	m := ir.NewModule("pathfinder")
+	wall := m.AddGlobal("wall", ir.I32, cols*rows, intData(ir.I32, cols*rows, inputSeed(0x9A7F, variant), 10))
+	src := m.AddGlobal("src", ir.I32, cols, nil)
+	dst := m.AddGlobal("dst", ir.I32, cols, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// src = wall[0][*].
+	countedLoop(b, "init", iconst(cols), nil,
+		func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I32, b.Gep(ir.I32, wall, j))
+			b.Store(v, b.Gep(ir.I32, src, j))
+			return nil
+		})
+
+	// Remaining rows.
+	countedLoop(b, "row", iconst(rows-1), nil,
+		func(b *ir.Builder, t *ir.Instr, _ []*ir.Instr) []ir.Value {
+			countedLoop(b, "col", iconst(cols), nil,
+				func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+					best := b.Load(ir.I32, b.Gep(ir.I32, src, j))
+
+					// Left neighbor when j > 0.
+					hasLeft := b.ICmp(ir.PredSGT, j, iconst(0))
+					left := ifThenElse(b, "left", hasLeft,
+						func(b *ir.Builder) ir.Value {
+							jm := b.Sub(j, iconst(1))
+							lv := b.Load(ir.I32, b.Gep(ir.I32, src, jm))
+							return minI64(b, lv, best)
+						},
+						func(*ir.Builder) ir.Value { return best })
+
+					// Right neighbor when j < cols-1.
+					hasRight := b.ICmp(ir.PredSLT, j, iconst(cols-1))
+					merged := ifThenElse(b, "right", hasRight,
+						func(b *ir.Builder) ir.Value {
+							jp := b.Add(j, iconst(1))
+							rv := b.Load(ir.I32, b.Gep(ir.I32, src, jp))
+							return minI64(b, rv, left)
+						},
+						func(*ir.Builder) ir.Value { return left })
+
+					// dst[j] = wall[(t+1)*cols + j] + merged.
+					rowBase := b.Mul(b.Add(t, iconst(1)), iconst(cols))
+					idx := b.Add(rowBase, j)
+					w := b.Load(ir.I32, b.Gep(ir.I32, wall, idx))
+					b.Store(b.Add(w, merged), b.Gep(ir.I32, dst, j))
+					return nil
+				})
+
+			// src = dst for the next row.
+			countedLoop(b, "copy", iconst(cols), nil,
+				func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+					v := b.Load(ir.I32, b.Gep(ir.I32, dst, j))
+					b.Store(v, b.Gep(ir.I32, src, j))
+					return nil
+				})
+			return nil
+		})
+
+	// The answer is the cheapest cell of the final row.
+	res := countedLoop(b, "min", iconst(cols), []ir.Value{i32const(1 << 29)},
+		func(b *ir.Builder, j *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I32, b.Gep(ir.I32, src, j))
+			return []ir.Value{minI64(b, v, accs[0])}
+		})
+	b.Print(res.Accs[0])
+
+	// Emit a few representative cells, like the benchmark's result dump.
+	countedLoop(b, "dump", iconst(cols/8), nil,
+		func(b *ir.Builder, k *ir.Instr, _ []*ir.Instr) []ir.Value {
+			idx := b.Mul(k, iconst(8))
+			b.Print(b.Load(ir.I32, b.Gep(ir.I32, src, idx)))
+			return nil
+		})
+
+	b.Ret(nil)
+	return mustBuild(m)
+}

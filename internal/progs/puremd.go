@@ -1,0 +1,118 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "puremd",
+		Suite:      "Purdue University",
+		Area:       "Reactive molecular dynamics simulation",
+		Input:      "20 particles on a line, cutoff pair interactions, 6 steps",
+		BuildInput: buildPuReMD,
+	})
+}
+
+// buildPuReMD reproduces the propagation structure of the PuReMD reactive
+// molecular dynamics code at kernel scale: an O(N²) neighbor sweep with a
+// distance cutoff (the reactive "bond" criterion), a pairwise
+// Lennard-Jones-like force with charge coupling, and velocity-Verlet
+// integration. The cutoff branch makes force computation control-flow
+// heavy, which is what distinguishes MD codes in the paper's benchmark
+// set.
+func buildPuReMD(variant int) *ir.Module {
+	const (
+		n     = 20
+		steps = 6
+	)
+	m := ir.NewModule("puremd")
+	posG := m.AddGlobal("pos", ir.F64, n, floatData(ir.F64, n, inputSeed(0x4D0, variant), 0, 10))
+	velG := m.AddGlobal("vel", ir.F64, n, floatData(ir.F64, n, inputSeed(0x4D1, variant), -0.05, 0.05))
+	chg := m.AddGlobal("charge", ir.F64, n, floatData(ir.F64, n, inputSeed(0x4D2, variant), -1, 1))
+	forceG := m.AddGlobal("force", ir.F64, n, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	dt := fconst(0.01)
+	cutoff := fconst(2.5)
+
+	countedLoop(b, "time", iconst(steps), nil,
+		func(b *ir.Builder, t *ir.Instr, _ []*ir.Instr) []ir.Value {
+			// Zero forces.
+			countedLoop(b, "zero", iconst(n), nil,
+				func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+					b.Store(fconst(0), b.Gep(ir.F64, forceG, i))
+					return nil
+				})
+
+			// Pairwise forces under cutoff.
+			countedLoop(b, "fi", iconst(n), nil,
+				func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+					xi := b.Load(ir.F64, b.Gep(ir.F64, posG, i))
+					qi := b.Load(ir.F64, b.Gep(ir.F64, chg, i))
+					countedLoop(b, "fj", iconst(n), nil,
+						func(b *ir.Builder, j *ir.Instr, _ []*ir.Instr) []ir.Value {
+							same := b.ICmp(ir.PredEQ, i, j)
+							ifThen(b, "pair", b.Xor(same, ir.ConstBool(true)), func(b *ir.Builder) {
+								xj := b.Load(ir.F64, b.Gep(ir.F64, posG, j))
+								dxRaw := b.FSub(xi, xj)
+								dx := b.Intrinsic(ir.IntrinsicFabs, dxRaw)
+								within := b.FCmp(ir.PredOLT, dx, cutoff)
+								ifThen(b, "bond", within, func(b *ir.Builder) {
+									// r2 with a softening floor.
+									r2 := b.FAdd(b.FMul(dxRaw, dxRaw), fconst(0.05))
+									inv2 := b.FDiv(fconst(1), r2)
+									inv6 := b.FMul(b.FMul(inv2, inv2), inv2)
+									// LJ-ish repulsion/attraction + charge term.
+									qj := b.Load(ir.F64, b.Gep(ir.F64, chg, j))
+									coul := b.FMul(b.FMul(qi, qj), inv2)
+									lj := b.FMul(inv6, b.FSub(inv6, fconst(1)))
+									mag := b.FAdd(b.FMul(fconst(0.01), lj), b.FMul(fconst(0.05), coul))
+									// Direction from the sign of dxRaw.
+									posDir := b.FCmp(ir.PredOGT, dxRaw, fconst(0))
+									signed := b.Select(posDir, mag, b.FSub(fconst(0), mag))
+									f0 := b.Load(ir.F64, b.Gep(ir.F64, forceG, i))
+									b.Store(b.FAdd(f0, signed), b.Gep(ir.F64, forceG, i))
+								})
+							})
+							return nil
+						})
+					return nil
+				})
+
+			// Velocity-Verlet style kick and drift with clamped velocity.
+			countedLoop(b, "move", iconst(n), nil,
+				func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+					fv := b.Load(ir.F64, b.Gep(ir.F64, forceG, i))
+					v0 := b.Load(ir.F64, b.Gep(ir.F64, velG, i))
+					v1 := b.FAdd(v0, b.FMul(fv, dt))
+					vmax := fconst(0.5)
+					vmin := fconst(-0.5)
+					v1 = b.Intrinsic(ir.IntrinsicFmin, v1, vmax)
+					v1 = b.Intrinsic(ir.IntrinsicFmax, v1, vmin)
+					b.Store(v1, b.Gep(ir.F64, velG, i))
+					x := b.Load(ir.F64, b.Gep(ir.F64, posG, i))
+					b.Store(b.FAdd(x, b.FMul(v1, dt)), b.Gep(ir.F64, posG, i))
+					return nil
+				})
+			return nil
+		})
+
+	// Output: kinetic energy and sampled positions.
+	ke := countedLoop(b, "out", iconst(n), []ir.Value{fconst(0)},
+		func(b *ir.Builder, i *ir.Instr, accs []*ir.Instr) []ir.Value {
+			rem := b.SRem(i, iconst(4))
+			isSample := b.ICmp(ir.PredEQ, rem, iconst(0))
+			ifThen(b, "dump", isSample, func(b *ir.Builder) {
+				b.Print(b.Load(ir.F64, b.Gep(ir.F64, posG, i)))
+			})
+			v := b.Load(ir.F64, b.Gep(ir.F64, velG, i))
+			return []ir.Value{b.FAdd(accs[0], b.FMul(v, v))}
+		})
+	b.Print(ke.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}

@@ -1,0 +1,105 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+func init() {
+	register(Program{
+		Name:       "sad",
+		Suite:      "Parboil",
+		Area:       "Video encoding",
+		Input:      "synthetic 16x16 reference and current frames, 4x4 blocks",
+		BuildInput: buildSAD,
+	})
+}
+
+// buildSAD is the Parboil sum-of-absolute-differences kernel from video
+// encoding: for each 4x4 block of the current frame it searches a window
+// of the reference frame for the displacement with minimal SAD, writing
+// per-block best scores to memory and reporting them. Heavy absolute-
+// value branching and a quadruply nested loop structure.
+func buildSAD(variant int) *ir.Module {
+	const (
+		w      = 16
+		h      = 16
+		blk    = 4
+		blocks = (w / blk) * (h / blk)
+		window = 3 // displacements 0..window-1 in each axis
+	)
+	m := ir.NewModule("sad")
+	ref := m.AddGlobal("ref", ir.I32, w*h, intData(ir.I32, w*h, inputSeed(0x5AD0, variant), 256))
+	cur := m.AddGlobal("cur", ir.I32, w*h, intData(ir.I32, w*h, inputSeed(0x5AD1, variant), 256))
+	best := m.AddGlobal("best", ir.I32, blocks, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// For every block...
+	countedLoop(b, "by", iconst(h/blk), nil,
+		func(b *ir.Builder, by *ir.Instr, _ []*ir.Instr) []ir.Value {
+			countedLoop(b, "bx", iconst(w/blk), nil,
+				func(b *ir.Builder, bx *ir.Instr, _ []*ir.Instr) []ir.Value {
+					// ...search the displacement window.
+					search := countedLoop(b, "dy", iconst(window),
+						[]ir.Value{i32const(1 << 29)},
+						func(b *ir.Builder, dy *ir.Instr, oaccs []*ir.Instr) []ir.Value {
+							inner := countedLoop(b, "dx", iconst(window),
+								[]ir.Value{oaccs[0]},
+								func(b *ir.Builder, dx *ir.Instr, iaccs []*ir.Instr) []ir.Value {
+									sad := blockSAD(b, cur, ref, bx, by, dx, dy, w, blk)
+									return []ir.Value{minI64(b, sad, iaccs[0])}
+								})
+							return []ir.Value{inner.Accs[0]}
+						})
+
+					// best[by*(w/blk) + bx] = min SAD.
+					idx := b.Add(b.Mul(by, iconst(w/blk)), bx)
+					b.Store(search.Accs[0], b.Gep(ir.I32, best, idx))
+					return nil
+				})
+			return nil
+		})
+
+	// Report every block's best SAD and their total.
+	total := countedLoop(b, "out", iconst(blocks), []ir.Value{i32const(0)},
+		func(b *ir.Builder, k *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I32, b.Gep(ir.I32, best, k))
+			b.Print(v)
+			return []ir.Value{b.Add(accs[0], v)}
+		})
+	b.Print(total.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// blockSAD emits the 4x4 SAD between the current block at (bx,by) and the
+// reference block displaced by (dx,dy), clamped inside the frame.
+func blockSAD(b *ir.Builder, cur, ref ir.Value, bx, by, dx, dy *ir.Instr, w, blk int64) ir.Value {
+	res := countedLoop(b, "py", iconst(blk), []ir.Value{i32const(0)},
+		func(b *ir.Builder, py *ir.Instr, oaccs []*ir.Instr) []ir.Value {
+			inner := countedLoop(b, "px", iconst(blk), []ir.Value{oaccs[0]},
+				func(b *ir.Builder, px *ir.Instr, iaccs []*ir.Instr) []ir.Value {
+					// Current pixel (by*blk+py, bx*blk+px).
+					cy := b.Add(b.Mul(by, iconst(blk)), py)
+					cx := b.Add(b.Mul(bx, iconst(blk)), px)
+					cIdx := b.Add(b.Mul(cy, iconst(w)), cx)
+					cv := b.Load(ir.I32, b.Gep(ir.I32, cur, cIdx))
+
+					// Reference pixel displaced and wrapped into frame.
+					ry := b.SRem(b.Add(cy, dy), iconst(w))
+					rx := b.SRem(b.Add(cx, dx), iconst(w))
+					rIdx := b.Add(b.Mul(ry, iconst(w)), rx)
+					rv := b.Load(ir.I32, b.Gep(ir.I32, ref, rIdx))
+
+					diff := b.Sub(cv, rv)
+					neg := b.ICmp(ir.PredSLT, diff, i32const(0))
+					flipped := b.Sub(i32const(0), diff)
+					ad := b.Select(neg, flipped, diff)
+					return []ir.Value{b.Add(iaccs[0], ad)}
+				})
+			return []ir.Value{inner.Accs[0]}
+		})
+	return res.Accs[0]
+}

@@ -1,0 +1,158 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+// lcg is a deterministic 64-bit generator for synthetic input data.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*6364136223846793005 + 1442695040888963407} }
+
+func (g *lcg) next() uint64 {
+	g.s = g.s*6364136223846793005 + 1442695040888963407
+	return g.s >> 11
+}
+
+// intData returns n values in [0, mod) as bit patterns of type t.
+func intData(t ir.Type, n int, seed, mod uint64) []uint64 {
+	g := newLCG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = ir.TruncateToWidth(g.next()%mod, t.Bits())
+	}
+	return out
+}
+
+// floatData returns n values in [lo, hi) as bit patterns of type t.
+func floatData(t ir.Type, n int, seed uint64, lo, hi float64) []uint64 {
+	g := newLCG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		f := lo + (hi-lo)*float64(g.next()%1_000_000)/1_000_000
+		out[i] = ir.FloatToBits(t, f)
+	}
+	return out
+}
+
+// loopResult is what a counted loop leaves behind.
+type loopResult struct {
+	// I is the induction phi; after the loop it holds the bound.
+	I *ir.Instr
+	// Accs are the loop-carried accumulator phis, parallel to the inits
+	// passed to countedLoop; after the loop they hold the final values.
+	Accs []*ir.Instr
+}
+
+// countedLoop emits the canonical counted loop
+//
+//	for i := 0; i < n; i++ { body }
+//
+// with loop-carried accumulators. body receives the induction phi and the
+// accumulator phis and returns the next-iteration accumulator values; it
+// may create inner blocks but must leave the builder positioned in the
+// block that falls through to the next iteration. After countedLoop
+// returns, the builder is positioned in the exit block.
+func countedLoop(b *ir.Builder, prefix string, n ir.Value, inits []ir.Value,
+	body func(b *ir.Builder, i *ir.Instr, accs []*ir.Instr) []ir.Value) loopResult {
+
+	pre := b.Block()
+	header := b.NewBlock(prefix + ".head")
+	bodyBlk := b.NewBlock(prefix + ".body")
+	exit := b.NewBlock(prefix + ".exit")
+
+	b.Br(header)
+
+	b.SetBlock(header)
+	it := n.ValueType()
+	i := b.Named(prefix+".i", b.Phi(it))
+	accs := make([]*ir.Instr, len(inits))
+	for k := range inits {
+		accs[k] = b.Phi(inits[k].ValueType())
+	}
+	cond := b.ICmp(ir.PredSLT, i, n)
+	b.CondBr(cond, bodyBlk, exit)
+
+	b.SetBlock(bodyBlk)
+	nextAccs := body(b, i, accs)
+	if len(nextAccs) != len(inits) {
+		panic("progs: countedLoop body returned wrong accumulator count")
+	}
+	latch := b.Block()
+	inc := b.Add(i, ir.ConstInt(it, 1))
+	b.Br(header)
+
+	b.AddIncoming(i, ir.ConstInt(it, 0), pre)
+	b.AddIncoming(i, inc, latch)
+	for k := range inits {
+		b.AddIncoming(accs[k], inits[k], pre)
+		b.AddIncoming(accs[k], nextAccs[k], latch)
+	}
+
+	b.SetBlock(exit)
+	return loopResult{I: i, Accs: accs}
+}
+
+// ifThen emits
+//
+//	if cond { then }
+//
+// then must leave the builder in a block that falls through to the join;
+// afterwards the builder is positioned in the join block.
+func ifThen(b *ir.Builder, prefix string, cond ir.Value, then func(b *ir.Builder)) {
+	thenBlk := b.NewBlock(prefix + ".then")
+	join := b.NewBlock(prefix + ".join")
+	b.CondBr(cond, thenBlk, join)
+	b.SetBlock(thenBlk)
+	then(b)
+	b.Br(join)
+	b.SetBlock(join)
+}
+
+// ifThenElse emits a diamond returning a joined value: both arms compute a
+// value of the same type and the join phi selects it.
+func ifThenElse(b *ir.Builder, prefix string, cond ir.Value,
+	then func(b *ir.Builder) ir.Value, els func(b *ir.Builder) ir.Value) *ir.Instr {
+
+	thenBlk := b.NewBlock(prefix + ".then")
+	elseBlk := b.NewBlock(prefix + ".else")
+	join := b.NewBlock(prefix + ".join")
+	b.CondBr(cond, thenBlk, elseBlk)
+
+	b.SetBlock(thenBlk)
+	tv := then(b)
+	thenEnd := b.Block()
+	b.Br(join)
+
+	b.SetBlock(elseBlk)
+	ev := els(b)
+	elseEnd := b.Block()
+	b.Br(join)
+
+	b.SetBlock(join)
+	phi := b.Phi(tv.ValueType())
+	b.AddIncoming(phi, tv, thenEnd)
+	b.AddIncoming(phi, ev, elseEnd)
+	return phi
+}
+
+// iconst abbreviates 64-bit integer constants.
+func iconst(v int64) *ir.Const { return ir.ConstInt(ir.I64, v) }
+
+// i32const abbreviates 32-bit integer constants.
+func i32const(v int64) *ir.Const { return ir.ConstInt(ir.I32, v) }
+
+// fconst abbreviates f64 constants.
+func fconst(v float64) *ir.Const { return ir.ConstFloat(ir.F64, v) }
+
+// minI64 emits min(a, b) via select.
+func minI64(b *ir.Builder, x, y ir.Value) *ir.Instr {
+	c := b.ICmp(ir.PredSLT, x, y)
+	return b.Select(c, x, y)
+}
+
+// maxI64 emits max(a, b) via select.
+func maxI64(b *ir.Builder, x, y ir.Value) *ir.Instr {
+	c := b.ICmp(ir.PredSGT, x, y)
+	return b.Select(c, x, y)
+}

@@ -1,0 +1,192 @@
+package protect
+
+import (
+	"fmt"
+
+	"trident/internal/interp"
+	"trident/internal/ir"
+)
+
+// Apply returns a new module with the selected instructions duplicated
+// SWIFT-style: each selected instruction gets a shadow clone computing the
+// same operation; shadow operands read from shadow registers where the
+// producer is also selected (so whole chains are independently
+// recomputed) and from the original registers otherwise. A detector
+// `check` comparing original and shadow is inserted where a protected
+// value escapes the protected region — consumed by an unprotected
+// instruction, a terminator, a store, or program output — matching the
+// paper's one-comparison-per-chain placement (§VI).
+//
+// The input module is not modified; selections are carried over to the
+// clone by function name and instruction ID.
+func Apply(m *ir.Module, selected []*ir.Instr) (*ir.Module, error) {
+	clone, mapping := ir.CloneModule(m)
+
+	want := make(map[*ir.Func]map[int]bool)
+	for _, in := range selected {
+		if !in.HasResult() {
+			return nil, fmt.Errorf("protect: %s has no destination register", in.Pos())
+		}
+		if in.Op == ir.OpAlloca || in.Op == ir.OpCall {
+			return nil, fmt.Errorf("protect: %s cannot be duplicated", in.Pos())
+		}
+		ci, ok := mapping[in]
+		if !ok {
+			return nil, fmt.Errorf("protect: %s is not part of the module", in.Pos())
+		}
+		fn := ci.Block.Fn
+		if want[fn] == nil {
+			want[fn] = make(map[int]bool)
+		}
+		want[fn][ci.ID] = true
+	}
+
+	for _, fn := range clone.Funcs {
+		ids := want[fn]
+		if len(ids) == 0 {
+			continue
+		}
+		if err := duplicateInFunc(fn, ids); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, fn := range clone.Funcs {
+		fn.Renumber()
+	}
+	if err := ir.Verify(clone); err != nil {
+		return nil, fmt.Errorf("protect: duplicated module fails verification: %w", err)
+	}
+	return clone, nil
+}
+
+func duplicateInFunc(fn *ir.Func, ids map[int]bool) error {
+	// Collect the selected originals in block order.
+	var originals []*ir.Instr
+	fn.Instrs(func(in *ir.Instr) {
+		if ids[in.ID] {
+			originals = append(originals, in)
+		}
+	})
+	if len(originals) != len(ids) {
+		return fmt.Errorf("protect: %d of %d selected instructions not found in %s",
+			len(ids)-len(originals), len(ids), fn.Name)
+	}
+
+	// Create shadow clones (operands still pointing at originals).
+	shadow := make(map[*ir.Instr]*ir.Instr, len(originals))
+	for _, in := range originals {
+		s := &ir.Instr{
+			Name:      in.Name + ".shadow",
+			Op:        in.Op,
+			Type:      in.Type,
+			Operands:  append([]ir.Value(nil), in.Operands...),
+			Pred:      in.Pred,
+			Elem:      in.Elem,
+			Count:     in.Count,
+			Callee:    in.Callee,
+			Intr:      in.Intr,
+			PhiBlocks: append([]*ir.Block(nil), in.PhiBlocks...),
+			Format:    in.Format,
+		}
+		shadow[in] = s
+	}
+
+	// Remap shadow operands to shadow producers where available.
+	for _, s := range shadow {
+		for i, op := range s.Operands {
+			if def, ok := op.(*ir.Instr); ok {
+				if sh, ok := shadow[def]; ok {
+					s.Operands[i] = sh
+				}
+			}
+		}
+	}
+
+	// An original needs a check iff its value escapes the protected
+	// region: it is consumed by an unprotected instruction or it has no
+	// users at all that are protected.
+	um := ir.BuildUseMap(fn)
+	needsCheck := func(in *ir.Instr) bool {
+		users := um.Users(in)
+		if len(users) == 0 {
+			return true
+		}
+		for _, u := range users {
+			if shadow[u] == nil {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Rebuild each block with shadows (and checks) inserted. Shadow phis
+	// must stay within the leading phi cluster; other shadows follow
+	// their original immediately. Checks follow the phi cluster or the
+	// shadow.
+	for _, b := range fn.Blocks {
+		var (
+			rebuilt    []*ir.Instr
+			phiChecks  []*ir.Instr
+			sawNonPhi  bool
+			checkAdded = func(orig *ir.Instr) *ir.Instr {
+				c := &ir.Instr{
+					Op:       ir.OpCheck,
+					Type:     ir.Void,
+					Operands: []ir.Value{orig, shadow[orig]},
+				}
+				c.Block = b
+				return c
+			}
+		)
+		for _, in := range b.Instrs {
+			s := shadow[in]
+			if in.Op == ir.OpPhi {
+				rebuilt = append(rebuilt, in)
+				if s != nil {
+					s.Block = b
+					rebuilt = append(rebuilt, s)
+					if needsCheck(in) {
+						phiChecks = append(phiChecks, checkAdded(in))
+					}
+				}
+				continue
+			}
+			if !sawNonPhi {
+				sawNonPhi = true
+				rebuilt = append(rebuilt, phiChecks...)
+			}
+			rebuilt = append(rebuilt, in)
+			if s != nil {
+				s.Block = b
+				rebuilt = append(rebuilt, s)
+				if needsCheck(in) {
+					rebuilt = append(rebuilt, checkAdded(in))
+				}
+			}
+		}
+		b.Instrs = rebuilt
+	}
+	return nil
+}
+
+// MeasureOverhead runs both modules and returns the relative dynamic
+// instruction overhead of the protected one — the deterministic equivalent
+// of the paper's wall-clock measurements.
+func MeasureOverhead(original, protected *ir.Module) (float64, error) {
+	a, err := interp.Run(original, interp.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("protect: run original: %w", err)
+	}
+	b, err := interp.Run(protected, interp.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("protect: run protected: %w", err)
+	}
+	if a.Outcome != interp.OutcomeOK || b.Outcome != interp.OutcomeOK {
+		return 0, fmt.Errorf("protect: runs ended in %s / %s", a.Outcome, b.Outcome)
+	}
+	if b.Output != a.Output {
+		return 0, fmt.Errorf("protect: duplication changed program output")
+	}
+	return float64(b.DynInstrs)/float64(a.DynInstrs) - 1, nil
+}

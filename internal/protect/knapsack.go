@@ -1,0 +1,184 @@
+// Package protect implements the paper's use case (§VI): selective
+// instruction duplication to mitigate SDCs under a performance-overhead
+// bound. Instruction selection is a 0-1 knapsack over model-predicted SDC
+// probabilities; the duplication pass clones the selected computations
+// into shadow registers and inserts detector checks where protected values
+// escape the protected region.
+package protect
+
+import (
+	"math"
+	"sort"
+
+	"trident/internal/ir"
+	"trident/internal/profile"
+)
+
+// Candidate is one instruction eligible for duplication.
+type Candidate struct {
+	Instr *ir.Instr
+	// SDC is the model-predicted SDC probability of the instruction.
+	SDC float64
+	// DynCount is the profiled dynamic execution count — the paper's
+	// proxy for the performance cost of duplicating the instruction.
+	DynCount uint64
+}
+
+// Plan is a protection selection under a budget.
+type Plan struct {
+	// Selected are the instructions to duplicate.
+	Selected []*ir.Instr
+	// Cost is the summed dynamic count of the selection.
+	Cost uint64
+	// Budget is the dynamic-count budget the selection was made under.
+	Budget uint64
+	// Value is the summed expected SDC coverage (Σ sdc·count).
+	Value float64
+}
+
+// Candidates returns the duplicable instructions of a profiled module:
+// executed, register-writing, and safe to clone (allocas would change
+// addresses and calls would repeat side effects, so both are excluded;
+// their operands and results are still protectable through their
+// producers and consumers).
+func Candidates(prof *profile.Profile, sdc map[*ir.Instr]float64) []Candidate {
+	var out []Candidate
+	prof.Module.Instrs(func(in *ir.Instr) {
+		if !in.HasResult() || in.Op == ir.OpAlloca || in.Op == ir.OpCall {
+			return
+		}
+		count := prof.ExecCount[in]
+		if count == 0 {
+			return
+		}
+		out = append(out, Candidate{Instr: in, SDC: sdc[in], DynCount: count})
+	})
+	return out
+}
+
+// FullCost returns the total dynamic count of all candidates — the cost of
+// full duplication, the paper's 100% baseline.
+func FullCost(cands []Candidate) uint64 {
+	var total uint64
+	for _, c := range cands {
+		total += c.DynCount
+	}
+	return total
+}
+
+// knapsackScale bounds the DP table size; costs are quantized onto this
+// many units.
+const knapsackScale = 20000
+
+// SelectKnapsack solves the 0-1 knapsack of §VI: choose instructions
+// maximizing Σ sdc·count subject to Σ count ≤ budget. Costs are quantized
+// to at most knapsackScale units (classic DP, as in the paper's use of the
+// dynamic-programming algorithm); ties and rounding slack are filled
+// greedily by value density.
+func SelectKnapsack(cands []Candidate, budget uint64) *Plan {
+	plan := &Plan{Budget: budget}
+	if budget == 0 || len(cands) == 0 {
+		return plan
+	}
+
+	// Quantize: unit = ceil(budget / knapsackScale); items costing 0 units
+	// round up to 1 so nothing is free.
+	unit := (budget + knapsackScale - 1) / knapsackScale
+	capUnits := int(budget / unit)
+	costs := make([]int, len(cands))
+	for i, c := range cands {
+		q := int((c.DynCount + unit - 1) / unit)
+		if q == 0 {
+			q = 1
+		}
+		costs[i] = q
+	}
+
+	// DP over capacity: best[w] = max value using first i items at cost w.
+	best := make([]float64, capUnits+1)
+	take := make([][]bool, len(cands))
+	for i, c := range cands {
+		take[i] = make([]bool, capUnits+1)
+		v := c.SDC * float64(c.DynCount)
+		w := costs[i]
+		for j := capUnits; j >= w; j-- {
+			if cand := best[j-w] + v; cand > best[j] {
+				best[j] = cand
+				take[i][j] = true
+			}
+		}
+	}
+
+	// Reconstruct.
+	selected := make(map[*ir.Instr]bool)
+	j := capUnits
+	for i := len(cands) - 1; i >= 0; i-- {
+		if j >= 0 && take[i][j] {
+			selected[cands[i].Instr] = true
+			plan.Cost += cands[i].DynCount
+			plan.Value += cands[i].SDC * float64(cands[i].DynCount)
+			j -= costs[i]
+		}
+	}
+
+	// Greedy top-up: quantization can leave real budget unused.
+	order := make([]int, 0, len(cands))
+	for i := range cands {
+		if !selected[cands[i].Instr] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da := density(cands[order[a]])
+		db := density(cands[order[b]])
+		if da != db {
+			return da > db
+		}
+		return cands[order[a]].Instr.ID < cands[order[b]].Instr.ID
+	})
+	for _, i := range order {
+		c := cands[i]
+		if plan.Cost+c.DynCount <= budget {
+			selected[c.Instr] = true
+			plan.Cost += c.DynCount
+			plan.Value += c.SDC * float64(c.DynCount)
+		}
+	}
+
+	for _, c := range cands {
+		if selected[c.Instr] {
+			plan.Selected = append(plan.Selected, c.Instr)
+		}
+	}
+	return plan
+}
+
+func density(c Candidate) float64 {
+	if c.DynCount == 0 {
+		return math.Inf(1)
+	}
+	return c.SDC
+}
+
+// SelectTopK is the naive alternative selection used by the knapsack
+// ablation: take instructions by descending SDC probability until the
+// budget is exhausted, ignoring cost/value trade-offs.
+func SelectTopK(cands []Candidate, budget uint64) *Plan {
+	plan := &Plan{Budget: budget}
+	order := make([]Candidate, len(cands))
+	copy(order, cands)
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].SDC != order[b].SDC {
+			return order[a].SDC > order[b].SDC
+		}
+		return order[a].Instr.ID < order[b].Instr.ID
+	})
+	for _, c := range order {
+		if plan.Cost+c.DynCount <= budget {
+			plan.Selected = append(plan.Selected, c.Instr)
+			plan.Cost += c.DynCount
+			plan.Value += c.SDC * float64(c.DynCount)
+		}
+	}
+	return plan
+}

@@ -1,0 +1,237 @@
+package protect
+
+import (
+	"strings"
+	"testing"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/interp"
+	"trident/internal/ir"
+	"trident/internal/profile"
+)
+
+const workload = `
+module "work"
+global @buf i64 x 24
+func @main() void {
+entry:
+  br fill
+fill:
+  %i = phi i64 [i64 0, entry], [%inc, fill]
+  %sq = mul %i, %i
+  %p = gep i64, @buf, %i
+  store %sq, %p
+  %inc = add %i, i64 1
+  %c = icmp slt %inc, i64 24
+  condbr %c, fill, rentry
+rentry:
+  br read
+read:
+  %j = phi i64 [i64 0, rentry], [%jinc, read]
+  %acc = phi i64 [i64 0, rentry], [%nacc, read]
+  %q = gep i64, @buf, %j
+  %v = load i64, %q
+  %nacc = add %acc, %v
+  %jinc = add %j, i64 1
+  %rc = icmp slt %jinc, i64 24
+  condbr %rc, read, done
+done:
+  print %nacc
+  ret
+}
+`
+
+func setup(t testing.TB) (*ir.Module, *profile.Profile, map[*ir.Instr]float64) {
+	t.Helper()
+	m, err := ir.Parse(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Collect(m, profile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.New(prof, core.TridentConfig())
+	sdc := make(map[*ir.Instr]float64)
+	m.Instrs(func(in *ir.Instr) {
+		if in.HasResult() {
+			sdc[in] = model.InstrSDC(in)
+		}
+	})
+	return m, prof, sdc
+}
+
+func TestCandidatesExcludeUnsafe(t *testing.T) {
+	m, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, c := range cands {
+		if c.Instr.Op == ir.OpAlloca || c.Instr.Op == ir.OpCall {
+			t.Errorf("unsafe candidate %s", c.Instr.Pos())
+		}
+		if c.DynCount == 0 {
+			t.Errorf("unexecuted candidate %s", c.Instr.Pos())
+		}
+	}
+	_ = m
+}
+
+func TestKnapsackRespectsBudget(t *testing.T) {
+	_, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	full := FullCost(cands)
+
+	for _, frac := range []float64{0, 0.1, 1.0 / 3, 2.0 / 3, 1} {
+		budget := uint64(frac * float64(full))
+		plan := SelectKnapsack(cands, budget)
+		if plan.Cost > budget {
+			t.Errorf("budget %v: cost %d exceeds budget %d", frac, plan.Cost, budget)
+		}
+		if frac == 1 && len(plan.Selected) != len(cands) {
+			t.Errorf("full budget should select everything: %d of %d",
+				len(plan.Selected), len(cands))
+		}
+		if frac == 0 && len(plan.Selected) != 0 {
+			t.Error("zero budget should select nothing")
+		}
+	}
+}
+
+func TestKnapsackBeatsOrMatchesTopK(t *testing.T) {
+	_, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	budget := FullCost(cands) / 3
+	ks := SelectKnapsack(cands, budget)
+	tk := SelectTopK(cands, budget)
+	if ks.Value+1e-9 < tk.Value {
+		t.Errorf("knapsack value %v below top-k value %v", ks.Value, tk.Value)
+	}
+}
+
+func TestApplyPreservesSemantics(t *testing.T) {
+	m, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	plan := SelectKnapsack(cands, FullCost(cands)) // everything
+	protected, err := Apply(m, plan.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead, err := MeasureOverhead(m, protected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overhead <= 0 {
+		t.Errorf("full duplication overhead = %v, want positive", overhead)
+	}
+	if overhead > 1.5 {
+		t.Errorf("full duplication overhead = %v, implausibly high", overhead)
+	}
+}
+
+func TestApplyInsertsShadowsAndChecks(t *testing.T) {
+	m, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	plan := SelectKnapsack(cands, FullCost(cands))
+	protected, err := Apply(m, plan.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := ir.Print(protected)
+	if !strings.Contains(text, ".shadow") {
+		t.Error("no shadow registers in protected module")
+	}
+	if !strings.Contains(text, "check ") {
+		t.Error("no checks in protected module")
+	}
+	// Chain-internal values must not each get a check: there are fewer
+	// checks than shadows.
+	shadows := strings.Count(text, ".shadow =")
+	checks := strings.Count(text, "check ")
+	if checks >= shadows {
+		t.Errorf("%d checks for %d shadows; expected chain-end placement", checks, shadows)
+	}
+}
+
+func TestApplyDoesNotMutateOriginal(t *testing.T) {
+	m, prof, sdc := setup(t)
+	before := ir.Print(m)
+	cands := Candidates(prof, sdc)
+	if _, err := Apply(m, SelectKnapsack(cands, FullCost(cands)).Selected); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Print(m) != before {
+		t.Error("Apply mutated the original module")
+	}
+}
+
+func TestApplyRejectsBadSelection(t *testing.T) {
+	m, _, _ := setup(t)
+	var store *ir.Instr
+	m.Instrs(func(in *ir.Instr) {
+		if in.Op == ir.OpStore {
+			store = in
+		}
+	})
+	if _, err := Apply(m, []*ir.Instr{store}); err == nil {
+		t.Error("selecting a store should fail (no destination register)")
+	}
+}
+
+// TestProtectionReducesSDC is the end-to-end §VI check: FI on the
+// protected program must show fewer SDCs and some detections.
+func TestProtectionReducesSDC(t *testing.T) {
+	m, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	plan := SelectKnapsack(cands, FullCost(cands)*2/3)
+	protected, err := Apply(m, plan.Selected)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injOrig, err := fault.New(m, fault.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := injOrig.CampaignRandom(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	injProt, err := fault.New(protected, fault.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prot, err := injProt.CampaignRandom(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if prot.Counts[fault.Detected] == 0 {
+		t.Error("protected program detected no faults")
+	}
+	if prot.SDCProb() >= base.SDCProb() {
+		t.Errorf("protection did not reduce SDC: %v -> %v", base.SDCProb(), prot.SDCProb())
+	}
+}
+
+func TestProtectedModuleStillValidIR(t *testing.T) {
+	m, prof, sdc := setup(t)
+	cands := Candidates(prof, sdc)
+	for _, frac := range []uint64{3, 2, 1} {
+		plan := SelectKnapsack(cands, FullCost(cands)/frac)
+		protected, err := Apply(m, plan.Selected)
+		if err != nil {
+			t.Fatalf("budget 1/%d: %v", frac, err)
+		}
+		res, err := interp.Run(protected, interp.Options{})
+		if err != nil {
+			t.Fatalf("budget 1/%d: %v", frac, err)
+		}
+		if res.Outcome != interp.OutcomeOK {
+			t.Fatalf("budget 1/%d: protected run %s", frac, res.Outcome)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package trident is a from-scratch Go reproduction of TRIDENT, the
+// three-level soft-error propagation model of Li et al., "Modeling
+// Soft-Error Propagation in Programs" (DSN 2018).
+//
+// TRIDENT predicts, without fault injection, the probability that a
+// transient hardware fault (a single bit flip in the destination register
+// of a dynamic instruction) leads to a silent data corruption (SDC) — both
+// per static instruction and for the whole program. It composes three
+// sub-models: fs (static data-dependent instruction sequences), fc
+// (control-flow divergence) and fm (memory-level propagation), built on
+// one profiled execution.
+//
+// This package is the high-level façade. It exposes:
+//
+//   - Analyze: profile a program and predict SDC probabilities;
+//   - Campaign: run an LLFI-style fault-injection campaign (the ground
+//     truth TRIDENT is validated against);
+//   - Protect: the paper's use case — selective instruction duplication
+//     under a performance-overhead bound, guided by the model.
+//
+// Programs are written in the repository's LLVM-flavored IR (see
+// internal/ir); the eleven benchmarks of the paper's Table I ship in the
+// registry and can be named directly. Lower-level control (custom model
+// variants, direct access to profiles and sub-models) lives in the
+// internal packages; the cmd/ binaries expose the full evaluation.
+package trident
+
+import (
+	"fmt"
+	"sort"
+
+	"trident/internal/core"
+	"trident/internal/fault"
+	"trident/internal/ir"
+	"trident/internal/profile"
+	"trident/internal/progs"
+	"trident/internal/protect"
+	"trident/internal/stats"
+)
+
+// ModelKind selects the model variant.
+type ModelKind string
+
+// Model variants: the full three-level model and the paper's two
+// simplified comparison models.
+const (
+	ModelTrident ModelKind = "trident"
+	ModelFSFC    ModelKind = "fs+fc"
+	ModelFS      ModelKind = "fs"
+)
+
+func (k ModelKind) config() (core.Config, error) {
+	switch k {
+	case ModelTrident, "":
+		return core.TridentConfig(), nil
+	case ModelFSFC:
+		return core.FSFCConfig(), nil
+	case ModelFS:
+		return core.FSOnlyConfig(), nil
+	default:
+		return core.Config{}, fmt.Errorf("trident: unknown model %q", k)
+	}
+}
+
+// Benchmarks returns the names of the built-in benchmark programs (the
+// paper's Table I).
+func Benchmarks() []string { return progs.Names() }
+
+// InstrPrediction is one instruction's model prediction.
+type InstrPrediction struct {
+	// Instruction is the printed IR form.
+	Instruction string
+	// Location is "function:block:#id".
+	Location string
+	// SDC is the predicted SDC probability given fault activation.
+	SDC float64
+	// Crash is the estimated crash probability.
+	Crash float64
+	// ExecCount is the profiled dynamic execution count.
+	ExecCount uint64
+}
+
+// Report is the result of Analyze.
+type Report struct {
+	// Program is the analyzed program's name.
+	Program string
+	// OverallSDC is the predicted program SDC probability.
+	OverallSDC float64
+	// Instrs lists per-instruction predictions, most SDC-prone first.
+	Instrs []InstrPrediction
+	// StaticInstrs and DynInstrs are program size characteristics.
+	StaticInstrs int
+	DynInstrs    uint64
+	// PruningRatio is the fraction of dynamic memory dependencies removed
+	// by static aggregation in the memory sub-model.
+	PruningRatio float64
+}
+
+// Options configure Analyze, Campaign and Protect. The zero value uses
+// paper-faithful defaults.
+type Options struct {
+	// Model selects the variant (default ModelTrident).
+	Model ModelKind
+	// Seed drives all deterministic sampling (default 1).
+	Seed uint64
+	// Samples is the FI trial count for Campaign and the evaluation
+	// budget in Protect (default 3000).
+	Samples int
+	// Workers is the FI parallelism (default 4).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Samples == 0 {
+		o.Samples = 3000
+	}
+	return o
+}
+
+// loadProgram resolves a benchmark name or parses IR text when src is
+// non-empty.
+func loadProgram(name, src string) (*ir.Module, error) {
+	if src != "" {
+		return ir.Parse(src)
+	}
+	p, err := progs.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Build(), nil
+}
+
+// Analyze profiles the named built-in benchmark and predicts its SDC
+// probabilities with the selected model — the paper's Figure 1b workflow,
+// no fault injection involved.
+func Analyze(program string, opts Options) (*Report, error) {
+	m, err := loadProgram(program, "")
+	if err != nil {
+		return nil, err
+	}
+	return analyzeModule(program, m, opts)
+}
+
+// AnalyzeIR is Analyze for a program in textual IR form.
+func AnalyzeIR(src string, opts Options) (*Report, error) {
+	m, err := loadProgram("", src)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeModule(m.Name, m, opts)
+}
+
+func analyzeModule(name string, m *ir.Module, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.Model.config()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Collect(m, profile.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model := core.New(prof, cfg)
+
+	rep := &Report{
+		Program:      name,
+		OverallSDC:   model.OverallSDC(0, opts.Seed).SDC,
+		StaticInstrs: m.NumInstrs(),
+		DynInstrs:    prof.Golden.DynInstrs,
+		PruningRatio: prof.PruningRatio(),
+	}
+	m.Instrs(func(in *ir.Instr) {
+		if !in.HasResult() || prof.ExecCount[in] == 0 {
+			return
+		}
+		rep.Instrs = append(rep.Instrs, InstrPrediction{
+			Instruction: ir.FormatInstr(in),
+			Location:    in.Pos(),
+			SDC:         model.InstrSDC(in),
+			Crash:       model.InstrCrash(in),
+			ExecCount:   prof.ExecCount[in],
+		})
+	})
+	sort.Slice(rep.Instrs, func(i, j int) bool {
+		if rep.Instrs[i].SDC != rep.Instrs[j].SDC {
+			return rep.Instrs[i].SDC > rep.Instrs[j].SDC
+		}
+		return rep.Instrs[i].Location < rep.Instrs[j].Location
+	})
+	return rep, nil
+}
+
+// FIReport is the result of a fault-injection campaign.
+type FIReport struct {
+	// Program is the injected program's name.
+	Program string
+	// Trials is the number of injections performed.
+	Trials int
+	// SDC, Crash, Hang, Benign and Detected are outcome rates.
+	SDC, Crash, Hang, Benign, Detected float64
+	// ErrorBar95 is the half-width of the 95% confidence interval on SDC.
+	ErrorBar95 float64
+}
+
+// Campaign runs an LLFI-style statistical fault-injection campaign on the
+// named benchmark: opts.Samples single-bit flips into destination
+// registers of uniformly sampled dynamic instructions, one per run.
+func Campaign(program string, opts Options) (*FIReport, error) {
+	m, err := loadProgram(program, "")
+	if err != nil {
+		return nil, err
+	}
+	return campaignModule(program, m, opts)
+}
+
+// CampaignIR is Campaign for a program in textual IR form.
+func CampaignIR(src string, opts Options) (*FIReport, error) {
+	m, err := loadProgram("", src)
+	if err != nil {
+		return nil, err
+	}
+	return campaignModule(m.Name, m, opts)
+}
+
+func campaignModule(name string, m *ir.Module, opts Options) (*FIReport, error) {
+	opts = opts.withDefaults()
+	inj, err := fault.New(m, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	res, err := inj.CampaignRandom(opts.Samples)
+	if err != nil {
+		return nil, err
+	}
+	return &FIReport{
+		Program:    name,
+		Trials:     res.N(),
+		SDC:        res.SDCProb(),
+		Crash:      res.Rate(fault.Crash),
+		Hang:       res.Rate(fault.Hang),
+		Benign:     res.Rate(fault.Benign),
+		Detected:   res.Rate(fault.Detected),
+		ErrorBar95: stats.ProportionCI95(res.SDCProb(), res.N()),
+	}, nil
+}
+
+// ProtectReport is the result of Protect.
+type ProtectReport struct {
+	// Program is the protected program's name.
+	Program string
+	// BudgetFraction is the requested share of the full-duplication cost.
+	BudgetFraction float64
+	// SelectedInstrs is the number of duplicated static instructions.
+	SelectedInstrs int
+	// Overhead is the measured dynamic-instruction overhead.
+	Overhead float64
+	// FullOverhead is the measured full-duplication overhead.
+	FullOverhead float64
+	// BaselineSDC and ProtectedSDC are FI-measured SDC probabilities
+	// before and after protection.
+	BaselineSDC, ProtectedSDC float64
+	// DetectionRate is the FI-measured rate of faults caught by the
+	// inserted checks.
+	DetectionRate float64
+}
+
+// Protect applies the paper's use case (§VI) to the named benchmark:
+// model-guided selective instruction duplication under a performance
+// budget expressed as a fraction of the full-duplication cost (the paper
+// evaluates 1/3 and 2/3). Fault injection is used only to evaluate the
+// result, exactly as in the paper.
+func Protect(program string, budgetFraction float64, opts Options) (*ProtectReport, error) {
+	if budgetFraction < 0 || budgetFraction > 1 {
+		return nil, fmt.Errorf("trident: budget fraction %v outside [0, 1]", budgetFraction)
+	}
+	opts = opts.withDefaults()
+	cfg, err := opts.Model.config()
+	if err != nil {
+		return nil, err
+	}
+	m, err := loadProgram(program, "")
+	if err != nil {
+		return nil, err
+	}
+
+	prof, err := profile.Collect(m, profile.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model := core.New(prof, cfg)
+	sdc := make(map[*ir.Instr]float64)
+	m.Instrs(func(in *ir.Instr) {
+		if in.HasResult() {
+			sdc[in] = model.InstrSDC(in)
+		}
+	})
+
+	cands := protect.Candidates(prof, sdc)
+	fullCost := protect.FullCost(cands)
+	fullMod, err := protect.Apply(m, protect.SelectKnapsack(cands, fullCost).Selected)
+	if err != nil {
+		return nil, err
+	}
+	fullOverhead, err := protect.MeasureOverhead(m, fullMod)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := uint64(budgetFraction * float64(fullCost))
+	plan := protect.SelectKnapsack(cands, budget)
+	protected, err := protect.Apply(m, plan.Selected)
+	if err != nil {
+		return nil, err
+	}
+	overhead, err := protect.MeasureOverhead(m, protected)
+	if err != nil {
+		return nil, err
+	}
+
+	baseInj, err := fault.New(m, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	base, err := baseInj.CampaignRandom(opts.Samples)
+	if err != nil {
+		return nil, err
+	}
+	protInj, err := fault.New(protected, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
+	}
+	prot, err := protInj.CampaignRandom(opts.Samples)
+	if err != nil {
+		return nil, err
+	}
+
+	return &ProtectReport{
+		Program:        program,
+		BudgetFraction: budgetFraction,
+		SelectedInstrs: len(plan.Selected),
+		Overhead:       overhead,
+		FullOverhead:   fullOverhead,
+		BaselineSDC:    base.SDCProb(),
+		ProtectedSDC:   prot.SDCProb(),
+		DetectionRate:  prot.Rate(fault.Detected),
+	}, nil
+}
+
+// ExplainTop renders propagation-path explanations for the k most
+// SDC-prone instructions of the named benchmark: how much of each
+// instruction's predicted SDC probability flows directly to output,
+// through corrupted stores chased by the memory sub-model, and through
+// flipped branches.
+func ExplainTop(program string, k int, opts Options) ([]string, error) {
+	opts = opts.withDefaults()
+	cfg, err := opts.Model.config()
+	if err != nil {
+		return nil, err
+	}
+	m, err := loadProgram(program, "")
+	if err != nil {
+		return nil, err
+	}
+	prof, err := profile.Collect(m, profile.Options{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model := core.New(prof, cfg)
+
+	var ranked []*ir.Instr
+	m.Instrs(func(in *ir.Instr) {
+		if in.HasResult() && prof.ExecCount[in] > 0 {
+			ranked = append(ranked, in)
+		}
+	})
+	sort.Slice(ranked, func(i, j int) bool {
+		a, b := model.InstrSDC(ranked[i]), model.InstrSDC(ranked[j])
+		if a != b {
+			return a > b
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	out := make([]string, 0, k)
+	for _, in := range ranked[:k] {
+		out = append(out, model.Explain(in).String())
+	}
+	return out, nil
+}
