@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI gate: vet everything, then race-test the concurrent
+# campaign engine and the interpreter it drives.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./internal/fault/... ./internal/interp/...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -9,6 +9,7 @@ package trident
 // `go run ./cmd/experiments` with paper-scale parameters.
 
 import (
+	"context"
 	"testing"
 
 	"trident/internal/core"
@@ -215,7 +216,7 @@ func BenchmarkSingleInjection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		target := targets[i%len(targets)]
-		if _, err := inj.Inject(target, 1, i%8); err != nil {
+		if _, err := inj.Inject(context.Background(), target, 1, i%8); err != nil {
 			b.Fatal(err)
 		}
 	}

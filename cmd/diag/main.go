@@ -3,10 +3,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"trident/internal/core"
 	"trident/internal/fault"
@@ -18,6 +21,9 @@ func main() {
 	program := flag.String("program", "pathfinder", "benchmark name")
 	trials := flag.Int("n", 150, "FI trials per instruction")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	p, err := progs.ByName(*program)
 	if err != nil {
@@ -41,8 +47,12 @@ func main() {
 	fmt.Printf("%-34s %8s %8s %8s %8s %8s %8s %8s\n",
 		"instr", "count", "model", "fi-sdc", "gap", "fi-crash", "m-crash", "fi-ben")
 	for _, in := range targets {
-		res, err := inj.CampaignPerInstr(in, *trials)
+		res, err := inj.CampaignPerInstr(ctx, in, *trials)
 		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "diag: cancelled")
+				return
+			}
 			fmt.Fprintln(os.Stderr, err)
 			continue
 		}

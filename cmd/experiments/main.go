@@ -13,13 +13,18 @@
 //	-programs string comma-separated benchmark subset (default: all 11)
 //	-workers int     parallel FI workers (default 4)
 //	-format string   "text" (default) or "md" (markdown tables)
+//	-checkpoint-dir  directory for per-campaign JSONL checkpoints; an
+//	                 interrupted run (Ctrl-C, crash) resumes from them
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"trident/internal/experiments"
@@ -41,16 +46,29 @@ func run(args []string) error {
 	programs := fs.String("programs", "", "benchmark subset (comma separated)")
 	workers := fs.Int("workers", 4, "parallel FI workers")
 	format := fs.String("format", "text", "output format: text or md")
+	checkpointDir := fs.String("checkpoint-dir", "", "directory for per-campaign JSONL checkpoints; an interrupted run resumes from them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	md := *format == "md"
 
+	// Ctrl-C / SIGTERM cancels in-flight campaigns; with -checkpoint-dir
+	// their completed trials survive for the next run to resume from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *checkpointDir != "" {
+		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {
+			return err
+		}
+	}
 	cfg := experiments.Config{
-		Samples:  *samples,
-		PerInstr: *perInstr,
-		Seed:     *seed,
-		Workers:  *workers,
+		Samples:       *samples,
+		PerInstr:      *perInstr,
+		Seed:          *seed,
+		Workers:       *workers,
+		Context:       ctx,
+		CheckpointDir: *checkpointDir,
 	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")

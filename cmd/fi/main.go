@@ -2,17 +2,29 @@
 // single bit flips in destination registers of random dynamic
 // instructions, classified against the golden run.
 //
+// The campaign engine is resilient: engine failures classify individual
+// trials as "errored" instead of aborting, Ctrl-C returns the completed
+// prefix of the campaign, and -checkpoint/-resume persist completed
+// trials to a JSONL log so an interrupted campaign picks up where it
+// left off.
+//
 // Usage:
 //
 //	fi -program pathfinder [-n 3000] [-seed 1] [-workers 4] [-per-instr]
+//	   [-checkpoint trials.jsonl] [-resume] [-retries 2] [-trial-timeout 30s]
 //	fi -ir file.tir [...]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	"trident/internal/fault"
 	"trident/internal/ir"
@@ -35,31 +47,82 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "deterministic seed")
 	workers := fs.Int("workers", 4, "parallel injection workers")
 	perInstr := fs.Bool("per-instr", false, "also report per-instruction SDC probabilities (uses -n per instruction / 10)")
+	checkpoint := fs.String("checkpoint", "", "JSONL trial log: completed trials are persisted here and replayed on restart")
+	resume := fs.Bool("resume", false, "require an existing checkpoint (refuse to start from scratch); implies -checkpoint")
+	retries := fs.Int("retries", 1, "retry attempts for trials failing with transient engine errors")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	// Ctrl-C / SIGTERM cancels the campaign gracefully: in-flight trials
+	// are abandoned, completed ones are reported (and checkpointed).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	m, err := loadModule(*program, *irFile)
 	if err != nil {
 		return err
 	}
-	inj, err := fault.New(m, fault.Options{Seed: *seed, Workers: *workers})
+	inj, err := fault.New(m, fault.Options{
+		Seed:         *seed,
+		Workers:      *workers,
+		MaxRetries:   *retries,
+		TrialTimeout: *trialTimeout,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("golden run: %d dynamic instructions, activation space %d\n",
 		inj.GoldenDynInstrs(), inj.ActivationSpace())
 
-	res, err := inj.CampaignRandom(*n)
-	if err != nil {
+	start := time.Now()
+	var res *fault.CampaignResult
+	switch {
+	case *resume:
+		res, err = inj.ResumeCampaign(ctx, *n, *checkpoint)
+	case *checkpoint != "":
+		res, err = inj.CampaignRandomCheckpoint(ctx, *n, *checkpoint)
+	default:
+		res, err = inj.CampaignRandom(ctx, *n)
+	}
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
 		return err
 	}
+
+	if cancelled {
+		fmt.Printf("\ncampaign cancelled after %.1fs: reporting the %d completed trials (of %d requested)\n",
+			time.Since(start).Seconds(), res.N(), *n)
+		if *checkpoint != "" {
+			fmt.Printf("completed trials are checkpointed in %s; rerun with -resume to finish\n", *checkpoint)
+		}
+	}
 	fmt.Printf("\n%d injections into %s:\n", res.N(), m.Name)
-	for _, o := range []fault.Outcome{fault.Benign, fault.SDC, fault.Crash, fault.Hang, fault.Detected} {
+	for _, o := range fault.AllOutcomes {
+		if o == fault.Errored && res.Counts[o] == 0 {
+			continue
+		}
 		fmt.Printf("  %-9s %6d  (%.2f%%)\n", o, res.Counts[o], res.Rate(o)*100)
 	}
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n",
-		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.N())*100)
+		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.ClassifiedN())*100)
+	if len(res.Errs) > 0 {
+		fmt.Printf("\n%d trial(s) errored (engine failures, excluded from rates); first few:\n", len(res.Errs))
+		for i, te := range res.Errs {
+			if i == 5 {
+				fmt.Printf("  ... and %d more\n", len(res.Errs)-i)
+				break
+			}
+			fmt.Printf("  %v\n", &te)
+		}
+	}
+	if cancelled {
+		return nil
+	}
 
 	if *perInstr {
 		perN := *n / 10
@@ -67,7 +130,7 @@ func run(args []string) error {
 			perN = 10
 		}
 		targets := inj.Targets()
-		measured, err := inj.PerInstrSDC(targets, perN)
+		measured, err := inj.PerInstrSDC(ctx, targets, perN)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"trident/internal/core"
@@ -54,7 +55,7 @@ func TestPVFOverestimatesSDC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fi, err := inj.CampaignRandom(800)
+	fi, err := inj.CampaignRandom(context.Background(), 800)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestEPVFWithCrashOracle(t *testing.T) {
 	// them to ePVF as the oracle, as the paper's evaluation did.
 	crashRate := make(map[*ir.Instr]float64)
 	for _, target := range inj.Targets() {
-		res, err := inj.CampaignPerInstr(target, 40)
+		res, err := inj.CampaignPerInstr(context.Background(), target, 40)
 		if err != nil {
 			t.Fatal(err)
 		}

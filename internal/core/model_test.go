@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -134,7 +135,7 @@ func TestModelTracksFaultInjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	campaign, err := inj.CampaignRandom(1500)
+	campaign, err := inj.CampaignRandom(context.Background(), 1500)
 	if err != nil {
 		t.Fatal(err)
 	}

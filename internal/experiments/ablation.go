@@ -29,7 +29,7 @@ func AblationValueProfile(cfg Config) (*AblationValueProfileResult, error) {
 	}
 	var fi, with, without []float64
 	for _, pd := range data {
-		campaign, err := pd.Injector.CampaignRandom(cfg.Samples)
+		campaign, err := cfg.campaignRandom(pd.Injector, "ablation-vp-"+pd.Program.Name, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
@@ -146,11 +146,12 @@ func AblationKnapsack(cfg Config) (*AblationKnapsackResult, error) {
 		cands := protect.Candidates(pd.Profile, sdc)
 		budget := protect.FullCost(cands) / 3
 		for _, policy := range []struct {
+			name string
 			plan *protect.Plan
 			dst  *float64
 		}{
-			{protect.SelectKnapsack(cands, budget), &res.MeanSDCKnapsack},
-			{protect.SelectTopK(cands, budget), &res.MeanSDCTopK},
+			{"knapsack", protect.SelectKnapsack(cands, budget), &res.MeanSDCKnapsack},
+			{"topk", protect.SelectTopK(cands, budget), &res.MeanSDCTopK},
 		} {
 			protected, err := protect.Apply(pd.Module, policy.plan.Selected)
 			if err != nil {
@@ -160,7 +161,8 @@ func AblationKnapsack(cfg Config) (*AblationKnapsackResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			campaign, err := inj.CampaignRandom(cfg.Samples)
+			campaign, err := cfg.campaignRandom(inj,
+				"ablation-sel-"+policy.name+"-"+pd.Program.Name, cfg.Samples)
 			if err != nil {
 				return nil, err
 			}

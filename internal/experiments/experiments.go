@@ -10,7 +10,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"trident/internal/core"
@@ -35,6 +37,35 @@ type Config struct {
 	Programs []string
 	// Workers is the FI campaign parallelism (0 = injector default).
 	Workers int
+	// Context, when non-nil, cancels in-flight fault-injection campaigns;
+	// the experiment run then fails with the context's error instead of
+	// running to completion.
+	Context context.Context
+	// CheckpointDir, when set, persists every statistical campaign as a
+	// JSONL log in that directory so an interrupted experiment run resumes
+	// with its completed trials replayed from disk.
+	CheckpointDir string
+}
+
+// ctx resolves the configured cancellation context.
+func (c Config) ctx() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// campaignRandom runs inj's statistical campaign under the config's
+// lifecycle policy: the shared cancellation context and, when
+// CheckpointDir is set, a per-label checkpoint log enabling resume. label
+// must uniquely identify the campaign within the experiment suite.
+func (c Config) campaignRandom(inj *fault.Injector, label string, n int) (*fault.CampaignResult, error) {
+	if c.CheckpointDir == "" {
+		return inj.CampaignRandom(c.ctx(), n)
+	}
+	path := filepath.Join(c.CheckpointDir,
+		fmt.Sprintf("%s-seed%d-n%d.jsonl", label, c.Seed, n))
+	return inj.CampaignRandomCheckpoint(c.ctx(), n, path)
 }
 
 func (c Config) withDefaults() Config {
@@ -176,10 +207,10 @@ func goldenCheck(pd *ProgramData) error {
 // measuredCrashOracle builds an FI-measured per-instruction crash-rate
 // oracle for the ePVF baseline, as the paper did (§VII-C gives ePVF its
 // measured crashes, overestimating its accuracy).
-func measuredCrashOracle(pd *ProgramData, perInstr int) (func(*ir.Instr) float64, error) {
+func measuredCrashOracle(cfg Config, pd *ProgramData, perInstr int) (func(*ir.Instr) float64, error) {
 	rates := make(map[*ir.Instr]float64)
 	for _, target := range pd.Injector.Targets() {
-		res, err := pd.Injector.CampaignPerInstr(target, perInstr)
+		res, err := pd.Injector.CampaignPerInstr(cfg.ctx(), target, perInstr)
 		if err != nil {
 			return nil, err
 		}

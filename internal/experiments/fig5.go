@@ -40,7 +40,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	res := &Fig5Result{}
 	var fiVals, triVals, fsfcVals, fsVals []float64
 	for _, pd := range data {
-		campaign, err := pd.Injector.CampaignRandom(cfg.Samples)
+		campaign, err := cfg.campaignRandom(pd.Injector, "fig5-"+pd.Program.Name, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}

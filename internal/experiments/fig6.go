@@ -34,7 +34,7 @@ func Fig6a(cfg Config, sampleCounts []int) ([]Fig6aPoint, error) {
 	}
 
 	// Per-trial FI time, averaged over 30 trials per program.
-	perTrial, err := meanTrialSeconds(data, 30)
+	perTrial, err := meanTrialSeconds(cfg, data, 30)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func Fig6b(cfg Config, instrCounts []int) ([]Fig6bPoint, error) {
 		}
 	}
 
-	perTrial, err := meanTrialSeconds(data, 30)
+	perTrial, err := meanTrialSeconds(cfg, data, 30)
 	if err != nil {
 		return nil, err
 	}
@@ -138,12 +138,14 @@ func Fig6b(cfg Config, instrCounts []int) ([]Fig6bPoint, error) {
 
 // meanTrialSeconds measures the mean wall-clock cost of one FI trial
 // across the programs.
-func meanTrialSeconds(data []*ProgramData, trials int) (float64, error) {
+func meanTrialSeconds(cfg Config, data []*ProgramData, trials int) (float64, error) {
 	total := 0.0
 	n := 0
 	for _, pd := range data {
 		start := time.Now()
-		res, err := pd.Injector.CampaignRandom(trials)
+		// No checkpointing here: Fig. 6 measures FI wall-clock cost, and
+		// replaying cached trials would falsify the timing.
+		res, err := pd.Injector.CampaignRandom(cfg.ctx(), trials)
 		if err != nil {
 			return 0, err
 		}

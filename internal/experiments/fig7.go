@@ -33,7 +33,7 @@ func Fig7(cfg Config) ([]Fig7Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	perTrial, err := meanTrialSeconds(data, 30)
+	perTrial, err := meanTrialSeconds(cfg, data, 30)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"trident/internal/core"
 	"trident/internal/fault"
@@ -76,7 +77,7 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 	fullOverheadSum := 0.0
 
 	for _, pd := range data {
-		base, err := pd.Injector.CampaignRandom(cfg.Samples)
+		base, err := cfg.campaignRandom(pd.Injector, "fig8-base-"+pd.Program.Name, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +125,9 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				campaign, err := inj.CampaignRandom(cfg.Samples)
+				boundTag := strings.ReplaceAll(bound.label, "/", "of")
+				campaign, err := cfg.campaignRandom(inj,
+					"fig8-"+pd.Program.Name+"-"+boundTag+"-"+mname, cfg.Samples)
 				if err != nil {
 					return nil, err
 				}

@@ -32,13 +32,13 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	res := &Fig9Result{}
 	var fi, tri, ep, pv []float64
 	for _, pd := range data {
-		campaign, err := pd.Injector.CampaignRandom(cfg.Samples)
+		campaign, err := cfg.campaignRandom(pd.Injector, "fig9-"+pd.Program.Name, cfg.Samples)
 		if err != nil {
 			return nil, err
 		}
 		pvf := baseline.NewPVF(pd.Profile)
 		epvf := baseline.NewEPVF(pd.Profile)
-		oracle, err := measuredCrashOracle(pd, cfg.PerInstr/2)
+		oracle, err := measuredCrashOracle(cfg, pd, cfg.PerInstr/2)
 		if err != nil {
 			return nil, err
 		}

@@ -58,7 +58,8 @@ func InputSensitivity(cfg Config, variants int) ([]InputRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s variant %d: %w", name, v, err)
 			}
-			campaign, err := inj.CampaignRandom(cfg.Samples)
+			campaign, err := cfg.campaignRandom(inj,
+				fmt.Sprintf("inputs-%s-v%d", name, v), cfg.Samples)
 			if err != nil {
 				return nil, err
 			}

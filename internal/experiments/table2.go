@@ -37,7 +37,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 	res := &Table2Result{}
 	for _, pd := range data {
 		targets := pd.Injector.Targets()
-		measured, err := pd.Injector.PerInstrSDC(targets, cfg.PerInstr)
+		measured, err := pd.Injector.PerInstrSDC(cfg.ctx(), targets, cfg.PerInstr)
 		if err != nil {
 			return nil, err
 		}

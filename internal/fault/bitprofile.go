@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 
 	"trident/internal/ir"
@@ -30,7 +31,7 @@ func (b *BitOutcome) Rate(o Outcome) float64 {
 // discussion (§V-A2, citing Sangchoolie et al.). For each bit position of
 // the result type, perBit injections hit uniformly random dynamic
 // instances.
-func (inj *Injector) BitProfile(target *ir.Instr, perBit int) ([]BitOutcome, error) {
+func (inj *Injector) BitProfile(ctx context.Context, target *ir.Instr, perBit int) ([]BitOutcome, error) {
 	execs := inj.execCount[target]
 	if execs == 0 || !target.HasResult() {
 		return nil, fmt.Errorf("fault: %s is not an injectable target", target.Pos())
@@ -50,7 +51,7 @@ func (inj *Injector) BitProfile(target *ir.Instr, perBit int) ([]BitOutcome, err
 			})
 		}
 	}
-	res, err := inj.runTrials(specs)
+	res, err := inj.runTrials(ctx, specs, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"trident/internal/ir"
@@ -24,7 +25,7 @@ entry:
 			x = in
 		}
 	})
-	profile, err := inj.BitProfile(x, 2)
+	profile, err := inj.BitProfile(context.Background(), x, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestBitProfileRejectsNonTarget(t *testing.T) {
 			print = in
 		}
 	})
-	if _, err := inj.BitProfile(print, 1); err == nil {
+	if _, err := inj.BitProfile(context.Background(), print, 1); err == nil {
 		t.Error("print should not be bit-profilable")
 	}
 }

@@ -1,8 +1,10 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"trident/internal/ir"
@@ -25,26 +27,61 @@ func (r *rng) next() uint64 {
 	return r.s * 0x2545F4914F6CDD1D
 }
 
-// intn returns a pseudo-random value in [0, n).
-func (r *rng) intn(n uint64) uint64 { return r.next() % n }
+// intn returns a uniform pseudo-random value in [0, n). Raw `next() % n`
+// is biased for n that do not divide 2^64, so draws landing in the
+// truncated final bucket [0, 2^64 mod n) are rejected and redrawn; the
+// expected number of redraws is below one for every n.
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		panic(&EngineError{Err: fmt.Errorf("fault: intn(0)")})
+	}
+	if n&(n-1) == 0 {
+		return r.next() & (n - 1)
+	}
+	min := -n % n // 2^64 mod n
+	for {
+		if v := r.next(); v >= min {
+			return v % n
+		}
+	}
+}
 
-// CampaignResult aggregates a set of injection trials.
+// CampaignResult aggregates a set of injection trials. Campaigns degrade
+// gracefully: trials whose engine failed are classified Errored and kept
+// (with their errors in Errs), and a cancelled campaign returns the
+// completed prefix of its trials instead of nothing.
 type CampaignResult struct {
 	// Trials are the individual injections, in sampling order.
 	Trials []Injection
-	// Counts indexes outcome tallies by Outcome.
+	// Counts indexes outcome tallies by Outcome, including Errored.
 	Counts map[Outcome]int
+	// Errs describes every Errored trial, ordered by trial index.
+	Errs []TrialError
 }
 
 // N returns the number of trials.
 func (c *CampaignResult) N() int { return len(c.Trials) }
 
-// Rate returns the fraction of trials with the given outcome.
+// ClassifiedN returns the number of trials that produced a program-level
+// classification (everything except Errored).
+func (c *CampaignResult) ClassifiedN() int { return len(c.Trials) - c.Counts[Errored] }
+
+// Rate returns the fraction of trials with the given outcome. Program
+// outcomes are normalized over classified trials only, so engine failures
+// do not dilute the measured rates; Rate(Errored) is normalized over all
+// trials.
 func (c *CampaignResult) Rate(o Outcome) float64 {
 	if len(c.Trials) == 0 {
 		return 0
 	}
-	return float64(c.Counts[o]) / float64(len(c.Trials))
+	if o == Errored {
+		return float64(c.Counts[o]) / float64(len(c.Trials))
+	}
+	n := c.ClassifiedN()
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Counts[o]) / float64(n)
 }
 
 // SDCProb returns the measured SDC probability (SDC / activated faults).
@@ -70,12 +107,20 @@ func (c *CampaignResult) MeanCrashLatency() float64 {
 // SDC probability under the normal approximation — the error bars the
 // paper reports (±0.07% to ±1.76% at 3000 samples).
 func (c *CampaignResult) ErrorBar95() float64 {
-	n := float64(len(c.Trials))
+	n := float64(c.ClassifiedN())
 	if n == 0 {
 		return 0
 	}
 	p := c.SDCProb()
 	return 1.96 * math.Sqrt(p*(1-p)/n)
+}
+
+// tally recomputes Counts from Trials.
+func (c *CampaignResult) tally() {
+	c.Counts = make(map[Outcome]int)
+	for _, tr := range c.Trials {
+		c.Counts[tr.Outcome]++
+	}
 }
 
 // trialSpec is a pre-sampled injection target; sampling happens
@@ -86,69 +131,197 @@ type trialSpec struct {
 	bit      int
 }
 
-// runTrials executes the specs with the configured worker pool.
-func (inj *Injector) runTrials(specs []trialSpec) (*CampaignResult, error) {
-	res := &CampaignResult{
-		Trials: make([]Injection, len(specs)),
-		Counts: make(map[Outcome]int),
+// key returns the spec's durable identity for checkpointing. Instruction
+// IDs are function-local, so the function name is part of the key; the
+// campaign seed lives in the checkpoint header.
+func (s trialSpec) key() TrialKey {
+	return TrialKey{Func: s.instr.Block.Fn.Name, Instr: s.instr.ID, Instance: s.instance, Bit: s.bit}
+}
+
+// runTrial executes one spec with panic isolation and bounded retry. The
+// second return is non-nil when the trial exhausted its attempts and was
+// classified Errored; cancelled reports that the campaign context fired
+// mid-trial, leaving the trial unclassified.
+func (inj *Injector) runTrial(ctx context.Context, spec trialSpec) (tr Injection, terr *TrialError, cancelled bool) {
+	tr = Injection{Instr: spec.instr, Instance: spec.instance, Bit: spec.bit}
+	attempts := 1 + inj.opts.MaxRetries
+	if attempts < 1 {
+		attempts = 1
 	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		detail, err := inj.attemptTrial(ctx, spec, attempt)
+		if err == nil {
+			tr.Outcome = detail.Outcome
+			tr.CrashLatency = detail.CrashLatency
+			return tr, nil, false
+		}
+		if ctx.Err() != nil {
+			return Injection{}, nil, true
+		}
+		lastErr = err
+		if !isTransient(err) {
+			// Deterministic failures (engine bugs, invalid specs) cannot
+			// succeed on retry; fail fast with attempt count = attempt.
+			attempts = attempt
+			break
+		}
+	}
+	tr.Outcome = Errored
+	return tr, &TrialError{
+		Instr:    spec.instr,
+		Instance: spec.instance,
+		Bit:      spec.bit,
+		Attempts: attempts,
+		Err:      lastErr,
+	}, false
+}
+
+// attemptTrial performs one attempt of one trial behind a panic barrier:
+// a panic anywhere in the trial (engine, hooks, classification) becomes a
+// typed *EngineError instead of killing the campaign process.
+func (inj *Injector) attemptTrial(ctx context.Context, spec trialSpec, attempt int) (d Detail, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &EngineError{
+				Err:       fmt.Errorf("fault: trial panicked: %v", r),
+				Recovered: r,
+			}
+		}
+	}()
+	if h := inj.opts.TrialHook; h != nil {
+		if herr := h(spec.instr, spec.instance, spec.bit, attempt); herr != nil {
+			return Detail{}, herr
+		}
+	}
+	return inj.InjectDetail(ctx, spec.instr, spec.instance, spec.bit)
+}
+
+// runTrials executes the specs with the configured worker pool.
+//
+// Robustness contract:
+//   - Failed trials never abort the campaign: they are classified Errored
+//     and detailed in the result's Errs slice.
+//   - Cancelling ctx stops launching new trials and returns the completed
+//     prefix of the campaign together with ctx.Err(); results are
+//     byte-identical to the same prefix of an uninterrupted run.
+//   - When ck is non-nil, completed trials are replayed from the log
+//     instead of re-executed, and fresh completions are appended to it.
+func (inj *Injector) runTrials(ctx context.Context, specs []trialSpec, ck *Checkpoint) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := &CampaignResult{Trials: make([]Injection, len(specs))}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []TrialError
 	)
 	sem := make(chan struct{}, inj.opts.Workers)
+	launched := 0
+launch:
 	for i, spec := range specs {
+		if ck != nil {
+			if tr, terr, ok := ck.replay(spec); ok {
+				res.Trials[i] = tr
+				if terr != nil {
+					terr.Index = i
+					mu.Lock()
+					errs = append(errs, *terr)
+					mu.Unlock()
+				}
+				launched = i + 1
+				continue
+			}
+		}
+		select {
+		case <-ctx.Done():
+			break launch
+		case sem <- struct{}{}:
+		}
+		launched = i + 1
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, spec trialSpec) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			detail, err := inj.InjectDetail(spec.instr, spec.instance, spec.bit)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
+			tr, terr, cancelled := inj.runTrial(ctx, spec)
+			if cancelled {
 				return
 			}
-			res.Trials[i] = Injection{
-				Instr:        spec.instr,
-				Instance:     spec.instance,
-				Bit:          spec.bit,
-				Outcome:      detail.Outcome,
-				CrashLatency: detail.CrashLatency,
+			mu.Lock()
+			res.Trials[i] = tr
+			if terr != nil {
+				terr.Index = i
+				errs = append(errs, *terr)
+			}
+			mu.Unlock()
+			if ck != nil {
+				ck.record(spec, tr, terr)
 			}
 		}(i, spec)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+
+	if err := ctx.Err(); err != nil {
+		// Keep exactly the contiguous completed prefix: trials past the
+		// cancellation point (or cancelled mid-flight) are unclassified
+		// zero values and must not leak into the result.
+		n := launched
+		for i := 0; i < n; i++ {
+			if res.Trials[i].Outcome == 0 {
+				n = i
+				break
+			}
+		}
+		res.Trials = res.Trials[:n]
+		kept := errs[:0]
+		for _, te := range errs {
+			if te.Index < n {
+				kept = append(kept, te)
+			}
+		}
+		errs = kept
+		res.Errs = sortTrialErrs(errs)
+		res.tally()
+		return res, err
 	}
-	for _, tr := range res.Trials {
-		res.Counts[tr.Outcome]++
-	}
+	res.Errs = sortTrialErrs(errs)
+	res.tally()
 	return res, nil
 }
 
-// CampaignRandom performs n statistical injections sampled uniformly over
-// the activation space (dynamic register writes), the paper's overall-SDC
-// measurement (§V-B1).
-func (inj *Injector) CampaignRandom(n int) (*CampaignResult, error) {
+// sortTrialErrs orders errors by trial index so error reports are
+// deterministic regardless of worker interleaving.
+func sortTrialErrs(errs []TrialError) []TrialError {
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Index < errs[j].Index })
+	return errs
+}
+
+// sampleRandom draws n uniform specs over the activation space. Sampling
+// is sequential and depends only on the seed, so campaigns (and their
+// checkpoints) are reproducible across worker counts and restarts.
+func (inj *Injector) sampleRandom(n int) []trialSpec {
 	r := newRNG(inj.opts.Seed)
 	specs := make([]trialSpec, n)
 	for i := range specs {
 		in, instance := inj.pick(1 + r.intn(inj.total))
 		specs[i] = trialSpec{instr: in, instance: instance, bit: randomBit(r, in)}
 	}
-	return inj.runTrials(specs)
+	return specs
+}
+
+// CampaignRandom performs n statistical injections sampled uniformly over
+// the activation space (dynamic register writes), the paper's overall-SDC
+// measurement (§V-B1). Cancelling ctx returns the completed prefix of the
+// campaign along with ctx.Err().
+func (inj *Injector) CampaignRandom(ctx context.Context, n int) (*CampaignResult, error) {
+	return inj.runTrials(ctx, inj.sampleRandom(n), nil)
 }
 
 // CampaignPerInstr performs n injections into random dynamic instances of
 // one static instruction, the paper's per-instruction measurement (§V-B2,
 // 100 faults per instruction).
-func (inj *Injector) CampaignPerInstr(target *ir.Instr, n int) (*CampaignResult, error) {
+func (inj *Injector) CampaignPerInstr(ctx context.Context, target *ir.Instr, n int) (*CampaignResult, error) {
 	execs := inj.execCount[target]
 	if execs == 0 || !target.HasResult() {
 		return nil, fmt.Errorf("fault: %s is not an injectable target", target.Pos())
@@ -162,15 +335,15 @@ func (inj *Injector) CampaignPerInstr(target *ir.Instr, n int) (*CampaignResult,
 			bit:      randomBit(r, target),
 		}
 	}
-	return inj.runTrials(specs)
+	return inj.runTrials(ctx, specs, nil)
 }
 
 // PerInstrSDC measures per-instruction SDC probabilities for the given
 // targets with n trials each, returning a map target → SDC probability.
-func (inj *Injector) PerInstrSDC(targets []*ir.Instr, n int) (map[*ir.Instr]float64, error) {
+func (inj *Injector) PerInstrSDC(ctx context.Context, targets []*ir.Instr, n int) (map[*ir.Instr]float64, error) {
 	out := make(map[*ir.Instr]float64, len(targets))
 	for _, in := range targets {
-		res, err := inj.CampaignPerInstr(in, n)
+		res, err := inj.CampaignPerInstr(ctx, in, n)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,339 @@
+// This file implements checkpoint/resume for fault-injection campaigns.
+// A campaign is a pure function of (module, seed, n): the sampled trial
+// list is re-derived deterministically, so the log only needs to persist
+// completed trial outcomes keyed by their durable identity. An
+// interrupted campaign replays cached trials from the log and executes
+// just the remainder, reproducing the uninterrupted result bit for bit.
+
+package fault
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// TrialKey durably identifies one trial of a campaign across process
+// restarts: instruction IDs are function-local, so the function name is
+// part of the key. The campaign seed lives in the checkpoint header.
+type TrialKey struct {
+	Func     string
+	Instr    int
+	Instance uint64
+	Bit      int
+}
+
+// checkpointMeta is the first line of a checkpoint log. Resume validates
+// it so a log is never replayed against a different campaign.
+type checkpointMeta struct {
+	Version int    `json:"version"`
+	Module  string `json:"module"`
+	Kind    string `json:"kind"`
+	Seed    uint64 `json:"seed"`
+	// Space is the activation space of the golden run — a cheap integrity
+	// check that the module and input are the ones the log was built for.
+	Space uint64 `json:"space"`
+	N     int    `json:"n"`
+}
+
+const checkpointVersion = 1
+
+// trialRecord is one completed trial, one JSON object per line.
+type trialRecord struct {
+	Func     string `json:"fn"`
+	Instr    int    `json:"instr"`
+	Instance uint64 `json:"instance"`
+	Bit      int    `json:"bit"`
+	Outcome  string `json:"outcome"`
+	Latency  uint64 `json:"latency,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+func (r trialRecord) key() TrialKey {
+	return TrialKey{Func: r.Func, Instr: r.Instr, Instance: r.Instance, Bit: r.Bit}
+}
+
+// Checkpoint is an append-only JSONL log of completed campaign trials.
+// It is safe for concurrent use by campaign workers.
+type Checkpoint struct {
+	path string
+
+	mu       sync.Mutex
+	f        *os.File
+	cache    map[TrialKey]trialRecord
+	replayed int
+	writeErr error
+}
+
+// openCheckpoint creates the log at path, or loads and compacts an
+// existing one. requireExisting distinguishes explicit resume (the log
+// must be there) from create-or-resume.
+func openCheckpoint(path string, meta checkpointMeta, requireExisting bool) (*Checkpoint, error) {
+	ck := &Checkpoint{path: path, cache: make(map[TrialKey]trialRecord)}
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist) || (err == nil && len(data) == 0):
+		if requireExisting {
+			return nil, fmt.Errorf("fault: resume: no checkpoint at %s", path)
+		}
+		return ck, ck.create(meta)
+	case err != nil:
+		return nil, fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	if err := ck.load(data, meta); err != nil {
+		return nil, err
+	}
+	// Compact: rewrite the log with only the header and intact records in
+	// deterministic (key-sorted) shard order. This drops any truncated
+	// final line left by a kill mid-write, so appends land on valid JSONL.
+	if err := ck.compact(meta); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// create writes a fresh log containing only the header.
+func (ck *Checkpoint) create(meta checkpointMeta) error {
+	f, err := os.OpenFile(ck.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	line, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	ck.f = f
+	return nil
+}
+
+// load parses an existing log, validating the header against want and
+// tolerating a truncated final line.
+func (ck *Checkpoint) load(data []byte, want checkpointMeta) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return fmt.Errorf("fault: checkpoint %s: missing header", ck.path)
+	}
+	var meta checkpointMeta
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return fmt.Errorf("fault: checkpoint %s: bad header: %w", ck.path, err)
+	}
+	if meta.Version != want.Version || meta.Module != want.Module ||
+		meta.Kind != want.Kind || meta.Seed != want.Seed || meta.Space != want.Space {
+		return fmt.Errorf("fault: checkpoint %s was written by a different campaign "+
+			"(module %q seed %d space %d, want module %q seed %d space %d)",
+			ck.path, meta.Module, meta.Seed, meta.Space, want.Module, want.Seed, want.Space)
+	}
+	for sc.Scan() {
+		var rec trialRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Truncated or corrupt tail: everything before it is still
+			// good; the compaction pass discards this line.
+			break
+		}
+		if _, ok := outcomeFromName(rec.Outcome); !ok {
+			break
+		}
+		ck.cache[rec.key()] = rec
+	}
+	return nil
+}
+
+// compact atomically rewrites the log as header + cached records in
+// key-sorted order, then reopens it for appending.
+func (ck *Checkpoint) compact(meta checkpointMeta) error {
+	tmp := ck.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		f.Close()
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	recs := make([]trialRecord, 0, len(ck.cache))
+	for _, rec := range ck.cache {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		return a.Bit < b.Bit
+	})
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return fmt.Errorf("fault: checkpoint: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, ck.path); err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	out, err := os.OpenFile(ck.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	ck.f = out
+	return nil
+}
+
+// replay returns the cached result for spec, if the log has one. The
+// cache is read under the lock: the launcher replays specs while workers
+// are still recording fresh completions.
+func (ck *Checkpoint) replay(spec trialSpec) (Injection, *TrialError, bool) {
+	ck.mu.Lock()
+	rec, ok := ck.cache[spec.key()]
+	if ok {
+		ck.replayed++
+	}
+	ck.mu.Unlock()
+	if !ok {
+		return Injection{}, nil, false
+	}
+	outcome, _ := outcomeFromName(rec.Outcome)
+	tr := Injection{
+		Instr:        spec.instr,
+		Instance:     spec.instance,
+		Bit:          spec.bit,
+		Outcome:      outcome,
+		CrashLatency: rec.Latency,
+	}
+	if outcome != Errored {
+		return tr, nil, true
+	}
+	return tr, &TrialError{
+		Instr:    spec.instr,
+		Instance: spec.instance,
+		Bit:      spec.bit,
+		Attempts: rec.Attempts,
+		Err:      errors.New(rec.Err),
+	}, true
+}
+
+// record appends one completed trial. Write failures do not abort the
+// campaign (the in-memory result is still valid); the first one is
+// surfaced by Close.
+func (ck *Checkpoint) record(spec trialSpec, tr Injection, terr *TrialError) {
+	key := spec.key()
+	rec := trialRecord{
+		Func:     key.Func,
+		Instr:    key.Instr,
+		Instance: key.Instance,
+		Bit:      key.Bit,
+		Outcome:  tr.Outcome.String(),
+		Latency:  tr.CrashLatency,
+	}
+	if terr != nil {
+		rec.Attempts = terr.Attempts
+		rec.Err = terr.Err.Error()
+	}
+	line, err := json.Marshal(rec)
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if err != nil {
+		if ck.writeErr == nil {
+			ck.writeErr = err
+		}
+		return
+	}
+	ck.cache[key] = rec
+	if _, err := ck.f.Write(append(line, '\n')); err != nil && ck.writeErr == nil {
+		ck.writeErr = err
+	}
+}
+
+// Replayed returns the number of trials served from the log instead of
+// re-executed.
+func (ck *Checkpoint) Replayed() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.replayed
+}
+
+// Close flushes and closes the log, returning the first write failure.
+func (ck *Checkpoint) Close() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	var err error
+	if ck.f != nil {
+		err = ck.f.Close()
+		ck.f = nil
+	}
+	if ck.writeErr != nil {
+		return fmt.Errorf("fault: checkpoint write: %w", ck.writeErr)
+	}
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint close: %w", err)
+	}
+	return nil
+}
+
+// metaRandom describes a CampaignRandom run for checkpoint validation.
+func (inj *Injector) metaRandom(n int) checkpointMeta {
+	return checkpointMeta{
+		Version: checkpointVersion,
+		Module:  inj.module.Name,
+		Kind:    "random",
+		Seed:    inj.opts.Seed,
+		Space:   inj.total,
+		N:       n,
+	}
+}
+
+// CampaignRandomCheckpoint is CampaignRandom persisted to a JSONL log at
+// path: every completed trial is appended as it finishes, and an existing
+// log is resumed — cached trials replay instantly, only the remainder
+// executes. Cancelling ctx still flushes completed trials to the log, so
+// a killed campaign loses at most its in-flight trials.
+func (inj *Injector) CampaignRandomCheckpoint(ctx context.Context, n int, path string) (*CampaignResult, error) {
+	return inj.checkpointedRandom(ctx, n, path, false)
+}
+
+// ResumeCampaign continues an interrupted CampaignRandomCheckpoint run
+// from its log. Unlike CampaignRandomCheckpoint it refuses to start from
+// scratch: a missing log is an error, guarding against typoed paths
+// silently re-running a multi-hour campaign.
+func (inj *Injector) ResumeCampaign(ctx context.Context, n int, path string) (*CampaignResult, error) {
+	return inj.checkpointedRandom(ctx, n, path, true)
+}
+
+func (inj *Injector) checkpointedRandom(ctx context.Context, n int, path string, requireExisting bool) (*CampaignResult, error) {
+	ck, err := openCheckpoint(path, inj.metaRandom(n), requireExisting)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := inj.runTrials(ctx, inj.sampleRandom(n), ck)
+	if cerr := ck.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	return res, runErr
+}

@@ -1,0 +1,72 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"trident/internal/ir"
+)
+
+// EngineError classifies a trial failure that originated in the execution
+// engine (or its harness) rather than in the simulated program: recovered
+// panics, interpreter-internal errors, and per-trial watchdog expiries.
+// Trials that fail with an EngineError are classified with the Errored
+// outcome instead of aborting the campaign, so partial results are always
+// preserved (graceful degradation).
+type EngineError struct {
+	// Err is the underlying failure.
+	Err error
+	// Transient marks failures worth retrying with the same trial spec
+	// (e.g. a wall-clock watchdog firing under load). Deterministic engine
+	// bugs are not transient: re-running them wastes the retry budget.
+	Transient bool
+	// Recovered is the recovered panic value when the trial panicked
+	// (nil otherwise).
+	Recovered any
+}
+
+// Error implements error.
+func (e *EngineError) Error() string {
+	if e.Recovered != nil {
+		return fmt.Sprintf("fault: engine panic: %v", e.Recovered)
+	}
+	return fmt.Sprintf("fault: engine error: %v", e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *EngineError) Unwrap() error { return e.Err }
+
+// isTransient reports whether a trial error advertises itself as
+// retryable. Only transient EngineErrors consume retry attempts; anything
+// else (spec validation errors, deterministic engine bugs) fails fast.
+func isTransient(err error) bool {
+	var ee *EngineError
+	return errors.As(err, &ee) && ee.Transient
+}
+
+// TrialError records one trial that exhausted its attempts without
+// producing a classification. The spec identity is preserved so errored
+// trials remain attributable and re-runnable.
+type TrialError struct {
+	// Index is the trial's position in the campaign's sampling order.
+	Index int
+	// Instr is the targeted static instruction.
+	Instr *ir.Instr
+	// Instance is the targeted 1-based dynamic occurrence.
+	Instance uint64
+	// Bit is the targeted bit position.
+	Bit int
+	// Attempts is the number of executions performed (1 + retries).
+	Attempts int
+	// Err is the last failure observed.
+	Err error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("fault: trial %d (%s instance %d bit %d) failed after %d attempt(s): %v",
+		e.Index, e.Instr.Pos(), e.Instance, e.Bit, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TrialError) Unwrap() error { return e.Err }

@@ -9,7 +9,10 @@
 package fault
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"trident/internal/interp"
 	"trident/internal/ir"
@@ -30,6 +33,11 @@ const (
 	Hang
 	// Detected: a duplication check caught the corruption.
 	Detected
+	// Errored: the trial could not be classified because the engine itself
+	// failed (panic, internal error, or watchdog expiry) after exhausting
+	// its retry budget. Errored trials carry no program-behavior signal;
+	// campaigns report them separately so partial results stay usable.
+	Errored
 )
 
 // String returns the outcome name.
@@ -45,9 +53,24 @@ func (o Outcome) String() string {
 		return "hang"
 	case Detected:
 		return "detected"
+	case Errored:
+		return "errored"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
+}
+
+// AllOutcomes lists every trial classification in reporting order.
+var AllOutcomes = []Outcome{Benign, SDC, Crash, Hang, Detected, Errored}
+
+// outcomeFromName inverts Outcome.String for checkpoint decoding.
+func outcomeFromName(s string) (Outcome, bool) {
+	for _, o := range AllOutcomes {
+		if o.String() == s {
+			return o, true
+		}
+	}
+	return 0, false
 }
 
 // Injection describes one fault-injection trial.
@@ -77,6 +100,22 @@ type Options struct {
 	// Workers is the number of concurrent injection runs in campaigns
 	// (0 = 4). Each run is independent; memory states are never shared.
 	Workers int
+	// TrialTimeout is a per-trial wall-clock watchdog layered on top of
+	// the instruction budget (0 = none). A trial that exceeds it fails
+	// with a transient EngineError: it is retried up to MaxRetries times
+	// and then classified Errored.
+	TrialTimeout time.Duration
+	// MaxRetries bounds re-executions of a trial that fails with a
+	// transient EngineError. Retries re-run the exact same
+	// (instruction, instance, bit) spec — never a re-sampled one — so
+	// flaky trials cannot skew outcome rates.
+	MaxRetries int
+	// TrialHook, when non-nil, runs before every trial attempt with the
+	// trial spec and 1-based attempt number. A non-nil return (or a panic)
+	// fails the attempt. It exists to inject faults into the fault
+	// injector itself: campaign-robustness tests and chaos drills use it
+	// to simulate engine panics and transient failures deterministically.
+	TrialHook func(target *ir.Instr, instance uint64, bit int, attempt int) error
 }
 
 const (
@@ -167,9 +206,10 @@ func (inj *Injector) Targets() []*ir.Instr {
 }
 
 // Inject runs one trial: the bit-th bit of the result of the instance-th
-// dynamic execution of target is flipped.
-func (inj *Injector) Inject(target *ir.Instr, instance uint64, bit int) (Outcome, error) {
-	d, err := inj.InjectDetail(target, instance, bit)
+// dynamic execution of target is flipped. ctx cancels the run; nil means
+// context.Background.
+func (inj *Injector) Inject(ctx context.Context, target *ir.Instr, instance uint64, bit int) (Outcome, error) {
+	d, err := inj.InjectDetail(ctx, target, instance, bit)
 	return d.Outcome, err
 }
 
@@ -187,14 +227,27 @@ type Detail struct {
 // mean crashes are easy to contain; long-latency crashes behave like SDCs
 // for checkpointing purposes (Li et al.'s characterization in the paper's
 // related work).
-func (inj *Injector) InjectDetail(target *ir.Instr, instance uint64, bit int) (Detail, error) {
+func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instance uint64, bit int) (Detail, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if instance == 0 {
 		return Detail{}, fmt.Errorf("fault: instance is 1-based")
+	}
+	// The per-trial watchdog bounds wall-clock time on top of the
+	// instruction budget; its expiry (as opposed to campaign-level
+	// cancellation of the parent context) is a transient engine failure.
+	parent := ctx
+	if inj.opts.TrialTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, inj.opts.TrialTimeout)
+		defer cancel()
 	}
 	var seen uint64
 	var injectedAt uint64
 	injected := false
 	res, err := interp.Run(inj.module, interp.Options{
+		Context:      ctx,
 		MaxDynInstrs: inj.hangBudget,
 		Hooks: interp.Hooks{
 			OnResult: func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64 {
@@ -212,7 +265,23 @@ func (inj *Injector) InjectDetail(target *ir.Instr, instance uint64, bit int) (D
 		},
 	})
 	if err != nil {
-		return Detail{}, fmt.Errorf("fault: injected run: %w", err)
+		switch {
+		case parent.Err() != nil:
+			// Campaign-level cancellation: propagate as-is so the caller
+			// can distinguish "stop everything" from a failed trial.
+			return Detail{}, parent.Err()
+		case errors.Is(ctx.Err(), context.DeadlineExceeded):
+			return Detail{}, &EngineError{
+				Err:       fmt.Errorf("trial watchdog (%v) expired: %w", inj.opts.TrialTimeout, err),
+				Transient: true,
+			}
+		default:
+			var ie *interp.InternalError
+			if errors.As(err, &ie) {
+				return Detail{}, &EngineError{Err: ie, Recovered: ie.Recovered}
+			}
+			return Detail{}, fmt.Errorf("fault: injected run: %w", err)
+		}
 	}
 	if !injected {
 		return Detail{}, fmt.Errorf("fault: instance %d of %s never executed", instance, target.Pos())

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"trident/internal/ir"
@@ -88,7 +89,7 @@ func TestInjectHighBitOfPrintedValueIsSDC(t *testing.T) {
 	}
 	// Corrupt the last dynamic instance (instance 32) at a high bit: the
 	// corrupted value is printed directly.
-	out, err := inj.Inject(sum, 32, 40)
+	out, err := inj.Inject(context.Background(), sum, 32, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestInjectMaskedBitIsBenign(t *testing.T) {
 		}
 	}
 	// Bit 5 of %x is discarded by the and with 1.
-	out, err := inj.Inject(x, 1, 5)
+	out, err := inj.Inject(context.Background(), x, 1, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestInjectMaskedBitIsBenign(t *testing.T) {
 		t.Errorf("outcome = %v, want benign", out)
 	}
 	// Bit 0 changes the printed value.
-	out, err = inj.Inject(x, 1, 0)
+	out, err = inj.Inject(context.Background(), x, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ entry:
 		}
 	}
 	// Flipping a high address bit lands far outside every segment.
-	out, err := inj.Inject(gep, 1, 50)
+	out, err := inj.Inject(context.Background(), gep, 1, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ done:
 			inc = in
 		}
 	}
-	out, err := inj.Inject(inc, 2, 62)
+	out, err := inj.Inject(context.Background(), inc, 2, 62)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ entry:
 			a = in
 		}
 	}
-	out, err := inj.Inject(a, 1, 13)
+	out, err := inj.Inject(context.Background(), a, 1, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,11 +214,11 @@ entry:
 }
 
 func TestCampaignRandomDeterministic(t *testing.T) {
-	a, err := newInjector(t, vulnerable, 42).CampaignRandom(50)
+	a, err := newInjector(t, vulnerable, 42).CampaignRandom(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := newInjector(t, vulnerable, 42).CampaignRandom(50)
+	b, err := newInjector(t, vulnerable, 42).CampaignRandom(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestCampaignRandomDeterministic(t *testing.T) {
 		}
 	}
 	// Different seeds should (almost surely) sample differently.
-	c, err := newInjector(t, vulnerable, 43).CampaignRandom(50)
+	c, err := newInjector(t, vulnerable, 43).CampaignRandom(context.Background(), 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestCampaignRandomDeterministic(t *testing.T) {
 }
 
 func TestCampaignAccounting(t *testing.T) {
-	res, err := newInjector(t, vulnerable, 7).CampaignRandom(200)
+	res, err := newInjector(t, vulnerable, 7).CampaignRandom(context.Background(), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestCampaignPerInstr(t *testing.T) {
 			sum = in
 		}
 	}
-	res, err := inj.CampaignPerInstr(sum, 60)
+	res, err := inj.CampaignPerInstr(context.Background(), sum, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestCampaignPerInstrRejectsNonTarget(t *testing.T) {
 			print = in
 		}
 	})
-	if _, err := inj.CampaignPerInstr(print, 5); err == nil {
+	if _, err := inj.CampaignPerInstr(context.Background(), print, 5); err == nil {
 		t.Error("print should not be injectable (no destination register)")
 	}
 }
@@ -319,7 +320,7 @@ func TestCampaignPerInstrRejectsNonTarget(t *testing.T) {
 func TestPerInstrSDCMap(t *testing.T) {
 	inj := newInjector(t, masked, 3)
 	targets := inj.Targets()
-	m, err := inj.PerInstrSDC(targets, 30)
+	m, err := inj.PerInstrSDC(context.Background(), targets, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,10 +351,10 @@ func TestInjectErrors(t *testing.T) {
 			x = in
 		}
 	})
-	if _, err := inj.Inject(x, 0, 0); err == nil {
+	if _, err := inj.Inject(context.Background(), x, 0, 0); err == nil {
 		t.Error("instance 0 should error")
 	}
-	if _, err := inj.Inject(x, 99, 0); err == nil {
+	if _, err := inj.Inject(context.Background(), x, 99, 0); err == nil {
 		t.Error("never-reached instance should error")
 	}
 }
@@ -399,7 +400,7 @@ entry:
 			i = in
 		}
 	})
-	d, err := inj.InjectDetail(i, 1, 55)
+	d, err := inj.InjectDetail(context.Background(), i, 1, 55)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ entry:
 }
 
 func TestMeanCrashLatency(t *testing.T) {
-	res, err := newInjector(t, vulnerable, 3).CampaignRandom(200)
+	res, err := newInjector(t, vulnerable, 3).CampaignRandom(context.Background(), 200)
 	if err != nil {
 		t.Fatal(err)
 	}

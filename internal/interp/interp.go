@@ -1,13 +1,33 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"runtime/debug"
 	"strings"
 
 	"trident/internal/ir"
 )
+
+// InternalError reports an interpreter-internal failure — an engine bug or
+// malformed IR reaching execution — as an ordinary error value instead of
+// a process-killing panic. It is distinct from program-level traps: a trap
+// models hardware behavior of the simulated program, an InternalError
+// means the engine itself misbehaved and the run's outcome is unusable.
+type InternalError struct {
+	// Msg describes the failure.
+	Msg string
+	// Recovered is the recovered panic value when the error was converted
+	// from a panic (nil for errors raised directly).
+	Recovered any
+	// Stack is the goroutine stack at recovery time, for diagnostics.
+	Stack string
+}
+
+// Error implements error.
+func (e *InternalError) Error() string { return e.Msg }
 
 // TrapKind classifies hardware-exception-like failures.
 type TrapKind uint8
@@ -123,6 +143,12 @@ type Hooks struct {
 
 // Options configure an execution.
 type Options struct {
+	// Context, when non-nil, cancels the run: execution stops at the next
+	// cancellation checkpoint (every cancelCheckInterval instructions) and
+	// Run returns an error wrapping ctx.Err(). Campaign engines use this
+	// for cooperative shutdown and per-trial wall-clock watchdogs on top
+	// of the instruction budget.
+	Context context.Context
 	// MaxDynInstrs bounds the number of executed instructions; exceeding
 	// it classifies the run as a hang. Zero means the default (50M).
 	MaxDynInstrs uint64
@@ -139,6 +165,9 @@ type Options struct {
 const (
 	defaultMaxDynInstrs = 50_000_000
 	defaultMaxCallDepth = 1024
+	// cancelCheckInterval is how many instructions execute between
+	// cancellation checks; a power of two so the check is a cheap mask.
+	cancelCheckInterval = 1024
 )
 
 // Context is the mutable machine state exposed to hooks.
@@ -204,7 +233,11 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	}
 
 	vm := &machine{ctx: ctx, globals: globalBase}
-	_, err := vm.call(main, nil)
+	if c := opts.Context; c != nil {
+		vm.cancelCtx = c
+		vm.cancel = c.Done()
+	}
+	_, err := vm.callSafe(main)
 
 	res := &Result{
 		Output:       ctx.output.String(),
@@ -237,6 +270,36 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 type machine struct {
 	ctx     *Context
 	globals map[*ir.Global]uint64
+
+	// cancelCtx/cancel mirror Options.Context for the cooperative
+	// cancellation checks in the instruction loop (nil = never cancelled).
+	cancelCtx context.Context
+	cancel    <-chan struct{}
+}
+
+// callSafe runs main with a panic barrier: any panic escaping the
+// instruction loop — an explicit engine assertion or an implicit runtime
+// fault such as an out-of-range slice index — is converted into a typed
+// *InternalError so one bad trial cannot take down a whole campaign
+// process.
+func (vm *machine) callSafe(main *ir.Func) (bits uint64, err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if ie, ok := r.(*InternalError); ok {
+			ie.Stack = string(debug.Stack())
+			err = ie
+			return
+		}
+		err = &InternalError{
+			Msg:       fmt.Sprintf("interp: internal panic: %v", r),
+			Recovered: r,
+			Stack:     string(debug.Stack()),
+		}
+	}()
+	return vm.call(main, nil)
 }
 
 // frame is one function activation.
@@ -259,7 +322,11 @@ func (vm *machine) eval(fr *frame, v ir.Value) uint64 {
 	case *ir.Global:
 		return vm.globals[x]
 	default:
-		panic(fmt.Sprintf("interp: unknown value kind %T", v))
+		// A value kind the machine does not know is an engine bug, not a
+		// program behavior. eval has no error return (it sits on the hot
+		// path of every operand); raise a typed error through the panic
+		// barrier in callSafe, which surfaces it as Run's error.
+		panic(&InternalError{Msg: fmt.Sprintf("interp: unknown value kind %T", v)})
 	}
 }
 
@@ -318,6 +385,14 @@ func (vm *machine) call(fn *ir.Func, args []uint64) (uint64, error) {
 			ctx.DynCount++
 			if ctx.DynCount > ctx.opts.MaxDynInstrs {
 				return 0, errHang
+			}
+			if vm.cancel != nil && ctx.DynCount&(cancelCheckInterval-1) == 0 {
+				select {
+				case <-vm.cancel:
+					return 0, fmt.Errorf("interp: run cancelled after %d instructions: %w",
+						ctx.DynCount, vm.cancelCtx.Err())
+				default:
+				}
 			}
 			if w := ctx.opts.TraceWriter; w != nil {
 				fmt.Fprintf(w, "%8d %-24s %s\n", ctx.DynCount, in.Pos(), ir.FormatInstr(in))

@@ -1,6 +1,7 @@
 package irgen
 
 import (
+	"context"
 	"testing"
 
 	"trident/internal/core"
@@ -106,7 +107,7 @@ func TestInjectionClassifiesProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		res, err := inj.CampaignRandom(40)
+		res, err := inj.CampaignRandom(context.Background(), 40)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -186,7 +187,7 @@ func TestProtectionProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		res, err := inj.CampaignRandom(40)
+		res, err := inj.CampaignRandom(context.Background(), 40)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

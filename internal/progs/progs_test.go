@@ -1,6 +1,7 @@
 package progs
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -144,7 +145,7 @@ func TestProgramsAreInjectable(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := inj.CampaignRandom(30)
+			res, err := inj.CampaignRandom(context.Background(), 30)
 			if err != nil {
 				t.Fatal(err)
 			}

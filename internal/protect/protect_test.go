@@ -1,6 +1,7 @@
 package protect
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -195,7 +196,7 @@ func TestProtectionReducesSDC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := injOrig.CampaignRandom(600)
+	base, err := injOrig.CampaignRandom(context.Background(), 600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestProtectionReducesSDC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prot, err := injProt.CampaignRandom(600)
+	prot, err := injProt.CampaignRandom(context.Background(), 600)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@
 package trident
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,6 +109,18 @@ type Options struct {
 	Samples int
 	// Workers is the FI parallelism (default 4).
 	Workers int
+	// Context, when non-nil, cancels in-flight fault-injection campaigns
+	// (Campaign, Protect); cancelled campaigns fail with the context's
+	// error rather than running to completion.
+	Context context.Context
+}
+
+// ctx resolves the configured context.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) withDefaults() Options {
@@ -231,7 +244,7 @@ func campaignModule(name string, m *ir.Module, opts Options) (*FIReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := inj.CampaignRandom(opts.Samples)
+	res, err := inj.CampaignRandom(opts.ctx(), opts.Samples)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +337,7 @@ func Protect(program string, budgetFraction float64, opts Options) (*ProtectRepo
 	if err != nil {
 		return nil, err
 	}
-	base, err := baseInj.CampaignRandom(opts.Samples)
+	base, err := baseInj.CampaignRandom(opts.ctx(), opts.Samples)
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +345,7 @@ func Protect(program string, budgetFraction float64, opts Options) (*ProtectRepo
 	if err != nil {
 		return nil, err
 	}
-	prot, err := protInj.CampaignRandom(opts.Samples)
+	prot, err := protInj.CampaignRandom(opts.ctx(), opts.Samples)
 	if err != nil {
 		return nil, err
 	}
