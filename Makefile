@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench
+.PHONY: build test check race bench bench-all
 
 build:
 	$(GO) build ./...
@@ -9,13 +9,26 @@ test:
 	$(GO) test ./...
 
 # check is the CI gate: vet everything, then race-test the concurrent
-# campaign engine and the interpreter it drives.
+# campaign engine and the interpreter it drives. The race run includes
+# the snapshot round-trip suite (internal/interp) and the differential
+# suite comparing snapshot-replay campaigns against legacy full
+# re-execution (internal/fault). The fibench smoke run then proves both
+# engines still agree end-to-end on one short real campaign.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race ./internal/fault/... ./internal/interp/...
+	$(GO) run ./cmd/fibench -programs pathfinder -n 60 -out /dev/null
+
+# bench measures the snapshot-replay campaign engine against the legacy
+# path (committed as BENCH_fi.json) and runs the campaign benchmarks.
+bench:
+	$(GO) run ./cmd/fibench -out BENCH_fi.json
+	$(GO) test -bench='BenchmarkCampaign' -benchmem .
+
+# bench-all runs the full benchmark harness (paper tables, ablations,
+# substrates); takes several minutes.
+bench-all:
+	$(GO) test -bench=. -benchmem
 
 race:
 	$(GO) test -race ./...
-
-bench:
-	$(GO) test -bench=. -benchmem

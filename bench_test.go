@@ -201,6 +201,43 @@ func BenchmarkModelAllInstructions(b *testing.B) {
 	}
 }
 
+// Campaign benchmarks: the legacy engine re-interprets every trial's
+// pre-fault prefix from instruction zero; the snapshot engine resumes
+// from the nearest golden-run snapshot. Same seed, same trials, same
+// outcomes — the only difference is wall-clock. cmd/fibench runs the
+// same comparison standalone and records it in BENCH_fi.json.
+
+func benchCampaign(b *testing.B, program string, interval uint64) {
+	p, err := progs.ByName(program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := fault.New(p.Build(), fault.Options{
+		Seed: 7, Workers: 4, SnapshotInterval: interval,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inj.CampaignRandom(context.Background(), 150); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignLegacy(b *testing.B) {
+	for _, prog := range []string{"pathfinder", "nw", "sad"} {
+		b.Run(prog, func(b *testing.B) { benchCampaign(b, prog, 0) })
+	}
+}
+
+func BenchmarkCampaignSnapshot(b *testing.B) {
+	for _, prog := range []string{"pathfinder", "nw", "sad"} {
+		b.Run(prog, func(b *testing.B) { benchCampaign(b, prog, 2048) })
+	}
+}
+
 // BenchmarkSingleInjection measures the cost of one fault-injection trial
 // — the unit FI cost that makes campaigns expensive and models attractive.
 func BenchmarkSingleInjection(b *testing.B) {

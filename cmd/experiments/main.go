@@ -15,6 +15,11 @@
 //	-format string   "text" (default) or "md" (markdown tables)
 //	-checkpoint-dir  directory for per-campaign JSONL checkpoints; an
 //	                 interrupted run (Ctrl-C, crash) resumes from them
+//	-snapshot-interval int
+//	                 dynamic instructions between golden-run snapshots that
+//	                 FI trials resume from; 0 disables snapshot replay and
+//	                 re-executes every trial from instruction zero
+//	                 (default 2048)
 package main
 
 import (
@@ -47,6 +52,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 4, "parallel FI workers")
 	format := fs.String("format", "text", "output format: text or md")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for per-campaign JSONL checkpoints; an interrupted run resumes from them")
+	snapInterval := fs.Int("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that FI trials resume from (0 = legacy full re-execution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +75,11 @@ func run(args []string) error {
 		Workers:       *workers,
 		Context:       ctx,
 		CheckpointDir: *checkpointDir,
+		// Config's convention: negative disables the snapshot engine.
+		SnapshotInterval: *snapInterval,
+	}
+	if *snapInterval == 0 {
+		cfg.SnapshotInterval = -1
 	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")

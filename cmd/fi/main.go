@@ -51,6 +51,7 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "require an existing checkpoint (refuse to start from scratch); implies -checkpoint")
 	retries := fs.Int("retries", 1, "retry attempts for trials failing with transient engine errors")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
+	snapInterval := fs.Uint64("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that trials resume from (0 = legacy full re-execution)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,16 +69,21 @@ func run(args []string) error {
 		return err
 	}
 	inj, err := fault.New(m, fault.Options{
-		Seed:         *seed,
-		Workers:      *workers,
-		MaxRetries:   *retries,
-		TrialTimeout: *trialTimeout,
+		Seed:             *seed,
+		Workers:          *workers,
+		MaxRetries:       *retries,
+		TrialTimeout:     *trialTimeout,
+		SnapshotInterval: *snapInterval,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("golden run: %d dynamic instructions, activation space %d\n",
 		inj.GoldenDynInstrs(), inj.ActivationSpace())
+	if *snapInterval > 0 {
+		fmt.Printf("snapshot replay: %d golden snapshots (interval %d)\n",
+			inj.Snapshots(), *snapInterval)
+	}
 
 	start := time.Now()
 	var res *fault.CampaignResult

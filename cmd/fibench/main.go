@@ -1,0 +1,181 @@
+// Command fibench compares the two fault-injection execution paths — the
+// legacy engine that re-interprets every trial from instruction zero, and
+// the snapshot-replay engine that resumes each trial from the nearest
+// golden-run snapshot — on identical campaigns, verifies the results are
+// bit-identical, and records the timings as JSON (BENCH_fi.json).
+//
+// Usage:
+//
+//	fibench [-programs pathfinder,nw,sad] [-n 400] [-seed 7] [-workers 4]
+//	        [-interval 2048] [-out BENCH_fi.json]
+//
+// -out "-" writes to stdout. The run fails if any program's campaigns
+// diverge between the two paths.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"trident/internal/fault"
+	"trident/internal/progs"
+)
+
+// result is one program's measurement, serialized into BENCH_fi.json.
+type result struct {
+	Program        string  `json:"program"`
+	N              int     `json:"n"`
+	Seed           uint64  `json:"seed"`
+	Workers        int     `json:"workers"`
+	GoldenDyn      uint64  `json:"golden_dyn_instrs"`
+	Interval       uint64  `json:"snapshot_interval"`
+	Snapshots      int     `json:"snapshots"`
+	SnapshotSetup  float64 `json:"snapshot_setup_ms"`
+	LegacyMs       float64 `json:"legacy_ms"`
+	SnapshotMs     float64 `json:"snapshot_ms"`
+	Speedup        float64 `json:"speedup"`
+	Identical      bool    `json:"identical"`
+	TrialsPerSecL  float64 `json:"legacy_trials_per_sec"`
+	TrialsPerSecS  float64 `json:"snapshot_trials_per_sec"`
+	OutcomeSummary string  `json:"outcomes"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fibench", flag.ContinueOnError)
+	programs := fs.String("programs", "pathfinder,nw,sad", "comma-separated benchmark names")
+	n := fs.Int("n", 400, "injections per campaign")
+	seed := fs.Uint64("seed", 7, "deterministic seed (same for both paths)")
+	workers := fs.Int("workers", 4, "parallel injection workers")
+	interval := fs.Uint64("interval", 2048, "snapshot interval in dynamic instructions")
+	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval == 0 {
+		return fmt.Errorf("-interval must be positive (0 would benchmark the legacy path against itself)")
+	}
+
+	var results []result
+	for _, name := range strings.Split(*programs, ",") {
+		name = strings.TrimSpace(name)
+		r, err := benchProgram(name, *n, *seed, *workers, *interval)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms speedup=%.2fx identical=%v\n",
+			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.Speedup, r.Identical)
+		if !r.Identical {
+			return fmt.Errorf("%s: snapshot campaign diverged from legacy campaign", name)
+		}
+		results = append(results, r)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func benchProgram(name string, n int, seed uint64, workers int, interval uint64) (result, error) {
+	p, err := progs.ByName(name)
+	if err != nil {
+		return result{}, err
+	}
+	m := p.Build()
+
+	legacy, err := fault.New(m, fault.Options{Seed: seed, Workers: workers})
+	if err != nil {
+		return result{}, err
+	}
+	start := time.Now()
+	lres, err := legacy.CampaignRandom(context.Background(), n)
+	if err != nil {
+		return result{}, err
+	}
+	legacyDur := time.Since(start)
+
+	setupStart := time.Now()
+	snap, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: workers, SnapshotInterval: interval,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	setupDur := time.Since(setupStart)
+	start = time.Now()
+	sres, err := snap.CampaignRandom(context.Background(), n)
+	if err != nil {
+		return result{}, err
+	}
+	snapDur := time.Since(start)
+
+	r := result{
+		Program:        name,
+		N:              n,
+		Seed:           seed,
+		Workers:        workers,
+		GoldenDyn:      legacy.GoldenDynInstrs(),
+		Interval:       interval,
+		Snapshots:      snap.Snapshots(),
+		SnapshotSetup:  float64(setupDur.Microseconds()) / 1000,
+		LegacyMs:       float64(legacyDur.Microseconds()) / 1000,
+		SnapshotMs:     float64(snapDur.Microseconds()) / 1000,
+		Speedup:        legacyDur.Seconds() / snapDur.Seconds(),
+		Identical:      identical(lres, sres),
+		TrialsPerSecL:  float64(n) / legacyDur.Seconds(),
+		TrialsPerSecS:  float64(n) / snapDur.Seconds(),
+		OutcomeSummary: summarize(lres),
+	}
+	return r, nil
+}
+
+// identical reports whether two campaigns produced the same trials in the
+// same order with the same classifications — the bit-identity contract
+// the differential test suite enforces, re-checked here on every bench
+// run so the published speedup is never measured against a wrong result.
+func identical(a, b *fault.CampaignResult) bool {
+	if len(a.Trials) != len(b.Trials) || len(a.Errs) != len(b.Errs) {
+		return false
+	}
+	for i := range a.Trials {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if ta.Instr != tb.Instr || ta.Instance != tb.Instance || ta.Bit != tb.Bit ||
+			ta.Outcome != tb.Outcome || ta.CrashLatency != tb.CrashLatency {
+			return false
+		}
+	}
+	return true
+}
+
+func summarize(res *fault.CampaignResult) string {
+	var b strings.Builder
+	for _, o := range fault.AllOutcomes {
+		if res.Counts[o] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", o, res.Counts[o])
+	}
+	return b.String()
+}

@@ -157,7 +157,7 @@ func AblationKnapsack(cfg Config) (*AblationKnapsackResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			inj, err := fault.New(protected, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+			inj, err := fault.New(protected, cfg.faultOptions(cfg.Seed))
 			if err != nil {
 				return nil, err
 			}

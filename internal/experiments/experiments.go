@@ -45,6 +45,24 @@ type Config struct {
 	// JSONL log in that directory so an interrupted experiment run resumes
 	// with its completed trials replayed from disk.
 	CheckpointDir string
+	// SnapshotInterval tunes the injectors' snapshot-replay engine: golden
+	// state snapshots are captured roughly this many dynamic instructions
+	// apart and trials resume from the nearest one before their injection
+	// point. Zero selects the default (2048); negative disables snapshots
+	// and runs every trial from instruction zero (the legacy path, kept
+	// for differential testing). Campaign results are bit-identical either
+	// way.
+	SnapshotInterval int
+}
+
+// faultOptions builds injector options for the given sampling seed,
+// resolving the snapshot-interval convention above.
+func (c Config) faultOptions(seed uint64) fault.Options {
+	opts := fault.Options{Seed: seed, Workers: c.Workers}
+	if c.SnapshotInterval > 0 {
+		opts.SnapshotInterval = uint64(c.SnapshotInterval)
+	}
+	return opts
 }
 
 // ctx resolves the configured cancellation context.
@@ -78,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 2018 // DSN'18
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 2048
+	}
 	if len(c.Programs) == 0 {
 		for _, p := range progs.All() {
 			c.Programs = append(c.Programs, p.Name)
@@ -109,7 +130,7 @@ var sharedLoader = &loader{cache: make(map[string]*ProgramData)}
 // Load builds (or returns cached) per-program state.
 func Load(name string, cfg Config) (*ProgramData, error) {
 	cfg = cfg.withDefaults()
-	key := fmt.Sprintf("%s/%d/%d", name, cfg.Seed, cfg.Workers)
+	key := fmt.Sprintf("%s/%d/%d/%d", name, cfg.Seed, cfg.Workers, cfg.SnapshotInterval)
 	sharedLoader.mu.Lock()
 	defer sharedLoader.mu.Unlock()
 	if pd, ok := sharedLoader.cache[key]; ok {
@@ -125,7 +146,7 @@ func Load(name string, cfg Config) (*ProgramData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
-	inj, err := fault.New(m, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+	inj, err := fault.New(m, cfg.faultOptions(cfg.Seed))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}

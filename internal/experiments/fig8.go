@@ -121,7 +121,7 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				inj, err := fault.New(protected, fault.Options{Seed: cfg.Seed, Workers: cfg.Workers})
+				inj, err := fault.New(protected, cfg.faultOptions(cfg.Seed))
 				if err != nil {
 					return nil, err
 				}

@@ -54,7 +54,7 @@ func InputSensitivity(cfg Config, variants int) ([]InputRow, error) {
 		var fiMin, fiMax, mMin, mMax float64
 		for v := 0; v < variants; v++ {
 			m := prog.BuildInput(v)
-			inj, err := fault.New(m, fault.Options{Seed: cfg.Seed + uint64(v), Workers: cfg.Workers})
+			inj, err := fault.New(m, cfg.faultOptions(cfg.Seed+uint64(v)))
 			if err != nil {
 				return nil, fmt.Errorf("%s variant %d: %w", name, v, err)
 			}

@@ -209,34 +209,36 @@ func (ck *Checkpoint) compact(meta checkpointMeta) error {
 // replay returns the cached result for spec, if the log has one. The
 // cache is read under the lock: the launcher replays specs while workers
 // are still recording fresh completions.
+//
+// Errored records are deliberately NOT replayed: an Errored outcome means
+// the engine failed (after exhausting in-session retries), not that the
+// program under test was observed. Re-attempting it on resume gives
+// transient failures (timeouts, resource pressure) a fresh chance without
+// ever counting the trial twice — the fresh result overwrites the stale
+// record in both the cache and the log, so CampaignResult.Errs carries at
+// most one entry per trial no matter how many sessions retried it.
 func (ck *Checkpoint) replay(spec trialSpec) (Injection, *TrialError, bool) {
 	ck.mu.Lock()
 	rec, ok := ck.cache[spec.key()]
 	if ok {
-		ck.replayed++
+		if o, _ := outcomeFromName(rec.Outcome); o == Errored {
+			ok = false
+		} else {
+			ck.replayed++
+		}
 	}
 	ck.mu.Unlock()
 	if !ok {
 		return Injection{}, nil, false
 	}
 	outcome, _ := outcomeFromName(rec.Outcome)
-	tr := Injection{
+	return Injection{
 		Instr:        spec.instr,
 		Instance:     spec.instance,
 		Bit:          spec.bit,
 		Outcome:      outcome,
 		CrashLatency: rec.Latency,
-	}
-	if outcome != Errored {
-		return tr, nil, true
-	}
-	return tr, &TrialError{
-		Instr:    spec.instr,
-		Instance: spec.instance,
-		Bit:      spec.bit,
-		Attempts: rec.Attempts,
-		Err:      errors.New(rec.Err),
-	}, true
+	}, nil, true
 }
 
 // record appends one completed trial. Write failures do not abort the

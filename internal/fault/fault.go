@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"time"
 
 	"trident/internal/interp"
@@ -110,6 +112,15 @@ type Options struct {
 	// (instruction, instance, bit) spec — never a re-sampled one — so
 	// flaky trials cannot skew outcome rates.
 	MaxRetries int
+	// SnapshotInterval enables snapshot-replay trials: the injector
+	// captures golden-run state snapshots roughly every SnapshotInterval
+	// dynamic instructions, and each trial resumes from the nearest
+	// snapshot at or before its injection point instead of re-interpreting
+	// the whole pre-fault prefix from instruction 0. The interpreter is
+	// deterministic, so trial outcomes are bit-identical to the legacy
+	// full-execution path (enforced by the differential test suite).
+	// Zero keeps the legacy path.
+	SnapshotInterval uint64
 	// TrialHook, when non-nil, runs before every trial attempt with the
 	// trial spec and 1-based attempt number. A non-nil return (or a panic)
 	// fails the attempt. It exists to inject faults into the fault
@@ -121,6 +132,10 @@ type Options struct {
 const (
 	defaultHangFactor = 10
 	defaultWorkers    = 4
+	// maxSnapshots caps golden snapshots per injector so a long golden run
+	// with a small SnapshotInterval cannot hold an unbounded number of
+	// memory copies; the effective interval is raised to stay under it.
+	maxSnapshots = 1024
 )
 
 // Injector runs fault-injection trials against one module and input.
@@ -140,6 +155,21 @@ type Injector struct {
 	targets []*ir.Instr
 	cum     []uint64
 	total   uint64
+
+	// snaps are the golden-run snapshots for snapshot-replay trials, in
+	// execution order (empty when SnapshotInterval is 0).
+	snaps []goldenSnap
+}
+
+// goldenSnap pairs one golden-run state snapshot with the per-instruction
+// dynamic execution counts at its capture point, which is what maps a
+// trial's (instruction, instance) fault point to the snapshots preceding
+// it.
+type goldenSnap struct {
+	state *interp.Snapshot
+	// counts[in] is how many dynamic executions of in completed strictly
+	// before the snapshot point; non-decreasing across snapshots.
+	counts map[*ir.Instr]uint64
 }
 
 // New creates an injector, performing the golden run.
@@ -181,7 +211,67 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 	if inj.total == 0 {
 		return nil, fmt.Errorf("fault: program executes no register-writing instructions")
 	}
+	if opts.SnapshotInterval > 0 {
+		if err := inj.captureSnapshots(); err != nil {
+			return nil, err
+		}
+	}
 	return inj, nil
+}
+
+// captureSnapshots re-runs the golden execution once more with periodic
+// state snapshotting enabled, recording alongside every snapshot the
+// per-instruction dynamic counts at its capture point. The pass verifies
+// it reproduced the golden run exactly, so a nondeterminism bug in the
+// engine surfaces here instead of silently corrupting trial outcomes.
+func (inj *Injector) captureSnapshots() error {
+	interval := inj.opts.SnapshotInterval
+	if min := inj.goldenDyn / maxSnapshots; interval < min {
+		interval = min
+	}
+	counts := make(map[*ir.Instr]uint64, len(inj.targets))
+	res, err := interp.Run(inj.module, interp.Options{
+		SnapshotInterval: interval,
+		OnSnapshot: func(s *interp.Snapshot) {
+			c := make(map[*ir.Instr]uint64, len(counts))
+			for in, n := range counts {
+				c[in] = n
+			}
+			inj.snaps = append(inj.snaps, goldenSnap{state: s, counts: c})
+		},
+		Hooks: interp.Hooks{
+			OnResult: func(_ *interp.Context, in *ir.Instr, bits uint64) uint64 {
+				counts[in]++
+				return bits
+			},
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("fault: snapshot capture run: %w", err)
+	}
+	if res.Output != inj.goldenOutput || res.DynInstrs != inj.goldenDyn {
+		return fmt.Errorf("fault: snapshot capture run diverged from golden run "+
+			"(%d dynamic instructions, want %d)", res.DynInstrs, inj.goldenDyn)
+	}
+	return nil
+}
+
+// Snapshots returns the number of golden-run snapshots held for
+// snapshot-replay trials (0 on the legacy path).
+func (inj *Injector) Snapshots() int { return len(inj.snaps) }
+
+// snapshotBefore returns the index of the latest golden snapshot captured
+// strictly before the instance-th dynamic execution of target, or -1 when
+// the injection point precedes every snapshot (the trial then runs from
+// instruction 0, exactly like the legacy path). Per-instruction counts
+// are non-decreasing across snapshots, so binary search applies. This is
+// the grouping of trial specs by fault point: every spec whose injection
+// index falls in the same inter-snapshot interval resumes from the same
+// snapshot.
+func (inj *Injector) snapshotBefore(target *ir.Instr, instance uint64) int {
+	return sort.Search(len(inj.snaps), func(i int) bool {
+		return inj.snaps[i].counts[target] >= instance
+	}) - 1
 }
 
 // GoldenOutput returns the fault-free program output.
@@ -220,6 +310,11 @@ type Detail struct {
 	// CrashLatency is the number of dynamic instructions executed between
 	// the injection and the trap, for Crash outcomes.
 	CrashLatency uint64
+	// OutputHash is the 64-bit FNV-1a hash of the trial's complete program
+	// output (including any prefix replayed from a snapshot). The
+	// differential test suite compares it across the snapshot and legacy
+	// execution paths.
+	OutputHash uint64
 }
 
 // InjectDetail is Inject with crash-latency measurement: how many dynamic
@@ -246,7 +341,7 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 	var seen uint64
 	var injectedAt uint64
 	injected := false
-	res, err := interp.Run(inj.module, interp.Options{
+	iopts := interp.Options{
 		Context:      ctx,
 		MaxDynInstrs: inj.hangBudget,
 		Hooks: interp.Hooks{
@@ -263,7 +358,20 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 				return bits ^ (1 << uint(bit))
 			},
 		},
-	})
+	}
+	// Snapshot replay: the pre-fault prefix of the trial is identical to
+	// the golden run, so resume from the latest golden snapshot preceding
+	// the injection point and count occurrences from the snapshot's tally
+	// onward. With no usable snapshot the trial runs from instruction 0.
+	var res *interp.Result
+	var err error
+	if si := inj.snapshotBefore(target, instance); si >= 0 {
+		gs := inj.snaps[si]
+		seen = gs.counts[target]
+		res, err = interp.Resume(gs.state, iopts)
+	} else {
+		res, err = interp.Run(inj.module, iopts)
+	}
 	if err != nil {
 		switch {
 		case parent.Err() != nil:
@@ -286,11 +394,18 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 	if !injected {
 		return Detail{}, fmt.Errorf("fault: instance %d of %s never executed", instance, target.Pos())
 	}
-	d := Detail{Outcome: inj.classify(res)}
+	d := Detail{Outcome: inj.classify(res), OutputHash: hashOutput(res.Output)}
 	if d.Outcome == Crash && res.DynInstrs >= injectedAt {
 		d.CrashLatency = res.DynInstrs - injectedAt
 	}
 	return d, nil
+}
+
+// hashOutput is the 64-bit FNV-1a hash of a program's output.
+func hashOutput(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
 }
 
 func (inj *Injector) classify(res *interp.Result) Outcome {

@@ -156,6 +156,15 @@ type Options struct {
 	MaxCallDepth int
 	// Hooks are the observation points.
 	Hooks Hooks
+	// SnapshotInterval, when nonzero together with OnSnapshot, captures a
+	// full machine-state snapshot at the first instruction boundary at or
+	// after every SnapshotInterval executed instructions. Snapshots are
+	// deep copies: capturing them does not perturb the run, and each can
+	// later be resumed any number of times via Resume.
+	SnapshotInterval uint64
+	// OnSnapshot receives each periodic snapshot. It runs synchronously on
+	// the execution goroutine at a clean instruction boundary.
+	OnSnapshot func(*Snapshot)
 	// TraceWriter, when non-nil, receives one line per executed
 	// instruction ("<dyn#> <location> <instruction>") — a debugging aid;
 	// it slows execution substantially.
@@ -213,12 +222,7 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	if len(main.Params) != 0 {
 		return nil, fmt.Errorf("interp: main must take no parameters")
 	}
-	if opts.MaxDynInstrs == 0 {
-		opts.MaxDynInstrs = defaultMaxDynInstrs
-	}
-	if opts.MaxCallDepth == 0 {
-		opts.MaxCallDepth = defaultMaxCallDepth
-	}
+	applyDefaults(&opts)
 
 	ctx := &Context{Mem: NewMemory(), opts: opts}
 	globalBase := make(map[*ir.Global]uint64, len(m.Globals))
@@ -232,13 +236,38 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 		}
 	}
 
-	vm := &machine{ctx: ctx, globals: globalBase}
-	if c := opts.Context; c != nil {
+	vm := newMachine(ctx, globalBase)
+	_, err := vm.runSafe(main)
+	return finishRun(ctx, err)
+}
+
+// applyDefaults fills in zero-valued execution limits.
+func applyDefaults(opts *Options) {
+	if opts.MaxDynInstrs == 0 {
+		opts.MaxDynInstrs = defaultMaxDynInstrs
+	}
+	if opts.MaxCallDepth == 0 {
+		opts.MaxCallDepth = defaultMaxCallDepth
+	}
+}
+
+// newMachine wires a machine to its context, including cancellation and
+// snapshot configuration from the context's options.
+func newMachine(ctx *Context, globals map[*ir.Global]uint64) *machine {
+	vm := &machine{ctx: ctx, globals: globals}
+	if c := ctx.opts.Context; c != nil {
 		vm.cancelCtx = c
 		vm.cancel = c.Done()
 	}
-	_, err := vm.callSafe(main)
+	if ctx.opts.SnapshotInterval > 0 && ctx.opts.OnSnapshot != nil {
+		vm.snapEvery = ctx.opts.SnapshotInterval
+		vm.nextSnap = ctx.DynCount + vm.snapEvery
+	}
+	return vm
+}
 
+// finishRun classifies the execution error into a Result.
+func finishRun(ctx *Context, err error) (*Result, error) {
 	res := &Result{
 		Output:       ctx.output.String(),
 		OutputLines:  ctx.lines,
@@ -266,48 +295,163 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// machine executes functions against a shared context.
+// machine executes IR against a shared context. Unlike a conventional
+// tree-walking interpreter, activation frames live on an explicit heap
+// stack rather than the Go call stack: the complete execution state —
+// frames, registers, memory, program position, counters — is a plain data
+// structure, which is what makes Snapshot/Resume possible.
 type machine struct {
 	ctx     *Context
 	globals map[*ir.Global]uint64
+	frames  []*frame
 
 	// cancelCtx/cancel mirror Options.Context for the cooperative
 	// cancellation checks in the instruction loop (nil = never cancelled).
 	cancelCtx context.Context
 	cancel    <-chan struct{}
+
+	// snapEvery/nextSnap drive periodic snapshot capture (0 = disabled).
+	snapEvery uint64
+	nextSnap  uint64
 }
 
-// callSafe runs main with a panic barrier: any panic escaping the
-// instruction loop — an explicit engine assertion or an implicit runtime
-// fault such as an out-of-range slice index — is converted into a typed
-// *InternalError so one bad trial cannot take down a whole campaign
-// process.
-func (vm *machine) callSafe(main *ir.Func) (bits uint64, err error) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		if ie, ok := r.(*InternalError); ok {
-			ie.Stack = string(debug.Stack())
-			err = ie
-			return
-		}
-		err = &InternalError{
-			Msg:       fmt.Sprintf("interp: internal panic: %v", r),
-			Recovered: r,
-			Stack:     string(debug.Stack()),
-		}
-	}()
-	return vm.call(main, nil)
+// runSafe pushes main and drives the loop behind a panic barrier: any
+// panic escaping the instruction loop — an explicit engine assertion or an
+// implicit runtime fault such as an out-of-range slice index — is
+// converted into a typed *InternalError so one bad trial cannot take down
+// a whole campaign process.
+func (vm *machine) runSafe(main *ir.Func) (bits uint64, err error) {
+	defer vm.recoverInternal(&err)
+	if perr := vm.push(main, nil); perr != nil {
+		vm.unwind()
+		return 0, perr
+	}
+	ret, lerr := vm.loop()
+	if lerr != nil {
+		vm.unwind()
+		return 0, lerr
+	}
+	return ret, nil
 }
 
-// frame is one function activation.
+// resumeSafe drives the loop of an already-populated frame stack (Resume)
+// behind the same panic barrier as runSafe.
+func (vm *machine) resumeSafe() (bits uint64, err error) {
+	defer vm.recoverInternal(&err)
+	ret, lerr := vm.loop()
+	if lerr != nil {
+		vm.unwind()
+		return 0, lerr
+	}
+	return ret, nil
+}
+
+// recoverInternal converts an escaping panic into a typed *InternalError.
+func (vm *machine) recoverInternal(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if ie, ok := r.(*InternalError); ok {
+		ie.Stack = string(debug.Stack())
+		*err = ie
+		return
+	}
+	*err = &InternalError{
+		Msg:       fmt.Sprintf("interp: internal panic: %v", r),
+		Recovered: r,
+		Stack:     string(debug.Stack()),
+	}
+}
+
+// frame is one function activation. ip indexes the next instruction to
+// dispatch within block; for every frame below the top of the stack it
+// indexes the call instruction awaiting its callee's return value.
 type frame struct {
 	fn      *ir.Func
 	regs    []uint64
 	params  []uint64
 	allocas []*Segment
+	block   *ir.Block
+	prev    *ir.Block
+	ip      int
+}
+
+// push creates and enters a new activation for fn, running the entry
+// block's phi prologue (entry blocks of verified modules have none).
+func (vm *machine) push(fn *ir.Func, args []uint64) error {
+	ctx := vm.ctx
+	if ctx.depth >= ctx.opts.MaxCallDepth {
+		return &Trap{Kind: TrapStackOverflow, Instr: fn.Entry().Instrs[0]}
+	}
+	ctx.depth++
+	fr := &frame{fn: fn, regs: make([]uint64, fn.NumInstrs()), params: args, block: fn.Entry()}
+	vm.frames = append(vm.frames, fr)
+	return vm.enterBlock(fr)
+}
+
+// pop releases the top frame's allocas and removes it from the stack.
+func (vm *machine) pop() {
+	fr := vm.frames[len(vm.frames)-1]
+	for _, seg := range fr.allocas {
+		vm.ctx.Mem.Release(seg)
+	}
+	vm.frames[len(vm.frames)-1] = nil
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	vm.ctx.depth--
+}
+
+// unwind pops every remaining frame after an error terminates the loop,
+// releasing their allocas.
+func (vm *machine) unwind() {
+	for len(vm.frames) > 0 {
+		vm.pop()
+	}
+}
+
+// enterBlock runs fr's current block's phi prologue and positions ip at
+// the first non-phi instruction. Phis evaluate simultaneously on block
+// entry.
+func (vm *machine) enterBlock(fr *frame) error {
+	block := fr.block
+	nPhi := 0
+	for _, in := range block.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		nPhi++
+	}
+	if nPhi > 0 {
+		prev := fr.prev
+		vals := make([]uint64, nPhi)
+		for i := 0; i < nPhi; i++ {
+			in := block.Instrs[i]
+			found := false
+			for j, pb := range in.PhiBlocks {
+				if pb == prev {
+					vals[i] = vm.eval(fr, in.Operands[j])
+					found = true
+					break
+				}
+			}
+			if !found {
+				prevName := "<entry>"
+				if prev != nil {
+					prevName = prev.Name
+				}
+				return fmt.Errorf("interp: phi %s has no incoming for block %s",
+					in.Pos(), prevName)
+			}
+		}
+		for i := 0; i < nPhi; i++ {
+			in := block.Instrs[i]
+			if err := vm.finishResult(fr, in, vals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	fr.ip = nPhi
+	return nil
 }
 
 // eval resolves an operand to its bit pattern in the current frame.
@@ -325,139 +469,123 @@ func (vm *machine) eval(fr *frame, v ir.Value) uint64 {
 		// A value kind the machine does not know is an engine bug, not a
 		// program behavior. eval has no error return (it sits on the hot
 		// path of every operand); raise a typed error through the panic
-		// barrier in callSafe, which surfaces it as Run's error.
+		// barrier in runSafe, which surfaces it as Run's error.
 		panic(&InternalError{Msg: fmt.Sprintf("interp: unknown value kind %T", v)})
 	}
 }
 
-// call runs fn with the given argument bits and returns its result bits.
-func (vm *machine) call(fn *ir.Func, args []uint64) (uint64, error) {
+// loop is the instruction dispatch loop. It runs the top frame until the
+// program returns from main or fails; calls push frames and returns pop
+// them, all without growing the Go call stack.
+func (vm *machine) loop() (uint64, error) {
 	ctx := vm.ctx
-	if ctx.depth >= ctx.opts.MaxCallDepth {
-		return 0, &Trap{Kind: TrapStackOverflow, Instr: fn.Entry().Instrs[0]}
-	}
-	ctx.depth++
-	fr := &frame{fn: fn, regs: make([]uint64, fn.NumInstrs()), params: args}
-	defer func() {
-		for _, seg := range fr.allocas {
-			ctx.Mem.Release(seg)
-		}
-		ctx.depth--
-	}()
-
-	block := fn.Entry()
-	var prev *ir.Block
+	fr := vm.frames[len(vm.frames)-1]
 	for {
-		// Phis evaluate simultaneously on block entry.
-		nPhi := 0
-		for _, in := range block.Instrs {
-			if in.Op != ir.OpPhi {
-				break
-			}
-			nPhi++
+		if fr.ip >= len(fr.block.Instrs) {
+			return 0, fmt.Errorf("interp: fell off end of block in %s", fr.fn.Name)
 		}
-		if nPhi > 0 {
-			vals := make([]uint64, nPhi)
-			for i := 0; i < nPhi; i++ {
-				in := block.Instrs[i]
-				found := false
-				for j, pb := range in.PhiBlocks {
-					if pb == prev {
-						vals[i] = vm.eval(fr, in.Operands[j])
-						found = true
-						break
-					}
-				}
-				if !found {
-					return 0, fmt.Errorf("interp: phi %s has no incoming for block %s",
-						in.Pos(), prev.Name)
-				}
-			}
-			for i := 0; i < nPhi; i++ {
-				in := block.Instrs[i]
-				if err := vm.finishResult(fr, in, vals[i]); err != nil {
-					return 0, err
-				}
-			}
+		in := fr.block.Instrs[fr.ip]
+		if vm.snapEvery != 0 && ctx.DynCount >= vm.nextSnap {
+			vm.takeSnapshot()
 		}
-
-		for _, in := range block.Instrs[nPhi:] {
-			ctx.DynCount++
-			if ctx.DynCount > ctx.opts.MaxDynInstrs {
-				return 0, errHang
-			}
-			if vm.cancel != nil && ctx.DynCount&(cancelCheckInterval-1) == 0 {
-				select {
-				case <-vm.cancel:
-					return 0, fmt.Errorf("interp: run cancelled after %d instructions: %w",
-						ctx.DynCount, vm.cancelCtx.Err())
-				default:
-				}
-			}
-			if w := ctx.opts.TraceWriter; w != nil {
-				fmt.Fprintf(w, "%8d %-24s %s\n", ctx.DynCount, in.Pos(), ir.FormatInstr(in))
-			}
-			switch in.Op {
-			case ir.OpBr:
-				if h := ctx.opts.Hooks.OnBranch; h != nil {
-					h(ctx, in, 0)
-				}
-				prev, block = block, in.Targets[0]
-			case ir.OpCondBr:
-				cond := vm.eval(fr, in.Operands[0]) & 1
-				taken := 1 // false edge
-				if cond != 0 {
-					taken = 0
-				}
-				if h := ctx.opts.Hooks.OnBranch; h != nil {
-					h(ctx, in, taken)
-				}
-				prev, block = block, in.Targets[taken]
-			case ir.OpRet:
-				var ret uint64
-				if len(in.Operands) == 1 {
-					ret = vm.eval(fr, in.Operands[0])
-				}
-				return ret, nil
-			case ir.OpStore:
-				bits := vm.eval(fr, in.Operands[0])
-				addr := vm.eval(fr, in.Operands[1])
-				if !ctx.Mem.Store(in.Elem, addr, bits) {
-					return 0, &Trap{Kind: TrapOOBStore, Instr: in, Addr: addr}
-				}
-				if h := ctx.opts.Hooks.OnStore; h != nil {
-					h(ctx, in, addr, bits)
-				}
-			case ir.OpCheck:
-				a := vm.eval(fr, in.Operands[0])
-				b := vm.eval(fr, in.Operands[1])
-				if a != b {
-					return 0, &Trap{Kind: TrapDetected, Instr: in}
-				}
-			case ir.OpPrint:
-				bits := vm.eval(fr, in.Operands[0])
-				line := ir.FormatValue(in.Operands[0].ValueType(), bits, in.Format)
-				ctx.output.WriteString(line)
-				ctx.output.WriteByte('\n')
-				ctx.lines++
-				if h := ctx.opts.Hooks.OnPrint; h != nil {
-					h(ctx, in, line)
-				}
+		ctx.DynCount++
+		if ctx.DynCount > ctx.opts.MaxDynInstrs {
+			return 0, errHang
+		}
+		if vm.cancel != nil && ctx.DynCount&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-vm.cancel:
+				return 0, fmt.Errorf("interp: run cancelled after %d instructions: %w",
+					ctx.DynCount, vm.cancelCtx.Err())
 			default:
-				bits, err := vm.compute(fr, in)
-				if err != nil {
-					return 0, err
-				}
-				if err := vm.finishResult(fr, in, bits); err != nil {
-					return 0, err
-				}
-			}
-			if in.IsTerminator() {
-				break
 			}
 		}
-		if block == nil {
-			return 0, fmt.Errorf("interp: fell off end of block in %s", fn.Name)
+		if w := ctx.opts.TraceWriter; w != nil {
+			fmt.Fprintf(w, "%8d %-24s %s\n", ctx.DynCount, in.Pos(), ir.FormatInstr(in))
+		}
+		switch in.Op {
+		case ir.OpBr:
+			if h := ctx.opts.Hooks.OnBranch; h != nil {
+				h(ctx, in, 0)
+			}
+			fr.prev, fr.block = fr.block, in.Targets[0]
+			if err := vm.enterBlock(fr); err != nil {
+				return 0, err
+			}
+		case ir.OpCondBr:
+			cond := vm.eval(fr, in.Operands[0]) & 1
+			taken := 1 // false edge
+			if cond != 0 {
+				taken = 0
+			}
+			if h := ctx.opts.Hooks.OnBranch; h != nil {
+				h(ctx, in, taken)
+			}
+			fr.prev, fr.block = fr.block, in.Targets[taken]
+			if err := vm.enterBlock(fr); err != nil {
+				return 0, err
+			}
+		case ir.OpRet:
+			var ret uint64
+			if len(in.Operands) == 1 {
+				ret = vm.eval(fr, in.Operands[0])
+			}
+			vm.pop()
+			if len(vm.frames) == 0 {
+				return ret, nil
+			}
+			fr = vm.frames[len(vm.frames)-1]
+			// The caller is suspended at its call instruction; deliver the
+			// return value as that instruction's result and step past it.
+			if err := vm.finishResult(fr, fr.block.Instrs[fr.ip], ret); err != nil {
+				return 0, err
+			}
+			fr.ip++
+		case ir.OpCall:
+			args := make([]uint64, len(in.Operands))
+			for i, a := range in.Operands {
+				args[i] = vm.eval(fr, a)
+			}
+			if err := vm.push(in.Callee, args); err != nil {
+				return 0, err
+			}
+			fr = vm.frames[len(vm.frames)-1]
+		case ir.OpStore:
+			bits := vm.eval(fr, in.Operands[0])
+			addr := vm.eval(fr, in.Operands[1])
+			if !ctx.Mem.Store(in.Elem, addr, bits) {
+				return 0, &Trap{Kind: TrapOOBStore, Instr: in, Addr: addr}
+			}
+			if h := ctx.opts.Hooks.OnStore; h != nil {
+				h(ctx, in, addr, bits)
+			}
+			fr.ip++
+		case ir.OpCheck:
+			a := vm.eval(fr, in.Operands[0])
+			b := vm.eval(fr, in.Operands[1])
+			if a != b {
+				return 0, &Trap{Kind: TrapDetected, Instr: in}
+			}
+			fr.ip++
+		case ir.OpPrint:
+			bits := vm.eval(fr, in.Operands[0])
+			line := ir.FormatValue(in.Operands[0].ValueType(), bits, in.Format)
+			ctx.output.WriteString(line)
+			ctx.output.WriteByte('\n')
+			ctx.lines++
+			if h := ctx.opts.Hooks.OnPrint; h != nil {
+				h(ctx, in, line)
+			}
+			fr.ip++
+		default:
+			bits, err := vm.compute(fr, in)
+			if err != nil {
+				return 0, err
+			}
+			if err := vm.finishResult(fr, in, bits); err != nil {
+				return 0, err
+			}
+			fr.ip++
 		}
 	}
 }
@@ -509,12 +637,6 @@ func (vm *machine) compute(fr *frame, in *ir.Instr) (uint64, error) {
 		idxOp := in.Operands[1]
 		idx := ir.SignExtend(vm.eval(fr, idxOp), idxOp.ValueType().Bits())
 		return base + uint64(idx*int64(in.Elem.Bytes())), nil
-	case ir.OpCall:
-		args := make([]uint64, len(in.Operands))
-		for i, a := range in.Operands {
-			args[i] = vm.eval(fr, a)
-		}
-		return vm.call(in.Callee, args)
 	case ir.OpSelect:
 		if vm.eval(fr, in.Operands[0])&1 != 0 {
 			return vm.eval(fr, in.Operands[1]), nil

@@ -130,6 +130,27 @@ func (m *Memory) Store(t ir.Type, addr, bits uint64) bool {
 	return true
 }
 
+// Clone returns a deep copy of the address space plus a mapping from each
+// live segment to its copy, so frame-held segment pointers can be remapped
+// alongside. The allocation cursor is copied too: allocations performed
+// after a restore land at the same bases they would have in the original
+// run, which is what keeps resumed executions bit-identical.
+func (m *Memory) Clone() (*Memory, map[*Segment]*Segment) {
+	nm := &Memory{
+		segments: make([]*Segment, len(m.segments)),
+		next:     m.next,
+		peak:     m.peak,
+		current:  m.current,
+	}
+	remap := make(map[*Segment]*Segment, len(m.segments))
+	for i, s := range m.segments {
+		c := &Segment{Base: s.Base, Size: s.Size, Name: s.Name, data: append([]byte(nil), s.data...)}
+		nm.segments[i] = c
+		remap[s] = c
+	}
+	return nm, remap
+}
+
 // PeakBytes returns the peak total allocated bytes, the quantity the paper
 // profiles (via /proc) to derive crash probabilities for corrupted
 // addresses.

@@ -1,0 +1,158 @@
+// Snapshot/Resume: checkpointing of complete interpreter state.
+//
+// A Snapshot is a deep copy of the machine at a clean instruction boundary
+// — registers of every live frame, the segmented memory, the program
+// position, the dynamic-instruction counters, and the output buffer.
+// Because the interpreter is deterministic, resuming a snapshot and
+// running to completion is bit-identical to having let the original run
+// continue. Fault-injection campaigns exploit this: the pre-fault prefix
+// of every trial is identical to the golden run, so a trial can start
+// from the nearest golden snapshot at or before its injection point
+// instead of re-interpreting the whole prefix from instruction 0.
+//
+// Snapshots are immutable after capture and safe to resume concurrently:
+// every Resume clones the snapshot's memory and frames into a fresh
+// machine.
+
+package interp
+
+import (
+	"fmt"
+
+	"trident/internal/ir"
+)
+
+// Snapshot is an immutable deep copy of interpreter state at an
+// instruction boundary, captured by Options.SnapshotInterval/OnSnapshot
+// during a run. It can be resumed any number of times, from any
+// goroutine.
+type Snapshot struct {
+	dynCount   uint64
+	dynResults uint64
+	depth      int
+	lines      int
+	output     string
+	mem        *Memory
+	frames     []frameSnap
+	// globals is shared, not copied: global bases are immutable after
+	// module initialization.
+	globals map[*ir.Global]uint64
+}
+
+// frameSnap is one suspended activation. Its alloca segments point into
+// the snapshot's private memory copy and are remapped on every Resume.
+type frameSnap struct {
+	fn      *ir.Func
+	block   *ir.Block
+	prev    *ir.Block
+	ip      int
+	regs    []uint64
+	params  []uint64
+	allocas []*Segment
+}
+
+// DynInstrs returns the number of instructions executed before the
+// snapshot point — the resume position in dynamic-instruction time.
+func (s *Snapshot) DynInstrs() uint64 { return s.dynCount }
+
+// DynResults returns the number of register-writing instructions executed
+// before the snapshot point.
+func (s *Snapshot) DynResults() uint64 { return s.dynResults }
+
+// Frames returns the call-stack depth at the snapshot point.
+func (s *Snapshot) Frames() int { return len(s.frames) }
+
+// MemBytes returns the live allocated bytes held by the snapshot's
+// private memory copy — the per-snapshot storage cost.
+func (s *Snapshot) MemBytes() uint64 { return s.mem.CurrentBytes() }
+
+// takeSnapshot captures the current machine state and hands it to the
+// OnSnapshot observer, then schedules the next capture one interval from
+// the current position.
+func (vm *machine) takeSnapshot() {
+	s := vm.capture()
+	vm.nextSnap = vm.ctx.DynCount + vm.snapEvery
+	vm.ctx.opts.OnSnapshot(s)
+}
+
+// capture deep-copies the machine state. The memory clone returns a
+// segment remapping so frame-held alloca pointers can follow their copies.
+func (vm *machine) capture() *Snapshot {
+	ctx := vm.ctx
+	mem, remap := ctx.Mem.Clone()
+	s := &Snapshot{
+		dynCount:   ctx.DynCount,
+		dynResults: ctx.DynResults,
+		depth:      ctx.depth,
+		lines:      ctx.lines,
+		output:     ctx.output.String(),
+		mem:        mem,
+		globals:    vm.globals,
+		frames:     make([]frameSnap, len(vm.frames)),
+	}
+	for i, fr := range vm.frames {
+		fs := frameSnap{
+			fn:     fr.fn,
+			block:  fr.block,
+			prev:   fr.prev,
+			ip:     fr.ip,
+			regs:   append([]uint64(nil), fr.regs...),
+			params: append([]uint64(nil), fr.params...),
+		}
+		if len(fr.allocas) > 0 {
+			fs.allocas = make([]*Segment, len(fr.allocas))
+			for j, seg := range fr.allocas {
+				fs.allocas[j] = remap[seg]
+			}
+		}
+		s.frames[i] = fs
+	}
+	return s
+}
+
+// Resume restores s into a fresh machine and runs it to completion under
+// opts, returning the Result exactly as Run would have for an
+// uninterrupted execution reaching the same end state: the output,
+// counters and peak-memory figures all include the pre-snapshot prefix.
+//
+// The snapshot is not consumed — it can be resumed again, concurrently.
+// Hooks in opts observe only the post-snapshot suffix of the execution.
+// MaxDynInstrs retains its whole-run meaning: the budget covers prefix
+// plus suffix, so hang classification is identical to a full run's.
+func Resume(s *Snapshot, opts Options) (*Result, error) {
+	if len(s.frames) == 0 {
+		return nil, fmt.Errorf("interp: resume of empty snapshot")
+	}
+	applyDefaults(&opts)
+	mem, remap := s.mem.Clone()
+	ctx := &Context{
+		Mem:        mem,
+		DynCount:   s.dynCount,
+		DynResults: s.dynResults,
+		opts:       opts,
+		lines:      s.lines,
+		depth:      s.depth,
+	}
+	ctx.output.WriteString(s.output)
+	vm := newMachine(ctx, s.globals)
+	vm.frames = make([]*frame, len(s.frames))
+	for i, fs := range s.frames {
+		fr := &frame{
+			fn:     fs.fn,
+			block:  fs.block,
+			prev:   fs.prev,
+			ip:     fs.ip,
+			regs:   append([]uint64(nil), fs.regs...),
+			params: append([]uint64(nil), fs.params...),
+		}
+		if len(fs.allocas) > 0 {
+			fr.allocas = make([]*Segment, len(fs.allocas))
+			for j, seg := range fs.allocas {
+				fr.allocas[j] = remap[seg]
+			}
+		}
+		vm.frames[i] = fr
+	}
+	_, err := vm.resumeSafe()
+	return finishRun(ctx, err)
+}

@@ -113,6 +113,24 @@ type Options struct {
 	// (Campaign, Protect); cancelled campaigns fail with the context's
 	// error rather than running to completion.
 	Context context.Context
+	// SnapshotInterval tunes the snapshot-replay fault-injection engine:
+	// golden-run state snapshots are captured roughly this many dynamic
+	// instructions apart and each trial resumes from the nearest snapshot
+	// before its injection point. Zero selects the default (2048);
+	// negative disables snapshots so every trial re-executes from
+	// instruction zero (the legacy path). Campaign results are
+	// bit-identical either way.
+	SnapshotInterval int
+}
+
+// faultOptions builds injector options from o, resolving the
+// snapshot-interval convention above.
+func (o Options) faultOptions() fault.Options {
+	fo := fault.Options{Seed: o.Seed, Workers: o.Workers}
+	if o.SnapshotInterval > 0 {
+		fo.SnapshotInterval = uint64(o.SnapshotInterval)
+	}
+	return fo
 }
 
 // ctx resolves the configured context.
@@ -129,6 +147,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Samples == 0 {
 		o.Samples = 3000
+	}
+	if o.SnapshotInterval == 0 {
+		o.SnapshotInterval = 2048
 	}
 	return o
 }
@@ -240,7 +261,7 @@ func CampaignIR(src string, opts Options) (*FIReport, error) {
 
 func campaignModule(name string, m *ir.Module, opts Options) (*FIReport, error) {
 	opts = opts.withDefaults()
-	inj, err := fault.New(m, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	inj, err := fault.New(m, opts.faultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -333,7 +354,7 @@ func Protect(program string, budgetFraction float64, opts Options) (*ProtectRepo
 		return nil, err
 	}
 
-	baseInj, err := fault.New(m, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	baseInj, err := fault.New(m, opts.faultOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +362,7 @@ func Protect(program string, budgetFraction float64, opts Options) (*ProtectRepo
 	if err != nil {
 		return nil, err
 	}
-	protInj, err := fault.New(protected, fault.Options{Seed: opts.Seed, Workers: opts.Workers})
+	protInj, err := fault.New(protected, opts.faultOptions())
 	if err != nil {
 		return nil, err
 	}
