@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all
+.PHONY: build test check race bench bench-all doc
 
 build:
 	$(GO) build ./...
@@ -8,21 +8,32 @@ build:
 test:
 	$(GO) test ./...
 
+# doc is the documentation lint: formatting must be canonical, vet must
+# be clean, and every package (internal, cmd, examples, root) must carry
+# a package-level doc comment.
+doc:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	sh scripts/doccheck.sh
+
 # check is the CI gate: vet everything, then race-test the concurrent
 # campaign engine and the interpreter it drives. The race run includes
 # the snapshot round-trip suite (internal/interp) and the differential
 # suite comparing snapshot-replay campaigns against legacy full
 # re-execution (internal/fault). The fibench smoke run then proves both
-# engines still agree end-to-end on one short real campaign.
-check: build
-	$(GO) vet ./...
-	$(GO) test -race ./internal/fault/... ./internal/interp/...
-	$(GO) run ./cmd/fibench -programs pathfinder -n 60 -out /dev/null
+# engines still agree end-to-end on a short real campaign AND that the
+# telemetry layer stays within its ≤3% overhead budget (see
+# OBSERVABILITY.md).
+check: build doc
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/telemetry/...
+	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -out /dev/null
 
 # bench measures the snapshot-replay campaign engine against the legacy
-# path (committed as BENCH_fi.json) and runs the campaign benchmarks.
+# path plus the telemetry layer's overhead (committed as BENCH_fi.json)
+# and runs the campaign benchmarks.
 bench:
-	$(GO) run ./cmd/fibench -out BENCH_fi.json
+	$(GO) run ./cmd/fibench -repeats 3 -out BENCH_fi.json
 	$(GO) test -bench='BenchmarkCampaign' -benchmem .
 
 # bench-all runs the full benchmark harness (paper tables, ablations,

@@ -20,6 +20,17 @@
 //	                 FI trials resume from; 0 disables snapshot replay and
 //	                 re-executes every trial from instruction zero
 //	                 (default 2048)
+//	-metrics-out string
+//	                 write a JSON metrics snapshot here on exit
+//	                 (see OBSERVABILITY.md)
+//	-trace-out string
+//	                 write a JSONL event trace here (program loads,
+//	                 campaign spans, errored trials)
+//	-debug-addr string
+//	                 serve expvar and pprof on this HTTP address for the
+//	                 run's lifetime (e.g. :6060)
+//	-progress        render a live campaign progress line on stderr
+//	                 (default true)
 package main
 
 import (
@@ -33,6 +44,8 @@ import (
 	"time"
 
 	"trident/internal/experiments"
+	"trident/internal/fault"
+	"trident/internal/telemetry"
 )
 
 func main() {
@@ -53,10 +66,58 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text or md")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for per-campaign JSONL checkpoints; an interrupted run resumes from them")
 	snapInterval := fs.Int("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that FI trials resume from (0 = legacy full re-execution)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
+	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (program loads, campaign spans, errored trials)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the run's lifetime")
+	progress := fs.Bool("progress", true, "render a live campaign progress line on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	md := *format == "md"
+
+	reg := telemetry.Default
+	var trace *telemetry.Trace
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		trace = telemetry.NewTrace(tf)
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
+	}
+	// Metrics accumulate across every selected experiment; the snapshot
+	// is written even when a run fails midway, so a cancelled run still
+	// leaves its telemetry behind.
+	if *metricsOut != "" {
+		defer func() {
+			if werr := writeMetrics(reg, *metricsOut); werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing metrics:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
+			}
+		}()
+	}
+	// Experiments run campaigns sequentially, so a single meter renders
+	// whichever campaign is currently active.
+	var meter *telemetry.ProgressMeter
+	var onProgress func(fault.Progress)
+	if *progress {
+		meter = telemetry.NewProgressMeter(os.Stderr, 0)
+		onProgress = func(p fault.Progress) {
+			meter.Update(p.String)
+			if p.Done == p.Total {
+				meter.Done()
+			}
+		}
+	}
 
 	// Ctrl-C / SIGTERM cancels in-flight campaigns; with -checkpoint-dir
 	// their completed trials survive for the next run to resume from.
@@ -77,6 +138,9 @@ func run(args []string) error {
 		CheckpointDir: *checkpointDir,
 		// Config's convention: negative disables the snapshot engine.
 		SnapshotInterval: *snapInterval,
+		Metrics:          reg,
+		Trace:            trace,
+		Progress:         onProgress,
 	}
 	if *snapInterval == 0 {
 		cfg.SnapshotInterval = -1
@@ -234,6 +298,19 @@ func run(args []string) error {
 		stamp("ablations", start)
 	}
 	return nil
+}
+
+// writeMetrics dumps a registry snapshot as indented JSON at path.
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runAblations(cfg experiments.Config) error {

@@ -8,10 +8,18 @@
 // trials to a JSONL log so an interrupted campaign picks up where it
 // left off.
 //
+// Observability (see OBSERVABILITY.md): a live progress line is drawn
+// on stderr while the campaign runs (-progress=false disables it),
+// -metrics-out writes a metrics snapshot whose outcome counters
+// reconcile exactly with the printed campaign tallies, -trace-out
+// records a JSONL event trace, and -debug-addr serves expvar and pprof
+// over HTTP for poking at a long campaign from another terminal.
+//
 // Usage:
 //
 //	fi -program pathfinder [-n 3000] [-seed 1] [-workers 4] [-per-instr]
 //	   [-checkpoint trials.jsonl] [-resume] [-retries 2] [-trial-timeout 30s]
+//	   [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
 //	fi -ir file.tir [...]
 package main
 
@@ -23,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -30,6 +39,7 @@ import (
 	"trident/internal/ir"
 	"trident/internal/progs"
 	"trident/internal/stats"
+	"trident/internal/telemetry"
 )
 
 func main() {
@@ -52,11 +62,34 @@ func run(args []string) error {
 	retries := fs.Int("retries", 1, "retry attempts for trials failing with transient engine errors")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
 	snapInterval := fs.Uint64("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that trials resume from (0 = legacy full re-execution)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
+	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
+	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
+	progress := fs.Bool("progress", true, "render a live campaign progress line on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+
+	reg := telemetry.Default
+	var trace *telemetry.Trace
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		trace = telemetry.NewTrace(tf)
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
 	}
 
 	// Ctrl-C / SIGTERM cancels the campaign gracefully: in-flight trials
@@ -68,12 +101,37 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The progress meter and the campaign share stderr; the meter's
+	// final line is flushed before any summary printing below.
+	var meter *telemetry.ProgressMeter
+	var onProgress func(fault.Progress)
+	var lastProgress func() string
+	if *progress {
+		meter = telemetry.NewProgressMeter(os.Stderr, 0)
+		var mu sync.Mutex
+		var last fault.Progress
+		onProgress = func(p fault.Progress) {
+			mu.Lock()
+			last = p
+			mu.Unlock()
+			meter.Update(p.String)
+		}
+		lastProgress = func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			return last.String()
+		}
+	}
+
 	inj, err := fault.New(m, fault.Options{
 		Seed:             *seed,
 		Workers:          *workers,
 		MaxRetries:       *retries,
 		TrialTimeout:     *trialTimeout,
 		SnapshotInterval: *snapInterval,
+		Metrics:          reg,
+		Trace:            trace,
+		OnProgress:       onProgress,
 	})
 	if err != nil {
 		return err
@@ -95,9 +153,20 @@ func run(args []string) error {
 	default:
 		res, err = inj.CampaignRandom(ctx, *n)
 	}
+	meter.Final(lastProgress)
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !cancelled {
 		return err
+	}
+
+	// Snapshot metrics now, before any -per-instr extra campaigns run,
+	// so the fi.outcome.* counters reconcile exactly with the campaign
+	// tallies printed below.
+	if *metricsOut != "" {
+		if werr := writeMetrics(reg, *metricsOut); werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
 
 	if cancelled {
@@ -153,6 +222,19 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeMetrics dumps a registry snapshot as indented JSON at path.
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadModule(program, irFile string) (*ir.Module, error) {

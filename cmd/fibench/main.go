@@ -4,13 +4,23 @@
 // golden-run snapshot — on identical campaigns, verifies the results are
 // bit-identical, and records the timings as JSON (BENCH_fi.json).
 //
+// It also measures the cost of the telemetry layer: each snapshot
+// campaign is re-run with a live metrics registry, JSONL trace, and
+// progress callback attached, and the instrumented-vs-bare ratio is
+// reported as telemetry_overhead. -max-overhead turns that measurement
+// into a gate (make check uses 0.03, the ≤3% budget OBSERVABILITY.md
+// promises).
+//
 // Usage:
 //
 //	fibench [-programs pathfinder,nw,sad] [-n 400] [-seed 7] [-workers 4]
-//	        [-interval 2048] [-out BENCH_fi.json]
+//	        [-interval 2048] [-repeats 1] [-max-overhead 0]
+//	        [-out BENCH_fi.json]
 //
-// -out "-" writes to stdout. The run fails if any program's campaigns
-// diverge between the two paths.
+// -out "-" writes to stdout. -repeats N times every campaign N times and
+// keeps the fastest run, damping scheduler noise on loaded machines. The
+// run fails if any program's campaigns diverge between the paths, or if
+// -max-overhead is positive and exceeded.
 package main
 
 import (
@@ -18,31 +28,45 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"trident/internal/fault"
 	"trident/internal/progs"
+	"trident/internal/telemetry"
 )
 
 // result is one program's measurement, serialized into BENCH_fi.json.
 type result struct {
-	Program        string  `json:"program"`
-	N              int     `json:"n"`
-	Seed           uint64  `json:"seed"`
-	Workers        int     `json:"workers"`
-	GoldenDyn      uint64  `json:"golden_dyn_instrs"`
-	Interval       uint64  `json:"snapshot_interval"`
-	Snapshots      int     `json:"snapshots"`
-	SnapshotSetup  float64 `json:"snapshot_setup_ms"`
-	LegacyMs       float64 `json:"legacy_ms"`
-	SnapshotMs     float64 `json:"snapshot_ms"`
+	Program       string  `json:"program"`
+	N             int     `json:"n"`
+	Seed          uint64  `json:"seed"`
+	Workers       int     `json:"workers"`
+	GoldenDyn     uint64  `json:"golden_dyn_instrs"`
+	Interval      uint64  `json:"snapshot_interval"`
+	Snapshots     int     `json:"snapshots"`
+	SnapshotSetup float64 `json:"snapshot_setup_ms"`
+	LegacyMs      float64 `json:"legacy_ms"`
+	SnapshotMs    float64 `json:"snapshot_ms"`
+	// OverheadBaseMs and InstrumentedMs are the single-worker pair
+	// behind the overhead measurement: the same snapshot campaign bare
+	// and with every observability sink attached. Single-threaded runs
+	// sidestep worker-pool scheduling jitter, which at campaign scale
+	// is larger than the signal.
+	OverheadBaseMs float64 `json:"overhead_base_ms"`
+	InstrumentedMs float64 `json:"instrumented_ms"`
 	Speedup        float64 `json:"speedup"`
-	Identical      bool    `json:"identical"`
-	TrialsPerSecL  float64 `json:"legacy_trials_per_sec"`
-	TrialsPerSecS  float64 `json:"snapshot_trials_per_sec"`
-	OutcomeSummary string  `json:"outcomes"`
+	// TelemetryOverhead is the fractional slowdown with metrics,
+	// tracing, and a progress callback all attached:
+	// instrumented_ms/overhead_base_ms - 1. Negative values are
+	// measurement noise.
+	TelemetryOverhead float64 `json:"telemetry_overhead"`
+	Identical         bool    `json:"identical"`
+	TrialsPerSecL     float64 `json:"legacy_trials_per_sec"`
+	TrialsPerSecS     float64 `json:"snapshot_trials_per_sec"`
+	OutcomeSummary    string  `json:"outcomes"`
 }
 
 func main() {
@@ -59,6 +83,8 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 7, "deterministic seed (same for both paths)")
 	workers := fs.Int("workers", 4, "parallel injection workers")
 	interval := fs.Uint64("interval", 2048, "snapshot interval in dynamic instructions")
+	repeats := fs.Int("repeats", 1, "measure each campaign this many times and keep the fastest")
+	maxOverhead := fs.Float64("max-overhead", 0, "fail if telemetry overhead exceeds this fraction (0 disables the gate)")
 	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,21 +92,41 @@ func run(args []string) error {
 	if *interval == 0 {
 		return fmt.Errorf("-interval must be positive (0 would benchmark the legacy path against itself)")
 	}
+	if *repeats < 1 {
+		return fmt.Errorf("-repeats must be at least 1")
+	}
 
 	var results []result
 	for _, name := range strings.Split(*programs, ",") {
 		name = strings.TrimSpace(name)
-		r, err := benchProgram(name, *n, *seed, *workers, *interval)
+		r, err := benchProgram(name, *n, *seed, *workers, *interval, *repeats)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms speedup=%.2fx identical=%v\n",
-			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.Speedup, r.Identical)
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
+			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs,
+			r.Speedup, r.TelemetryOverhead*100, r.Identical)
 		if !r.Identical {
 			return fmt.Errorf("%s: snapshot campaign diverged from legacy campaign", name)
 		}
 		results = append(results, r)
+	}
+
+	// Gate on the aggregate across programs — total fastest instrumented
+	// time over total fastest bare time. Individual campaigns are short
+	// enough that residual jitter blurs a percent-level signal; pooling
+	// across programs damps what fastest-of-N didn't discard.
+	var bareTotal, instTotal float64
+	for _, r := range results {
+		bareTotal += r.OverheadBaseMs
+		instTotal += r.InstrumentedMs
+	}
+	overall := instTotal/bareTotal - 1
+	fmt.Fprintf(os.Stderr, "telemetry overhead overall: %+.1f%%\n", overall*100)
+	if *maxOverhead > 0 && overall > *maxOverhead {
+		return fmt.Errorf("telemetry overhead %.1f%% exceeds the %.1f%% budget",
+			overall*100, *maxOverhead*100)
 	}
 
 	data, err := json.MarshalIndent(results, "", "  ")
@@ -95,7 +141,61 @@ func run(args []string) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
-func benchProgram(name string, n int, seed uint64, workers int, interval uint64) (result, error) {
+// timeCampaign runs inj's n-trial campaign repeats times — campaigns are
+// deterministic, so every run produces the identical result — and
+// returns the result with the fastest wall time.
+func timeCampaign(inj *fault.Injector, n, repeats int) (*fault.CampaignResult, time.Duration, error) {
+	var res *fault.CampaignResult
+	var best time.Duration
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		r, err := inj.CampaignRandom(context.Background(), n)
+		if err != nil {
+			return nil, 0, err
+		}
+		if d := time.Since(start); res == nil || d < best {
+			best = d
+		}
+		res = r
+	}
+	return res, best, nil
+}
+
+// compareCampaigns times the bare and instrumented snapshot engines
+// interleaved — bare, instrumented, bare, instrumented, … — after one
+// untimed warmup of each, and keeps each side's fastest run. The
+// fastest-of-N time is each engine's cleanest scheduling window, so
+// their ratio isolates systematic overhead (which slows every
+// instrumented run) from one-off noise spikes (which min discards);
+// interleaving keeps heap growth and GC pacing from penalizing
+// whichever side runs last. Returns the (identical) campaign results
+// and the fastest wall time per side.
+func compareCampaigns(bare, inst *fault.Injector, n, repeats int) (bres, ires *fault.CampaignResult, bareDur, instDur time.Duration, err error) {
+	if _, err = bare.CampaignRandom(context.Background(), n); err != nil {
+		return
+	}
+	if _, err = inst.CampaignRandom(context.Background(), n); err != nil {
+		return
+	}
+	for i := 0; i < repeats; i++ {
+		var db, di time.Duration
+		if bres, db, err = timeCampaign(bare, n, 1); err != nil {
+			return
+		}
+		if ires, di, err = timeCampaign(inst, n, 1); err != nil {
+			return
+		}
+		if i == 0 || db < bareDur {
+			bareDur = db
+		}
+		if i == 0 || di < instDur {
+			instDur = di
+		}
+	}
+	return
+}
+
+func benchProgram(name string, n int, seed uint64, workers int, interval uint64, repeats int) (result, error) {
 	p, err := progs.ByName(name)
 	if err != nil {
 		return result{}, err
@@ -106,12 +206,10 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64)
 	if err != nil {
 		return result{}, err
 	}
-	start := time.Now()
-	lres, err := legacy.CampaignRandom(context.Background(), n)
+	lres, legacyDur, err := timeCampaign(legacy, n, repeats)
 	if err != nil {
 		return result{}, err
 	}
-	legacyDur := time.Since(start)
 
 	setupStart := time.Now()
 	snap, err := fault.New(m, fault.Options{
@@ -121,29 +219,58 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64)
 		return result{}, err
 	}
 	setupDur := time.Since(setupStart)
-	start = time.Now()
-	sres, err := snap.CampaignRandom(context.Background(), n)
+	sres, snapDur, err := timeCampaign(snap, n, repeats)
 	if err != nil {
 		return result{}, err
 	}
-	snapDur := time.Since(start)
+
+	// The overhead measurement runs its own single-worker pair: worker-
+	// pool scheduling jitter at campaign scale is several percent, far
+	// above the signal, while single-threaded runs are stable enough to
+	// resolve it. The instrumented engine attaches every observability
+	// sink at once — metrics registry, JSONL trace, and a throttled
+	// progress meter — so the measured overhead is an upper bound on
+	// any real configuration.
+	obare, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: 1, SnapshotInterval: interval,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	meter := telemetry.NewProgressMeter(io.Discard, 0)
+	inst, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: 1, SnapshotInterval: interval,
+		Metrics:    telemetry.NewRegistry(),
+		Trace:      telemetry.NewTrace(io.Discard),
+		OnProgress: func(p fault.Progress) { meter.Update(p.String) },
+	})
+	if err != nil {
+		return result{}, err
+	}
+	_, ires, obareDur, instDur, err := compareCampaigns(obare, inst, n, repeats)
+	if err != nil {
+		return result{}, err
+	}
 
 	r := result{
-		Program:        name,
-		N:              n,
-		Seed:           seed,
-		Workers:        workers,
-		GoldenDyn:      legacy.GoldenDynInstrs(),
-		Interval:       interval,
-		Snapshots:      snap.Snapshots(),
-		SnapshotSetup:  float64(setupDur.Microseconds()) / 1000,
-		LegacyMs:       float64(legacyDur.Microseconds()) / 1000,
-		SnapshotMs:     float64(snapDur.Microseconds()) / 1000,
-		Speedup:        legacyDur.Seconds() / snapDur.Seconds(),
-		Identical:      identical(lres, sres),
-		TrialsPerSecL:  float64(n) / legacyDur.Seconds(),
-		TrialsPerSecS:  float64(n) / snapDur.Seconds(),
-		OutcomeSummary: summarize(lres),
+		Program:           name,
+		N:                 n,
+		Seed:              seed,
+		Workers:           workers,
+		GoldenDyn:         legacy.GoldenDynInstrs(),
+		Interval:          interval,
+		Snapshots:         snap.Snapshots(),
+		SnapshotSetup:     float64(setupDur.Microseconds()) / 1000,
+		LegacyMs:          float64(legacyDur.Microseconds()) / 1000,
+		SnapshotMs:        float64(snapDur.Microseconds()) / 1000,
+		OverheadBaseMs:    float64(obareDur.Microseconds()) / 1000,
+		InstrumentedMs:    float64(instDur.Microseconds()) / 1000,
+		Speedup:           legacyDur.Seconds() / snapDur.Seconds(),
+		TelemetryOverhead: instDur.Seconds()/obareDur.Seconds() - 1,
+		Identical:         identical(lres, sres) && identical(sres, ires),
+		TrialsPerSecL:     float64(n) / legacyDur.Seconds(),
+		TrialsPerSecS:     float64(n) / snapDur.Seconds(),
+		OutcomeSummary:    summarize(lres),
 	}
 	return r, nil
 }

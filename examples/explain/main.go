@@ -1,4 +1,5 @@
-// Explain: decompose TRIDENT's predictions into propagation paths. For a
+// Command explain decomposes TRIDENT's predictions into propagation
+// paths. For a
 // developer hardening a program, "this instruction is 80% SDC-prone"
 // matters less than *why* — which store chains and which branches carry
 // the corruption to the output. This example prints the path breakdown

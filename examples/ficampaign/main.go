@@ -1,6 +1,6 @@
-// FI campaign: run LLFI-style statistical fault injection over several
-// benchmarks and compare the measured SDC probabilities with TRIDENT's
-// predictions — a miniature of the paper's Figure 5.
+// Command ficampaign runs LLFI-style statistical fault injection over
+// several benchmarks and compares the measured SDC probabilities with
+// TRIDENT's predictions — a miniature of the paper's Figure 5.
 //
 // Run with: go run ./examples/ficampaign
 package main

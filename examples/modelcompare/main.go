@@ -1,7 +1,7 @@
-// Model compare: contrast the full TRIDENT model with the paper's two
-// simplified variants (fs and fs+fc) on one benchmark, both for the
-// overall SDC probability and for the instruction ranking that drives
-// selective protection.
+// Command modelcompare contrasts the full TRIDENT model with the
+// paper's two simplified variants (fs and fs+fc) on one benchmark, both
+// for the overall SDC probability and for the instruction ranking that
+// drives selective protection.
 //
 // Run with: go run ./examples/modelcompare [benchmark]
 package main

@@ -1,7 +1,7 @@
-// Protection: the paper's use case (§VI). Selectively duplicate the most
-// SDC-prone instructions of a benchmark under a performance-overhead
-// budget, guided by the TRIDENT model, and verify the SDC reduction with
-// fault injection.
+// Command protection demonstrates the paper's use case (§VI):
+// selectively duplicate the most SDC-prone instructions of a benchmark
+// under a performance-overhead budget, guided by the TRIDENT model, and
+// verify the SDC reduction with fault injection.
 //
 // Run with: go run ./examples/protection [benchmark]
 package main

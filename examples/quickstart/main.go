@@ -1,6 +1,6 @@
-// Quickstart: write a small program in the textual IR, predict its SDC
-// probabilities with TRIDENT (no fault injection), then validate the
-// prediction with an actual fault-injection campaign.
+// Command quickstart writes a small program in the textual IR, predicts
+// its SDC probabilities with TRIDENT (no fault injection), then
+// validates the prediction with an actual fault-injection campaign.
 //
 // Run with: go run ./examples/quickstart
 package main

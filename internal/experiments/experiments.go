@@ -21,6 +21,7 @@ import (
 	"trident/internal/ir"
 	"trident/internal/profile"
 	"trident/internal/progs"
+	"trident/internal/telemetry"
 )
 
 // Config tunes experiment fidelity. The zero value is replaced by paper
@@ -53,12 +54,29 @@ type Config struct {
 	// for differential testing). Campaign results are bit-identical either
 	// way.
 	SnapshotInterval int
+	// Metrics, when non-nil, receives campaign and interpreter telemetry
+	// from every injector the experiments build (see OBSERVABILITY.md).
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives a span per program load and per
+	// statistical campaign, labeled with the benchmark and experiment.
+	Trace *telemetry.Trace
+	// Progress, when non-nil, observes every running campaign's trial
+	// completions (fault.Options.OnProgress semantics); cmd/experiments
+	// feeds it into a live stderr progress line.
+	Progress func(fault.Progress)
 }
 
 // faultOptions builds injector options for the given sampling seed,
-// resolving the snapshot-interval convention above.
+// resolving the snapshot-interval convention above and threading the
+// config's observability sinks into the campaign engine.
 func (c Config) faultOptions(seed uint64) fault.Options {
-	opts := fault.Options{Seed: seed, Workers: c.Workers}
+	opts := fault.Options{
+		Seed:       seed,
+		Workers:    c.Workers,
+		Metrics:    c.Metrics,
+		Trace:      c.Trace,
+		OnProgress: c.Progress,
+	}
 	if c.SnapshotInterval > 0 {
 		opts.SnapshotInterval = uint64(c.SnapshotInterval)
 	}
@@ -78,12 +96,22 @@ func (c Config) ctx() context.Context {
 // CheckpointDir is set, a per-label checkpoint log enabling resume. label
 // must uniquely identify the campaign within the experiment suite.
 func (c Config) campaignRandom(inj *fault.Injector, label string, n int) (*fault.CampaignResult, error) {
+	span := c.Trace.Start("experiment-campaign", telemetry.Attrs{"label": label, "n": n})
+	var res *fault.CampaignResult
+	var err error
 	if c.CheckpointDir == "" {
-		return inj.CampaignRandom(c.ctx(), n)
+		res, err = inj.CampaignRandom(c.ctx(), n)
+	} else {
+		path := filepath.Join(c.CheckpointDir,
+			fmt.Sprintf("%s-seed%d-n%d.jsonl", label, c.Seed, n))
+		res, err = inj.CampaignRandomCheckpoint(c.ctx(), n, path)
 	}
-	path := filepath.Join(c.CheckpointDir,
-		fmt.Sprintf("%s-seed%d-n%d.jsonl", label, c.Seed, n))
-	return inj.CampaignRandomCheckpoint(c.ctx(), n, path)
+	if res != nil {
+		span.EndWith(telemetry.Attrs{"done": res.N(), "sdc": res.Counts[fault.SDC]})
+	} else {
+		span.EndWith(telemetry.Attrs{"err": fmt.Sprint(err)})
+	}
+	return res, err
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +169,7 @@ func Load(name string, cfg Config) (*ProgramData, error) {
 	if err != nil {
 		return nil, err
 	}
+	span := cfg.Trace.Start("load", telemetry.Attrs{"program": name})
 	m := prog.Build()
 	prof, err := profile.Collect(m, profile.Options{Seed: cfg.Seed})
 	if err != nil {
@@ -150,6 +179,7 @@ func Load(name string, cfg Config) (*ProgramData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", name, err)
 	}
+	span.End()
 	pd := &ProgramData{
 		Program:  prog,
 		Module:   m,

@@ -6,8 +6,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"trident/internal/ir"
+	"trident/internal/telemetry"
 )
 
 // rng is the deterministic xorshift64* generator used for target sampling.
@@ -143,6 +145,16 @@ func (s trialSpec) key() TrialKey {
 // classified Errored; cancelled reports that the campaign context fired
 // mid-trial, leaving the trial unclassified.
 func (inj *Injector) runTrial(ctx context.Context, spec trialSpec) (tr Injection, terr *TrialError, cancelled bool) {
+	if mt := inj.met; mt != nil {
+		mt.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			mt.inflight.Add(-1)
+			elapsed := time.Since(start)
+			mt.trialUS.ObserveDuration(elapsed)
+			mt.busyUS.Add(uint64(elapsed.Microseconds()))
+		}()
+	}
 	tr = Injection{Instr: spec.instr, Instance: spec.instance, Bit: spec.bit}
 	attempts := 1 + inj.opts.MaxRetries
 	if attempts < 1 {
@@ -150,6 +162,12 @@ func (inj *Injector) runTrial(ctx context.Context, spec trialSpec) (tr Injection
 	}
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
+		if mt := inj.met; mt != nil {
+			mt.attempts.Inc()
+			if attempt > 1 {
+				mt.retries.Inc()
+			}
+		}
 		detail, err := inj.attemptTrial(ctx, spec, attempt)
 		if err == nil {
 			tr.Outcome = detail.Outcome
@@ -217,6 +235,35 @@ func (inj *Injector) runTrials(ctx context.Context, specs []trialSpec, ck *Check
 		mu   sync.Mutex
 		errs []TrialError
 	)
+	start := time.Now()
+	span := inj.opts.Trace.Start("campaign", telemetry.Attrs{
+		"module": inj.module.Name, "n": len(specs),
+	})
+	if mt := inj.met; mt != nil {
+		mt.campaigns.Inc()
+		defer mt.campaignUS.Since(start)
+	}
+	// progress aggregates completions under mu, so OnProgress observes
+	// monotonically non-decreasing counts in completion order.
+	progress := Progress{Total: len(specs)}
+	// observe records one classified trial (executed or replayed from the
+	// checkpoint). Callers must hold mu.
+	observe := func(tr Injection, terr *TrialError, replayed bool) {
+		inj.met.countTrial(tr.Outcome, replayed)
+		if terr != nil {
+			inj.opts.Trace.Event("trial.errored", telemetry.Attrs{
+				"index": terr.Index, "instr": terr.Instr.Pos(),
+				"instance": terr.Instance, "bit": terr.Bit,
+				"attempts": terr.Attempts, "err": terr.Err.Error(),
+			})
+		}
+		if f := inj.opts.OnProgress; f != nil {
+			progress.Done++
+			progress.Counts[tr.Outcome]++
+			progress.Elapsed = time.Since(start)
+			f(progress)
+		}
+	}
 	sem := make(chan struct{}, inj.opts.Workers)
 	launched := 0
 launch:
@@ -224,12 +271,13 @@ launch:
 		if ck != nil {
 			if tr, terr, ok := ck.replay(spec); ok {
 				res.Trials[i] = tr
+				mu.Lock()
 				if terr != nil {
 					terr.Index = i
-					mu.Lock()
 					errs = append(errs, *terr)
-					mu.Unlock()
 				}
+				observe(tr, terr, true)
+				mu.Unlock()
 				launched = i + 1
 				continue
 			}
@@ -254,6 +302,7 @@ launch:
 				terr.Index = i
 				errs = append(errs, *terr)
 			}
+			observe(tr, terr, false)
 			mu.Unlock()
 			if ck != nil {
 				ck.record(spec, tr, terr)
@@ -283,10 +332,12 @@ launch:
 		errs = kept
 		res.Errs = sortTrialErrs(errs)
 		res.tally()
+		span.EndWith(telemetry.Attrs{"done": res.N(), "errored": len(res.Errs), "cancelled": true})
 		return res, err
 	}
 	res.Errs = sortTrialErrs(errs)
 	res.tally()
+	span.EndWith(telemetry.Attrs{"done": res.N(), "errored": len(res.Errs)})
 	return res, nil
 }
 

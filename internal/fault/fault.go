@@ -18,6 +18,7 @@ import (
 
 	"trident/internal/interp"
 	"trident/internal/ir"
+	"trident/internal/telemetry"
 )
 
 // Outcome classifies one fault-injection run.
@@ -127,6 +128,26 @@ type Options struct {
 	// injector itself: campaign-robustness tests and chaos drills use it
 	// to simulate engine panics and transient failures deterministically.
 	TrialHook func(target *ir.Instr, instance uint64, bit int, attempt int) error
+	// Metrics, when non-nil, receives campaign telemetry — per-trial
+	// outcome counters, retry tallies, worker utilization, the golden-run
+	// vs replay time split — and is threaded into the interpreter for its
+	// run and snapshot metrics. After a campaign completes, the outcome
+	// counters reconcile exactly with CampaignResult.Counts (a cancelled
+	// campaign may additionally have counted trials that finished past the
+	// contiguous prefix it returned). Nil disables all recording. See
+	// OBSERVABILITY.md for the metric reference.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives lifecycle records: spans for the
+	// golden run, the snapshot-capture pass and each campaign, and one
+	// event per errored trial. Nil disables tracing.
+	Trace *telemetry.Trace
+	// OnProgress, when non-nil, is invoked synchronously after every
+	// completed trial of a campaign (including trials replayed from a
+	// checkpoint) with monotonically non-decreasing Done and outcome
+	// counts. It runs under the campaign's result lock: keep it cheap
+	// (the cmd binaries feed a throttled progress meter) and do not call
+	// back into the injector from it.
+	OnProgress func(Progress)
 }
 
 const (
@@ -159,6 +180,10 @@ type Injector struct {
 	// snaps are the golden-run snapshots for snapshot-replay trials, in
 	// execution order (empty when SnapshotInterval is 0).
 	snaps []goldenSnap
+
+	// met is the pre-resolved metric set (nil when Options.Metrics is
+	// nil), so trial workers record through atomics only.
+	met *campaignMetrics
 }
 
 // goldenSnap pairs one golden-run state snapshot with the per-instruction
@@ -181,16 +206,26 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 		opts.Workers = defaultWorkers
 	}
 	inj := &Injector{module: m, opts: opts, execCount: make(map[*ir.Instr]uint64)}
+	inj.met = newCampaignMetrics(opts.Metrics)
 
-	res, err := interp.Run(m, interp.Options{Hooks: interp.Hooks{
-		OnResult: func(_ *interp.Context, in *ir.Instr, bits uint64) uint64 {
-			inj.execCount[in]++
-			return bits
+	span := opts.Trace.Start("golden-run", telemetry.Attrs{"module": m.Name})
+	goldenStart := time.Now()
+	res, err := interp.Run(m, interp.Options{
+		Metrics: opts.Metrics,
+		Hooks: interp.Hooks{
+			OnResult: func(_ *interp.Context, in *ir.Instr, bits uint64) uint64 {
+				inj.execCount[in]++
+				return bits
+			},
 		},
-	}})
+	})
+	if mt := inj.met; mt != nil {
+		mt.goldenUS.Since(goldenStart)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("fault: golden run: %w", err)
 	}
+	span.EndWith(telemetry.Attrs{"dyn_instrs": res.DynInstrs})
 	if res.Outcome != interp.OutcomeOK {
 		return nil, fmt.Errorf("fault: golden run ended in %s", res.Outcome)
 	}
@@ -229,8 +264,13 @@ func (inj *Injector) captureSnapshots() error {
 	if min := inj.goldenDyn / maxSnapshots; interval < min {
 		interval = min
 	}
+	span := inj.opts.Trace.Start("snapshot-capture", telemetry.Attrs{
+		"module": inj.module.Name, "interval": interval,
+	})
+	setupStart := time.Now()
 	counts := make(map[*ir.Instr]uint64, len(inj.targets))
 	res, err := interp.Run(inj.module, interp.Options{
+		Metrics:          inj.opts.Metrics,
 		SnapshotInterval: interval,
 		OnSnapshot: func(s *interp.Snapshot) {
 			c := make(map[*ir.Instr]uint64, len(counts))
@@ -246,9 +286,13 @@ func (inj *Injector) captureSnapshots() error {
 			},
 		},
 	})
+	if mt := inj.met; mt != nil {
+		mt.setupUS.Since(setupStart)
+	}
 	if err != nil {
 		return fmt.Errorf("fault: snapshot capture run: %w", err)
 	}
+	span.EndWith(telemetry.Attrs{"snapshots": len(inj.snaps)})
 	if res.Output != inj.goldenOutput || res.DynInstrs != inj.goldenDyn {
 		return fmt.Errorf("fault: snapshot capture run diverged from golden run "+
 			"(%d dynamic instructions, want %d)", res.DynInstrs, inj.goldenDyn)
@@ -344,6 +388,7 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 	iopts := interp.Options{
 		Context:      ctx,
 		MaxDynInstrs: inj.hangBudget,
+		Metrics:      inj.opts.Metrics,
 		Hooks: interp.Hooks{
 			OnResult: func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64 {
 				if injected || in != target {
@@ -368,8 +413,15 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 	if si := inj.snapshotBefore(target, instance); si >= 0 {
 		gs := inj.snaps[si]
 		seen = gs.counts[target]
+		if mt := inj.met; mt != nil {
+			mt.replaySnap.Inc()
+			mt.savedInstrs.Add(gs.state.DynInstrs())
+		}
 		res, err = interp.Resume(gs.state, iopts)
 	} else {
+		if mt := inj.met; mt != nil {
+			mt.replayCold.Inc()
+		}
 		res, err = interp.Run(inj.module, iopts)
 	}
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"trident/internal/ir"
+	"trident/internal/telemetry"
 )
 
 // InternalError reports an interpreter-internal failure — an engine bug or
@@ -169,6 +170,14 @@ type Options struct {
 	// instruction ("<dyn#> <location> <instruction>") — a debugging aid;
 	// it slows execution substantially.
 	TraceWriter io.Writer
+	// Metrics, when non-nil, receives run-boundary telemetry: run and
+	// dynamic-instruction counts, outcome tallies, execution latency, and
+	// snapshot capture/restore counts and latencies. Instrumentation sits
+	// only at run and snapshot boundaries — the per-instruction dispatch
+	// path is untouched — so the overhead is a few atomic updates per
+	// execution. Nil disables all recording. See OBSERVABILITY.md for the
+	// metric reference.
+	Metrics *telemetry.Registry
 }
 
 const (
@@ -215,6 +224,7 @@ type Result struct {
 
 // Run executes m's main function under the given options.
 func Run(m *ir.Module, opts Options) (*Result, error) {
+	start := metricsStart(opts.Metrics)
 	main := m.Func("main")
 	if main == nil {
 		return nil, fmt.Errorf("interp: module %q has no main", m.Name)
@@ -238,7 +248,9 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 
 	vm := newMachine(ctx, globalBase)
 	_, err := vm.runSafe(main)
-	return finishRun(ctx, err)
+	res, err := finishRun(ctx, err)
+	recordRun(opts.Metrics, start, 0, ctx, res, err)
+	return res, err
 }
 
 // applyDefaults fills in zero-valued execution limits.

@@ -1,0 +1,61 @@
+// Interpreter telemetry. All instrumentation sits at run and snapshot
+// boundaries — never on the per-instruction dispatch path — so enabling
+// metrics costs a handful of atomic updates per execution, and a nil
+// registry costs a single pointer check. The metric names recorded here
+// are documented in OBSERVABILITY.md.
+
+package interp
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"trident/internal/telemetry"
+)
+
+// recordRun records one completed (or failed) execution into reg:
+//
+//	interp.runs                 counter: executions completed (Run or Resume)
+//	interp.instrs               counter: dynamic instructions actually interpreted
+//	                            (for resumed runs, the post-snapshot suffix only)
+//	interp.run_us               histogram: wall-clock execution time
+//	interp.outcome.<name>       counter: ok / crash / hang / detected
+//	interp.cancelled            counter: runs stopped by context cancellation
+//	interp.internal_errors      counter: runs failed by engine bugs (InternalError)
+//	interp.errors               counter: runs failed by any other engine error
+//
+// startInstrs is the dynamic-instruction count the execution began at
+// (a snapshot's position for Resume, 0 for Run), so interp.instrs
+// counts work performed, not work replayed for free.
+func recordRun(reg *telemetry.Registry, start time.Time, startInstrs uint64, ctx *Context, res *Result, err error) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("interp.runs").Inc()
+	reg.Counter("interp.instrs").Add(ctx.DynCount - startInstrs)
+	reg.Histogram("interp.run_us").Since(start)
+	switch {
+	case res != nil:
+		reg.Counter("interp.outcome." + res.Outcome.String()).Inc()
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		reg.Counter("interp.cancelled").Inc()
+	default:
+		var ie *InternalError
+		if errors.As(err, &ie) {
+			reg.Counter("interp.internal_errors").Inc()
+		} else {
+			reg.Counter("interp.errors").Inc()
+		}
+	}
+}
+
+// metricsStart returns the timing origin for recordRun: the zero time
+// when metrics are disabled (time.Now is ~20ns, but the point is that a
+// disabled registry costs exactly one branch).
+func metricsStart(reg *telemetry.Registry) time.Time {
+	if reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}

@@ -70,7 +70,14 @@ func (s *Snapshot) MemBytes() uint64 { return s.mem.CurrentBytes() }
 // OnSnapshot observer, then schedules the next capture one interval from
 // the current position.
 func (vm *machine) takeSnapshot() {
+	reg := vm.ctx.opts.Metrics
+	start := metricsStart(reg)
 	s := vm.capture()
+	if reg != nil {
+		reg.Counter("interp.snapshot.captures").Inc()
+		reg.Counter("interp.snapshot.bytes").Add(s.MemBytes())
+		reg.Histogram("interp.snapshot.capture_us").Since(start)
+	}
 	vm.nextSnap = vm.ctx.DynCount + vm.snapEvery
 	vm.ctx.opts.OnSnapshot(s)
 }
@@ -124,6 +131,7 @@ func Resume(s *Snapshot, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("interp: resume of empty snapshot")
 	}
 	applyDefaults(&opts)
+	start := metricsStart(opts.Metrics)
 	mem, remap := s.mem.Clone()
 	ctx := &Context{
 		Mem:        mem,
@@ -153,6 +161,15 @@ func Resume(s *Snapshot, opts Options) (*Result, error) {
 		}
 		vm.frames[i] = fr
 	}
+	if reg := opts.Metrics; reg != nil {
+		// The state rebuild (memory clone + frame copies) is the fixed
+		// per-trial cost of snapshot replay; record it separately from the
+		// execution itself.
+		reg.Counter("interp.snapshot.resumes").Inc()
+		reg.Histogram("interp.snapshot.restore_us").Since(start)
+	}
 	_, err := vm.resumeSafe()
-	return finishRun(ctx, err)
+	res, err := finishRun(ctx, err)
+	recordRun(opts.Metrics, start, s.dynCount, ctx, res, err)
+	return res, err
 }

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the HTTP listener started by ServeDebug. It serves
+//
+//	/debug/vars    — expvar JSON, including the published registry
+//	/debug/pprof/  — the standard pprof index (profile, heap, trace, …)
+//
+// so long campaigns can be profiled and watched without stopping them.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug publishes reg under the expvar name "trident" and serves
+// expvar + pprof on addr (e.g. "localhost:6060"; ":0" picks a free
+// port — read it back from Addr). The server runs until Close.
+//
+// The handlers are mounted on a private mux, not http.DefaultServeMux,
+// so importing this package never changes the default mux's routes.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	if reg != nil {
+		reg.PublishExpvar("trident")
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "trident debug server\n\n/debug/vars\n/debug/pprof/\n")
+	})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: debug listener: %w", err)
+	}
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() {
+		// Serve returns ErrServerClosed on Close; other errors mean the
+		// debug side-car died, which must not take the campaign with it.
+		_ = ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }

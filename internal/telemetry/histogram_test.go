@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketing pins the bucket layout: bucket i holds values
+// with bit length i, so its inclusive upper bound is 2^i - 1.
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v      int64
+		wantLe int64
+	}{
+		{0, 0}, // bucket 0
+		{1, 1}, // [1,1]
+		{2, 3}, // [2,3]
+		{3, 3},
+		{4, 7},       // [4,7]
+		{1023, 1023}, // [512,1023]
+		{1024, 2047}, // [1024,2047]
+		{1 << 30, (1 << 31) - 1},
+	}
+	for _, tc := range cases {
+		h := newHistogram()
+		h.Observe(tc.v)
+		s := h.Snapshot()
+		if len(s.Buckets) != 1 {
+			t.Fatalf("Observe(%d): %d buckets, want 1", tc.v, len(s.Buckets))
+		}
+		if s.Buckets[0].Le != tc.wantLe || s.Buckets[0].N != 1 {
+			t.Errorf("Observe(%d): bucket {le:%d n:%d}, want {le:%d n:1}",
+				tc.v, s.Buckets[0].Le, s.Buckets[0].N, tc.wantLe)
+		}
+	}
+}
+
+func TestHistogramBucketUpperSaturates(t *testing.T) {
+	if got := bucketUpper(histBuckets - 1); got != math.MaxInt64 {
+		t.Errorf("final bucket upper = %d, want MaxInt64", got)
+	}
+	h := newHistogram()
+	h.Observe(math.MaxInt64) // must clamp into the final bucket, not index out of range
+	s := h.Snapshot()
+	if s.Max != math.MaxInt64 || s.Buckets[len(s.Buckets)-1].Le != math.MaxInt64 {
+		t.Errorf("MaxInt64 observation snapshot = %+v", s)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{5, 10, 15} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 30 || s.Min != 5 || s.Max != 15 || s.Mean != 10 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	// Buckets must partition the observations: 5→[4,7], 10 and 15→[8,15].
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-100)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Sum != 0 || s.Buckets[0].Le != 0 {
+		t.Errorf("negative observation snapshot = %+v", s)
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := newHistogram().Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 || len(s.Buckets) != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := newHistogram()
+	h.ObserveDuration(1500 * time.Microsecond)
+	if s := h.Snapshot(); s.Sum != 1500 {
+		t.Errorf("duration sum = %d µs, want 1500", s.Sum)
+	}
+}
+
+// TestHistogramConcurrent locks in loss-free concurrent observation of
+// count, sum and buckets; run under -race by make check.
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const goroutines, perG = 8, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(int64(i*perG + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	n := int64(goroutines * perG)
+	if s.Count != uint64(n) {
+		t.Errorf("count = %d, want %d", s.Count, n)
+	}
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Errorf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != n-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, n-1)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b.N
+	}
+	if total != s.Count {
+		t.Errorf("bucket total %d != count %d", total, s.Count)
+	}
+}

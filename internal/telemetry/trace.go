@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attrs carries the structured payload of a trace record. Values must
+// be JSON-marshalable; keep them small (identifiers and numbers, not
+// dumps).
+type Attrs map[string]any
+
+// Trace is a JSONL event sink: every Event and completed Span is one
+// JSON object on its own line, in completion order. The format is
+// append-only and line-oriented so a live campaign's trace can be
+// followed with tail -f and post-processed with jq.
+//
+// Record shape:
+//
+//	{"ts":"2026-08-06T10:00:00.000000Z","ev":"event","name":"trial.errored","attrs":{...}}
+//	{"ts":"...","ev":"span","name":"campaign","dur_us":8123456,"attrs":{...}}
+//
+// A span's ts is its start time and dur_us its wall-clock duration;
+// records appear when spans end, so a parent span follows its children
+// in the file.
+//
+// All methods are safe for concurrent use, and safe on a nil *Trace
+// (they do nothing) — nil is the conventional "tracing disabled" value,
+// mirroring nil *Registry.
+type Trace struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewTrace returns a trace writing JSONL records to w.
+func NewTrace(w io.Writer) *Trace { return &Trace{w: w} }
+
+// traceRecord is the JSONL wire form of one event or span.
+type traceRecord struct {
+	TS    string `json:"ts"`
+	Ev    string `json:"ev"`
+	Name  string `json:"name"`
+	DurUS int64  `json:"dur_us,omitempty"`
+	Attrs Attrs  `json:"attrs,omitempty"`
+}
+
+func (t *Trace) write(rec traceRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+	}
+}
+
+// Event emits one instantaneous record. attrs may be nil.
+func (t *Trace) Event(name string, attrs Attrs) {
+	if t == nil {
+		return
+	}
+	t.write(traceRecord{
+		TS:    time.Now().UTC().Format(time.RFC3339Nano),
+		Ev:    "event",
+		Name:  name,
+		Attrs: attrs,
+	})
+}
+
+// Err returns the first write or marshal error, after which the trace
+// drops records silently (observability must never fail the campaign).
+func (t *Trace) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Span is an in-progress timed operation started by Trace.Start. End
+// (or EndWith) emits its record; a span that is never ended emits
+// nothing.
+type Span struct {
+	t     *Trace
+	name  string
+	start time.Time
+	attrs Attrs
+}
+
+// Start begins a span. attrs may be nil; more can be attached at
+// EndWith. On a nil *Trace it returns nil, and ending a nil *Span is a
+// no-op, so call sites need no conditionals.
+func (t *Trace) Start(name string, attrs Attrs) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: time.Now(), attrs: attrs}
+}
+
+// End emits the span's record with its wall-clock duration.
+func (s *Span) End() { s.EndWith(nil) }
+
+// EndWith emits the span's record, merging extra into the span's
+// start-time attrs (extra wins on key collisions).
+func (s *Span) EndWith(extra Attrs) {
+	if s == nil {
+		return
+	}
+	attrs := s.attrs
+	if len(extra) > 0 {
+		attrs = make(Attrs, len(s.attrs)+len(extra))
+		for k, v := range s.attrs {
+			attrs[k] = v
+		}
+		for k, v := range extra {
+			attrs[k] = v
+		}
+	}
+	dur := time.Since(s.start).Microseconds()
+	if dur < 1 {
+		// Sub-microsecond spans still mark their existence; dur_us is
+		// omitempty and a zero would read as a dropped field.
+		dur = 1
+	}
+	s.t.write(traceRecord{
+		TS:    s.start.UTC().Format(time.RFC3339Nano),
+		Ev:    "span",
+		Name:  s.name,
+		DurUS: dur,
+		Attrs: attrs,
+	})
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseTraceLines(t *testing.T, out string) []traceRecord {
+	t.Helper()
+	var recs []traceRecord
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var rec traceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func TestTraceEventsAndSpans(t *testing.T) {
+	var buf syncBuffer
+	tr := NewTrace(&buf)
+
+	tr.Event("trial.errored", Attrs{"index": 3, "attempts": 2})
+	sp := tr.Start("campaign", Attrs{"program": "nw", "n": 100})
+	time.Sleep(time.Millisecond)
+	sp.EndWith(Attrs{"done": 100})
+	if err := tr.Err(); err != nil {
+		t.Fatalf("trace error: %v", err)
+	}
+
+	recs := parseTraceLines(t, buf.String())
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	ev := recs[0]
+	if ev.Ev != "event" || ev.Name != "trial.errored" || ev.Attrs["index"] != float64(3) {
+		t.Errorf("event record = %+v", ev)
+	}
+	if _, err := time.Parse(time.RFC3339Nano, ev.TS); err != nil {
+		t.Errorf("event ts %q: %v", ev.TS, err)
+	}
+	span := recs[1]
+	if span.Ev != "span" || span.Name != "campaign" || span.DurUS < 1000 {
+		t.Errorf("span record = %+v", span)
+	}
+	// EndWith merges without clobbering start attrs.
+	if span.Attrs["program"] != "nw" || span.Attrs["done"] != float64(100) {
+		t.Errorf("span attrs = %v", span.Attrs)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Event("x", nil)
+	sp := tr.Start("y", nil)
+	sp.End()
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil trace Err = %v", err)
+	}
+}
+
+func TestTraceUnstartedSpanEmitsNothing(t *testing.T) {
+	var buf syncBuffer
+	tr := NewTrace(&buf)
+	_ = tr.Start("abandoned", nil) // never ended
+	if buf.String() != "" {
+		t.Errorf("abandoned span wrote %q", buf.String())
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errWriteRefused }
+
+var errWriteRefused = &writeRefusedError{}
+
+type writeRefusedError struct{}
+
+func (*writeRefusedError) Error() string { return "write refused" }
+
+// TestTraceWriteErrorIsSticky: after the sink fails, records drop
+// silently and Err reports the first failure — tracing never takes a
+// campaign down.
+func TestTraceWriteErrorIsSticky(t *testing.T) {
+	tr := NewTrace(failingWriter{})
+	tr.Event("a", nil)
+	if tr.Err() == nil {
+		t.Fatal("Err() nil after failed write")
+	}
+	tr.Event("b", nil) // must not panic
+}

@@ -1,0 +1,18 @@
+#!/bin/sh
+# doccheck.sh — fail if any Go package lacks a package-level doc comment.
+#
+# Every package directory must contain at least one file opening with a
+# "// Package <name> ..." comment (or "// Command <name> ..." for main
+# packages), the form godoc and pkg.go.dev surface. Run from the repo
+# root; exits non-zero listing undocumented packages.
+
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    if ! grep -l -E '^// (Package|Command) ' "$dir"/*.go >/dev/null 2>&1; then
+        echo "doccheck: no package doc comment in $dir" >&2
+        fail=1
+    fi
+done
+exit $fail
