@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc
+.PHONY: build test check race bench bench-all doc fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,16 +18,27 @@ doc:
 	sh scripts/doccheck.sh
 
 # check is the CI gate: vet everything, then race-test the concurrent
-# campaign engine and the interpreter it drives. The race run includes
-# the snapshot round-trip suite (internal/interp) and the differential
-# suite comparing snapshot-replay campaigns against legacy full
-# re-execution (internal/fault). The fibench smoke run then proves both
-# engines still agree end-to-end on a short real campaign AND that the
-# telemetry layer stays within its ≤3% overhead budget (see
-# OBSERVABILITY.md).
+# campaign engine, the interpreter it drives, and the cross-check
+# harness that compares them against the reference evaluator. The race
+# run includes the snapshot round-trip suite (internal/interp) and the
+# differential suite comparing snapshot-replay campaigns against legacy
+# full re-execution (internal/fault). The fuzz smoke run gives each
+# native fuzz target a bounded slice of random exploration, and the
+# fibench smoke run then proves both engines still agree end-to-end on a
+# short real campaign AND that the telemetry layer stays within its ≤3%
+# overhead budget (see OBSERVABILITY.md).
 check: build doc
 	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/telemetry/...
+	$(GO) test -race -short ./internal/crosscheck/...
+	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -out /dev/null
+
+# fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
+# long enough to mutate past the seed corpus, short enough for CI. Deep
+# fuzzing is manual: go test ./internal/crosscheck -fuzz <target>.
+fuzz-smoke:
+	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzInterpOracle -fuzztime 10s
+	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime 10s
 
 # bench measures the snapshot-replay campaign engine against the legacy
 # path plus the telemetry layer's overhead (committed as BENCH_fi.json)

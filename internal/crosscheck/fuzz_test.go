@@ -1,0 +1,144 @@
+package crosscheck
+
+import (
+	"testing"
+
+	"trident/internal/ir"
+	"trident/internal/irgen"
+	"trident/internal/progs"
+	"trident/internal/refinterp"
+)
+
+// FuzzInterpOracle drives the differential oracle from a fuzzed seed:
+// every generated program must agree between the production interpreter
+// and the reference evaluator on all observables, and survive the
+// parser round trip.
+func FuzzInterpOracle(f *testing.F) {
+	for seed := uint64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		m := irgen.Generate(irgen.Config{Seed: seed})
+		ms, err := CompareModule("fuzz", m)
+		if err != nil {
+			t.Fatalf("CompareModule: %v", err)
+		}
+		for _, d := range ms {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+		ms, err = RoundTripModule("fuzz", m)
+		if err != nil {
+			t.Fatalf("RoundTripModule: %v", err)
+		}
+		for _, d := range ms {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}
+
+// fuzzRunBudget and fuzzCallDepth bound fuzz-driven executions: fuzzed
+// programs may loop forever (hanging on both sides is itself an
+// agreement), a loop that allocates every iteration makes the reference
+// evaluator's linear-scan memory quadratic, and recursion multiplies
+// per-frame allocas — so the budget, the call depth and the static
+// footprint all stay small.
+const (
+	fuzzRunBudget = 20_000
+	fuzzCallDepth = 64
+)
+
+// moduleTooBigToRun reports whether executing m could allocate
+// unreasonable memory — fuzzed sources can declare gigantic globals or
+// allocas, and the naive evaluator materializes every byte (times the
+// call depth, for allocas in recursive functions).
+func moduleTooBigToRun(m *ir.Module) bool {
+	const limit = 1 << 16
+	total := 0
+	for _, g := range m.Globals {
+		total += g.SizeBytes()
+		if total > limit {
+			return true
+		}
+	}
+	for _, fn := range m.Funcs {
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAlloca {
+					total += in.Count * in.Elem.Bytes()
+					if total > limit {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FuzzParserRoundTrip feeds arbitrary text to the parser. Anything that
+// parses must print to a fixed point (print → parse → print is
+// identical) and keep its semantics across the round trip: the reparsed
+// module's reference run must match the original's, including the write
+// trace. The seed corpus is the textual form of every paper kernel.
+func FuzzParserRoundTrip(f *testing.F) {
+	for _, p := range progs.All() {
+		f.Add(ir.Print(p.Build()))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ir.Parse(src)
+		if err != nil {
+			return // rejected input is fine; we check accepted ones
+		}
+		text1 := ir.Print(m)
+		m2, err := ir.Parse(text1)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, text1)
+		}
+		if text2 := ir.Print(m2); text2 != text1 {
+			t.Fatalf("print not a fixed point: %s", firstDiffLine(text2, text1))
+		}
+		if moduleTooBigToRun(m) {
+			return
+		}
+		origRes, origTrace, err := fuzzObservation(m)
+		if err != nil {
+			return // e.g. no @main — nothing to compare semantically
+		}
+		reRes, reTrace, err := fuzzObservation(m2)
+		if err != nil {
+			t.Fatalf("reparsed module fails to run: %v", err)
+		}
+		if origRes.Outcome != reRes.Outcome || origRes.Output != reRes.Output ||
+			origRes.DynInstrs != reRes.DynInstrs || origRes.DynResults != reRes.DynResults {
+			t.Fatalf("round trip changed semantics: outcome %s→%s dyn %d→%d output %q→%q",
+				origRes.Outcome, reRes.Outcome, origRes.DynInstrs, reRes.DynInstrs,
+				origRes.Output, reRes.Output)
+		}
+		if len(origTrace) != len(reTrace) {
+			t.Fatalf("round trip changed trace length: %d→%d", len(origTrace), len(reTrace))
+		}
+		for i := range origTrace {
+			if origTrace[i] != reTrace[i] {
+				t.Fatalf("round trip changed trace[%d]: %s=%#x → %s=%#x", i,
+					origTrace[i].pos, origTrace[i].bits, reTrace[i].pos, reTrace[i].bits)
+			}
+		}
+	})
+}
+
+// fuzzObservation is refObservation under the fuzz budget and depth
+// limits.
+func fuzzObservation(m *ir.Module) (*refinterp.Result, []traceEntry, error) {
+	var trace []traceEntry
+	res, err := refinterp.Run(m, refinterp.Options{
+		MaxDynInstrs: fuzzRunBudget,
+		MaxCallDepth: fuzzCallDepth,
+		OnResult: func(in *ir.Instr, bits uint64) uint64 {
+			if len(trace) < maxTrace {
+				trace = append(trace, traceEntry{pos: in.Pos(), bits: bits})
+			}
+			return bits
+		},
+	})
+	return res, trace, err
+}

@@ -3,12 +3,12 @@ package fault
 import (
 	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"trident/internal/ir"
+	"trident/internal/stats"
 	"trident/internal/telemetry"
 )
 
@@ -106,15 +106,13 @@ func (c *CampaignResult) MeanCrashLatency() float64 {
 }
 
 // ErrorBar95 returns the half-width of the 95% confidence interval on the
-// SDC probability under the normal approximation — the error bars the
-// paper reports (±0.07% to ±1.76% at 3000 samples).
+// SDC probability — the error bars the paper reports (±0.07% to ±1.76%
+// at 3000 samples). It delegates to stats.ProportionCI95, which uses the
+// Wilson score interval: unlike the normal approximation, campaigns that
+// measure 0 (or n) SDCs out of n trials still get a positive error bar
+// instead of a spurious claim of certainty.
 func (c *CampaignResult) ErrorBar95() float64 {
-	n := float64(c.ClassifiedN())
-	if n == 0 {
-		return 0
-	}
-	p := c.SDCProb()
-	return 1.96 * math.Sqrt(p*(1-p)/n)
+	return stats.ProportionCI95(c.SDCProb(), c.ClassifiedN())
 }
 
 // tally recomputes Counts from Trials.
@@ -369,6 +367,37 @@ func (inj *Injector) CampaignRandom(ctx context.Context, n int) (*CampaignResult
 	return inj.runTrials(ctx, inj.sampleRandom(n), nil)
 }
 
+// perInstrSeed derives an independent RNG stream for one static target.
+// Instruction IDs are function-local, so the function name must be part
+// of the mix: the earlier `Seed ^ ID*const` scheme aliased targets with
+// equal IDs in different functions onto identical instance/bit
+// sequences, and a target with ID 0 onto the campaign-level stream
+// itself. FNV-1a over the function name followed by splitmix64-style
+// finalization of the ID and seed keeps every target's stream distinct.
+func perInstrSeed(seed uint64, target *ir.Instr) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	name := target.Block.Fn.Name
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	h ^= uint64(target.ID)
+	h *= fnvPrime
+	h ^= seed
+	// splitmix64 finalizer: avalanche so that near-identical inputs
+	// (adjacent IDs, same seed) give unrelated streams.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
 // CampaignPerInstr performs n injections into random dynamic instances of
 // one static instruction, the paper's per-instruction measurement (§V-B2,
 // 100 faults per instruction).
@@ -377,7 +406,7 @@ func (inj *Injector) CampaignPerInstr(ctx context.Context, target *ir.Instr, n i
 	if execs == 0 || !target.HasResult() {
 		return nil, fmt.Errorf("fault: %s is not an injectable target", target.Pos())
 	}
-	r := newRNG(inj.opts.Seed ^ uint64(target.ID)*0x9E3779B97F4A7C15)
+	r := newRNG(perInstrSeed(inj.opts.Seed, target))
 	specs := make([]trialSpec, n)
 	for i := range specs {
 		specs[i] = trialSpec{

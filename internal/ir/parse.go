@@ -205,7 +205,13 @@ func parseLiteral(t Type, lit string) (uint64, error) {
 	}
 	if strings.HasPrefix(lit, "0x") {
 		v, err := strconv.ParseUint(lit[2:], 16, 64)
-		return v, err
+		if err != nil {
+			return 0, err
+		}
+		// Hex literals must honor the declared width like decimal ones:
+		// an un-truncated "i8 0xfff" would store bits the type cannot
+		// hold, making a parsed module diverge from its printed form.
+		return TruncateToWidth(v, t.Bits()), nil
 	}
 	v, err := strconv.ParseInt(lit, 10, 64)
 	if err != nil {

@@ -1,0 +1,105 @@
+package refinterp
+
+// memory is a naive segmented flat address space: a plain slice of live
+// segments searched linearly on every access. It replicates the
+// production interpreter's observable layout — first allocation at
+// 0x10000, 0x100 bytes of unmapped padding between segments, zero-sized
+// allocations rounded up to one byte — because addresses leak into
+// program results through alloca/gep registers and printed pointers.
+type memory struct {
+	segs    []*segment
+	next    uint64
+	current uint64
+	peak    uint64
+}
+
+// segment is one live allocation.
+type segment struct {
+	base uint64
+	size uint64
+	data []byte
+}
+
+// end returns the first address past the segment.
+func (s *segment) end() uint64 { return s.base + s.size }
+
+const (
+	memoryBase = 0x10000
+	segmentGap = 0x100
+)
+
+// newMemory returns an empty address space.
+func newMemory() *memory {
+	return &memory{next: memoryBase}
+}
+
+// allocate reserves size bytes (zero rounds up to one) and returns the
+// new segment.
+func (m *memory) allocate(size uint64) *segment {
+	if size == 0 {
+		size = 1
+	}
+	s := &segment{base: m.next, size: size, data: make([]byte, size)}
+	m.next = s.end() + segmentGap
+	m.segs = append(m.segs, s)
+	m.current += size
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+	return s
+}
+
+// release removes a segment (an alloca going out of scope).
+func (m *memory) release(s *segment) {
+	for i, seg := range m.segs {
+		if seg == s {
+			m.segs = append(m.segs[:i], m.segs[i+1:]...)
+			m.current -= s.size
+			return
+		}
+	}
+}
+
+// find returns the live segment fully containing [addr, addr+size), or
+// nil — by linear scan, the obvious way.
+func (m *memory) find(addr uint64, size int) *segment {
+	n := uint64(size)
+	if addr+n < addr { // overflow
+		return nil
+	}
+	for _, s := range m.segs {
+		if addr >= s.base && addr+n <= s.end() {
+			return s
+		}
+	}
+	return nil
+}
+
+// load reads a little-endian value of the given byte width from addr.
+// The bool is false when the access traps.
+func (m *memory) load(addr uint64, size int) (uint64, bool) {
+	s := m.find(addr, size)
+	if s == nil {
+		return 0, false
+	}
+	off := addr - s.base
+	var bits uint64
+	for i := 0; i < size; i++ {
+		bits |= uint64(s.data[off+uint64(i)]) << (8 * i)
+	}
+	return bits, true
+}
+
+// store writes a little-endian value of the given byte width to addr.
+// The bool is false when the access traps.
+func (m *memory) store(addr uint64, size int, bits uint64) bool {
+	s := m.find(addr, size)
+	if s == nil {
+		return false
+	}
+	off := addr - s.base
+	for i := 0; i < size; i++ {
+		s.data[off+uint64(i)] = byte(bits >> (8 * i))
+	}
+	return true
+}

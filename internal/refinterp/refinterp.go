@@ -1,0 +1,652 @@
+// Package refinterp is a deliberately naive reference evaluator for the
+// IR: a direct recursive walk over functions and blocks with no explicit
+// frames, no snapshots, no pooling and no telemetry. It is optimized for
+// obviousness, not speed, and exists as an independent oracle for the
+// production interpreter (internal/interp): the crosscheck harness runs
+// programs through both and asserts bit-identical outputs, trap kinds,
+// hang classification, dynamic instruction counts and per-instruction
+// register-write traces.
+//
+// The two implementations share only the IR-level value helpers
+// (ir.TruncateToWidth, ir.SignExtend, ir.FloatFromBits/ToBits,
+// ir.FormatValue), which define the meaning of IR values for the parser
+// and printer too. Everything the production interpreter is clever about
+// — the explicit-frame machine, segmented memory with binary search,
+// snapshot capture — is reimplemented here in the simplest possible form.
+//
+// Observable contract mirrored from internal/interp (asserted by
+// internal/crosscheck, so a drift in either implementation surfaces as a
+// reported divergence rather than silent disagreement):
+//
+//   - Address layout: allocations start at 0x10000 and are separated by
+//     0x100 bytes of unmapped padding, in allocation order (globals in
+//     module order, then allocas in execution order). Addresses are
+//     observable through gep/alloca register writes and printed pointers.
+//   - Counting: every dispatched instruction increments the dynamic
+//     count before executing, phis included (they execute as part of
+//     block entry, after the branch that enters the block). A run whose
+//     count would exceed MaxDynInstrs classifies as a hang before the
+//     offending instruction executes, so a program that completes or
+//     traps exactly at the budget keeps its completion or trap.
+//   - Traps: out-of-bounds loads and stores, integer division or
+//     remainder by zero, call nesting beyond MaxCallDepth, and a failed
+//     duplication check (which is a detection, not a crash).
+package refinterp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"trident/internal/ir"
+)
+
+// TrapKind classifies hardware-exception-like failures, mirroring the
+// production interpreter's classification.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	TrapNone TrapKind = iota
+	// TrapOOBLoad is a read outside every live segment.
+	TrapOOBLoad
+	// TrapOOBStore is a write outside every live segment.
+	TrapOOBStore
+	// TrapDivZero is an integer division or remainder by zero.
+	TrapDivZero
+	// TrapStackOverflow is call nesting beyond the configured depth.
+	TrapStackOverflow
+	// TrapDetected is a duplication check firing.
+	TrapDetected
+)
+
+// String returns a short name for the trap kind.
+func (k TrapKind) String() string {
+	switch k {
+	case TrapOOBLoad:
+		return "out-of-bounds load"
+	case TrapOOBStore:
+		return "out-of-bounds store"
+	case TrapDivZero:
+		return "division by zero"
+	case TrapStackOverflow:
+		return "stack overflow"
+	case TrapDetected:
+		return "error detected by check"
+	default:
+		return "none"
+	}
+}
+
+// Trap describes a crash: the failing instruction and the offending
+// address when applicable.
+type Trap struct {
+	Kind  TrapKind
+	Instr *ir.Instr
+	Addr  uint64
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Kind == TrapOOBLoad || t.Kind == TrapOOBStore {
+		return fmt.Sprintf("%s at %#x (%s)", t.Kind, t.Addr, t.Instr.Pos())
+	}
+	return fmt.Sprintf("%s (%s)", t.Kind, t.Instr.Pos())
+}
+
+// Outcome classifies a completed execution.
+type Outcome uint8
+
+// Execution outcomes.
+const (
+	// OutcomeOK means the program ran to completion.
+	OutcomeOK Outcome = iota
+	// OutcomeCrash means a trap terminated the program.
+	OutcomeCrash
+	// OutcomeHang means the instruction budget was exhausted.
+	OutcomeHang
+	// OutcomeDetected means a duplication check caught a corrupted value.
+	OutcomeDetected
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeDetected:
+		return "detected"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Options configure an execution.
+type Options struct {
+	// MaxDynInstrs bounds the number of executed instructions; exceeding
+	// it classifies the run as a hang. Zero means the default (50M).
+	MaxDynInstrs uint64
+	// MaxCallDepth bounds call nesting. Zero means the default (1024).
+	MaxCallDepth int
+	// OnResult fires after an instruction computes its result (already
+	// truncated to the result type's width) and may return altered bits —
+	// the fault-injection and trace-capture point. Returned bits are
+	// truncated again.
+	OnResult func(in *ir.Instr, bits uint64) uint64
+}
+
+const (
+	defaultMaxDynInstrs = 50_000_000
+	defaultMaxCallDepth = 1024
+)
+
+// Result describes a completed execution.
+type Result struct {
+	// Outcome classifies the run.
+	Outcome Outcome
+	// Trap holds crash details when Outcome is OutcomeCrash or
+	// OutcomeDetected.
+	Trap *Trap
+	// Output is the program's observable output (one line per Print).
+	Output string
+	// OutputLines is the number of Print executions.
+	OutputLines int
+	// DynInstrs is the number of executed instructions.
+	DynInstrs uint64
+	// DynResults is the number of executed register-writing instructions.
+	DynResults uint64
+	// PeakMemBytes is the peak allocated footprint.
+	PeakMemBytes uint64
+}
+
+// errHang signals instruction-budget exhaustion internally.
+var errHang = errors.New("refinterp: instruction budget exhausted")
+
+// evaluator is the whole interpreter state: a flat memory, global
+// addresses, counters and the output buffer. Function activations live on
+// the Go call stack.
+type evaluator struct {
+	opts    Options
+	mem     *memory
+	globals map[*ir.Global]uint64
+
+	dynCount   uint64
+	dynResults uint64
+	depth      int
+	output     strings.Builder
+	lines      int
+}
+
+// Run executes m's main function under the given options.
+func Run(m *ir.Module, opts Options) (*Result, error) {
+	main := m.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("refinterp: module %q has no main", m.Name)
+	}
+	if len(main.Params) != 0 {
+		return nil, fmt.Errorf("refinterp: main must take no parameters")
+	}
+	if opts.MaxDynInstrs == 0 {
+		opts.MaxDynInstrs = defaultMaxDynInstrs
+	}
+	if opts.MaxCallDepth == 0 {
+		opts.MaxCallDepth = defaultMaxCallDepth
+	}
+
+	ev := &evaluator{opts: opts, mem: newMemory(), globals: make(map[*ir.Global]uint64, len(m.Globals))}
+	for _, g := range m.Globals {
+		seg := ev.mem.allocate(uint64(g.SizeBytes()))
+		ev.globals[g] = seg.base
+		for i, bits := range g.Init {
+			if !ev.mem.store(seg.base+uint64(i*g.Elem.Bytes()), g.Elem.Bytes(), bits) {
+				return nil, fmt.Errorf("refinterp: initializing @%s failed", g.Name)
+			}
+		}
+	}
+
+	_, err := ev.call(main, nil)
+	res := &Result{
+		Output:       ev.output.String(),
+		OutputLines:  ev.lines,
+		DynInstrs:    ev.dynCount,
+		DynResults:   ev.dynResults,
+		PeakMemBytes: ev.mem.peak,
+	}
+	switch {
+	case err == nil:
+		res.Outcome = OutcomeOK
+	case errors.Is(err, errHang):
+		res.Outcome = OutcomeHang
+	default:
+		var trap *Trap
+		if !errors.As(err, &trap) {
+			return nil, err
+		}
+		if trap.Kind == TrapDetected {
+			res.Outcome = OutcomeDetected
+		} else {
+			res.Outcome = OutcomeCrash
+		}
+		res.Trap = trap
+	}
+	return res, nil
+}
+
+// frame is the per-activation state of one call: the register file and
+// the allocas to release when the call unwinds.
+type frame struct {
+	fn      *ir.Func
+	regs    []uint64
+	params  []uint64
+	allocas []*segment
+}
+
+// call runs one function activation to completion and returns its return
+// value. Execution recurses through the Go call stack; allocas are
+// released when the activation unwinds, error or not.
+func (ev *evaluator) call(fn *ir.Func, args []uint64) (uint64, error) {
+	if ev.depth >= ev.opts.MaxCallDepth {
+		return 0, &Trap{Kind: TrapStackOverflow, Instr: fn.Entry().Instrs[0]}
+	}
+	ev.depth++
+	fr := &frame{fn: fn, regs: make([]uint64, fn.NumInstrs()), params: args}
+	defer func() {
+		for _, seg := range fr.allocas {
+			ev.mem.release(seg)
+		}
+		ev.depth--
+	}()
+
+	block := fn.Entry()
+	var prev *ir.Block
+	for {
+		next, ret, done, err := ev.runBlock(fr, block, prev)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return ret, nil
+		}
+		prev, block = block, next
+	}
+}
+
+// runBlock executes one basic block: the phi cluster first (simultaneous
+// reads, sequential writes), then every remaining instruction up to the
+// terminator. It returns the successor block, or done=true with the
+// return value when the block returns from the function.
+func (ev *evaluator) runBlock(fr *frame, block, prev *ir.Block) (next *ir.Block, ret uint64, done bool, err error) {
+	// Phis evaluate simultaneously on block entry: all incoming values are
+	// read against the pre-entry register state before any phi writes.
+	nPhi := 0
+	for _, in := range block.Instrs {
+		if in.Op != ir.OpPhi {
+			break
+		}
+		nPhi++
+	}
+	if nPhi > 0 {
+		vals := make([]uint64, nPhi)
+		for i := 0; i < nPhi; i++ {
+			in := block.Instrs[i]
+			v, ok := ev.phiIncoming(fr, in, prev)
+			if !ok {
+				prevName := "<entry>"
+				if prev != nil {
+					prevName = prev.Name
+				}
+				return nil, 0, false, fmt.Errorf("refinterp: phi %s has no incoming for block %s",
+					in.Pos(), prevName)
+			}
+			vals[i] = v
+		}
+		for i := 0; i < nPhi; i++ {
+			if err := ev.tick(); err != nil {
+				return nil, 0, false, err
+			}
+			ev.writeResult(fr, block.Instrs[i], vals[i])
+		}
+	}
+
+	for idx := nPhi; idx < len(block.Instrs); idx++ {
+		in := block.Instrs[idx]
+		if err := ev.tick(); err != nil {
+			return nil, 0, false, err
+		}
+		switch in.Op {
+		case ir.OpBr:
+			return in.Targets[0], 0, false, nil
+		case ir.OpCondBr:
+			if ev.eval(fr, in.Operands[0])&1 != 0 {
+				return in.Targets[0], 0, false, nil
+			}
+			return in.Targets[1], 0, false, nil
+		case ir.OpRet:
+			if len(in.Operands) == 1 {
+				return nil, ev.eval(fr, in.Operands[0]), true, nil
+			}
+			return nil, 0, true, nil
+		case ir.OpCall:
+			args := make([]uint64, len(in.Operands))
+			for i, a := range in.Operands {
+				args[i] = ev.eval(fr, a)
+			}
+			r, err := ev.call(in.Callee, args)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			ev.writeResult(fr, in, r)
+		case ir.OpStore:
+			bits := ev.eval(fr, in.Operands[0])
+			addr := ev.eval(fr, in.Operands[1])
+			if !ev.mem.store(addr, in.Elem.Bytes(), bits) {
+				return nil, 0, false, &Trap{Kind: TrapOOBStore, Instr: in, Addr: addr}
+			}
+		case ir.OpCheck:
+			if ev.eval(fr, in.Operands[0]) != ev.eval(fr, in.Operands[1]) {
+				return nil, 0, false, &Trap{Kind: TrapDetected, Instr: in}
+			}
+		case ir.OpPrint:
+			bits := ev.eval(fr, in.Operands[0])
+			ev.output.WriteString(ir.FormatValue(in.Operands[0].ValueType(), bits, in.Format))
+			ev.output.WriteByte('\n')
+			ev.lines++
+		default:
+			bits, err := ev.compute(fr, in)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			ev.writeResult(fr, in, bits)
+		}
+	}
+	return nil, 0, false, fmt.Errorf("refinterp: fell off end of block in %s", fr.fn.Name)
+}
+
+// phiIncoming returns the incoming value of a phi for the given
+// predecessor block.
+func (ev *evaluator) phiIncoming(fr *frame, in *ir.Instr, prev *ir.Block) (uint64, bool) {
+	for j, pb := range in.PhiBlocks {
+		if pb == prev {
+			return ev.eval(fr, in.Operands[j]), true
+		}
+	}
+	return 0, false
+}
+
+// tick counts one dispatched instruction against the budget. The count
+// is incremented before the instruction executes, and exceeding the
+// budget hangs before execution — so completing or trapping exactly at
+// the budget keeps its classification.
+func (ev *evaluator) tick() error {
+	ev.dynCount++
+	if ev.dynCount > ev.opts.MaxDynInstrs {
+		return errHang
+	}
+	return nil
+}
+
+// writeResult truncates the result, offers it to the hook, counts it and
+// writes the register. Instructions without a result are ignored.
+func (ev *evaluator) writeResult(fr *frame, in *ir.Instr, bits uint64) {
+	if !in.HasResult() {
+		return
+	}
+	bits = ir.TruncateToWidth(bits, in.Type.Bits())
+	ev.dynResults++
+	if h := ev.opts.OnResult; h != nil {
+		bits = ir.TruncateToWidth(h(in, bits), in.Type.Bits())
+	}
+	fr.regs[in.ID] = bits
+}
+
+// eval resolves an operand to its bit pattern in the current frame.
+func (ev *evaluator) eval(fr *frame, v ir.Value) uint64 {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Bits
+	case *ir.Instr:
+		return fr.regs[x.ID]
+	case *ir.Param:
+		return fr.params[x.Index]
+	case *ir.Global:
+		return ev.globals[x]
+	default:
+		panic(fmt.Sprintf("refinterp: unknown value kind %T", v))
+	}
+}
+
+// compute evaluates a non-control, non-memory-write instruction.
+func (ev *evaluator) compute(fr *frame, in *ir.Instr) (uint64, error) {
+	switch {
+	case in.Op == ir.OpAlloca:
+		seg := ev.mem.allocate(uint64(in.Count * in.Elem.Bytes()))
+		fr.allocas = append(fr.allocas, seg)
+		return seg.base, nil
+	case in.Op == ir.OpLoad:
+		addr := ev.eval(fr, in.Operands[0])
+		bits, ok := ev.mem.load(addr, in.Elem.Bytes())
+		if !ok {
+			return 0, &Trap{Kind: TrapOOBLoad, Instr: in, Addr: addr}
+		}
+		return bits, nil
+	case in.Op == ir.OpGep:
+		base := ev.eval(fr, in.Operands[0])
+		idxOp := in.Operands[1]
+		idx := ir.SignExtend(ev.eval(fr, idxOp), idxOp.ValueType().Bits())
+		return base + uint64(idx*int64(in.Elem.Bytes())), nil
+	case in.Op == ir.OpSelect:
+		if ev.eval(fr, in.Operands[0])&1 != 0 {
+			return ev.eval(fr, in.Operands[1]), nil
+		}
+		return ev.eval(fr, in.Operands[2]), nil
+	case in.Op == ir.OpIntrinsic:
+		args := make([]float64, len(in.Operands))
+		for i, a := range in.Operands {
+			args[i] = ir.FloatFromBits(a.ValueType(), ev.eval(fr, a))
+		}
+		return ir.FloatToBits(in.Type, intrinsic(in.Intr, args)), nil
+	case in.Op.IsBinary():
+		return ev.binary(in, ev.eval(fr, in.Operands[0]), ev.eval(fr, in.Operands[1]))
+	case in.Op.IsCmp():
+		if compare(in.Pred, in.Operands[0].ValueType(), ev.eval(fr, in.Operands[0]), ev.eval(fr, in.Operands[1])) {
+			return 1, nil
+		}
+		return 0, nil
+	case in.Op.IsCast():
+		return cast(in.Op, in.Operands[0].ValueType(), in.Type, ev.eval(fr, in.Operands[0])), nil
+	default:
+		return 0, fmt.Errorf("refinterp: cannot execute %s at %s", in.Op, in.Pos())
+	}
+}
+
+// binary computes a two-operand arithmetic, bitwise or floating-point
+// operation on bit patterns of the operand type.
+func (ev *evaluator) binary(in *ir.Instr, lhs, rhs uint64) (uint64, error) {
+	t := in.Operands[0].ValueType()
+	w := t.Bits()
+	switch in.Op {
+	case ir.OpAdd:
+		return lhs + rhs, nil
+	case ir.OpSub:
+		return lhs - rhs, nil
+	case ir.OpMul:
+		return lhs * rhs, nil
+	case ir.OpSDiv, ir.OpSRem:
+		n, d := ir.SignExtend(lhs, w), ir.SignExtend(rhs, w)
+		if d == 0 {
+			return 0, &Trap{Kind: TrapDivZero, Instr: in}
+		}
+		if n == math.MinInt64 && d == -1 {
+			// MinInt64 / -1 overflows; the IR defines it to wrap (sdiv
+			// yields MinInt64, srem yields 0) instead of trapping.
+			if in.Op == ir.OpSDiv {
+				return uint64(n), nil
+			}
+			return 0, nil
+		}
+		if in.Op == ir.OpSDiv {
+			return uint64(n / d), nil
+		}
+		return uint64(n % d), nil
+	case ir.OpUDiv, ir.OpURem:
+		if rhs == 0 {
+			return 0, &Trap{Kind: TrapDivZero, Instr: in}
+		}
+		if in.Op == ir.OpUDiv {
+			return lhs / rhs, nil
+		}
+		return lhs % rhs, nil
+	case ir.OpAnd:
+		return lhs & rhs, nil
+	case ir.OpOr:
+		return lhs | rhs, nil
+	case ir.OpXor:
+		return lhs ^ rhs, nil
+	case ir.OpShl:
+		// Shift amounts reduce modulo the width, so corrupted shift
+		// operands still produce a defined result.
+		return lhs << (uint(rhs) % uint(w)), nil
+	case ir.OpLShr:
+		return ir.TruncateToWidth(lhs, w) >> (uint(rhs) % uint(w)), nil
+	case ir.OpAShr:
+		return uint64(ir.SignExtend(lhs, w) >> (uint(rhs) % uint(w))), nil
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		a, b := ir.FloatFromBits(t, lhs), ir.FloatFromBits(t, rhs)
+		var r float64
+		switch in.Op {
+		case ir.OpFAdd:
+			r = a + b
+		case ir.OpFSub:
+			r = a - b
+		case ir.OpFMul:
+			r = a * b
+		default:
+			r = a / b // IEEE: ±Inf/NaN, no trap
+		}
+		return ir.FloatToBits(t, r), nil
+	default:
+		return 0, nil
+	}
+}
+
+// compare evaluates a comparison predicate on bit patterns of type t.
+func compare(pred ir.Predicate, t ir.Type, lhs, rhs uint64) bool {
+	switch pred {
+	case ir.PredEQ:
+		return ir.TruncateToWidth(lhs, t.Bits()) == ir.TruncateToWidth(rhs, t.Bits())
+	case ir.PredNE:
+		return ir.TruncateToWidth(lhs, t.Bits()) != ir.TruncateToWidth(rhs, t.Bits())
+	}
+	if pred >= ir.PredSLT && pred <= ir.PredSGE {
+		a, b := ir.SignExtend(lhs, t.Bits()), ir.SignExtend(rhs, t.Bits())
+		switch pred {
+		case ir.PredSLT:
+			return a < b
+		case ir.PredSLE:
+			return a <= b
+		case ir.PredSGT:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	if pred >= ir.PredULT && pred <= ir.PredUGE {
+		a, b := ir.TruncateToWidth(lhs, t.Bits()), ir.TruncateToWidth(rhs, t.Bits())
+		switch pred {
+		case ir.PredULT:
+			return a < b
+		case ir.PredULE:
+			return a <= b
+		case ir.PredUGT:
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+	a, b := ir.FloatFromBits(t, lhs), ir.FloatFromBits(t, rhs)
+	switch pred {
+	case ir.PredOEQ:
+		return a == b
+	case ir.PredONE:
+		return a != b && !math.IsNaN(a) && !math.IsNaN(b)
+	case ir.PredOLT:
+		return a < b
+	case ir.PredOLE:
+		return a <= b
+	case ir.PredOGT:
+		return a > b
+	case ir.PredOGE:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// cast converts a bit pattern from type st to type dt.
+func cast(op ir.Opcode, st, dt ir.Type, src uint64) uint64 {
+	switch op {
+	case ir.OpTrunc:
+		return ir.TruncateToWidth(src, dt.Bits())
+	case ir.OpZExt:
+		return ir.TruncateToWidth(src, st.Bits())
+	case ir.OpSExt:
+		return uint64(ir.SignExtend(src, st.Bits()))
+	case ir.OpFPTrunc:
+		return ir.FloatToBits(ir.F32, ir.FloatFromBits(ir.F64, src))
+	case ir.OpFPExt:
+		return ir.FloatToBits(ir.F64, ir.FloatFromBits(ir.F32, src))
+	case ir.OpFPToSI:
+		f := ir.FloatFromBits(st, src)
+		switch {
+		case math.IsNaN(f):
+			return 0
+		case f >= math.MaxInt64:
+			// Saturate at the representable bounds instead of the
+			// Go-defined implementation behavior.
+			var max int64 = math.MaxInt64
+			return uint64(max)
+		case f <= math.MinInt64:
+			var min int64 = math.MinInt64
+			return uint64(min)
+		default:
+			return uint64(int64(f))
+		}
+	case ir.OpSIToFP:
+		return ir.FloatToBits(dt, float64(ir.SignExtend(src, st.Bits())))
+	default: // Bitcast
+		return src
+	}
+}
+
+// intrinsic evaluates a built-in math routine.
+func intrinsic(kind ir.Intrinsic, args []float64) float64 {
+	switch kind {
+	case ir.IntrinsicSqrt:
+		return math.Sqrt(args[0])
+	case ir.IntrinsicExp:
+		return math.Exp(args[0])
+	case ir.IntrinsicLog:
+		return math.Log(args[0])
+	case ir.IntrinsicSin:
+		return math.Sin(args[0])
+	case ir.IntrinsicCos:
+		return math.Cos(args[0])
+	case ir.IntrinsicPow:
+		return math.Pow(args[0], args[1])
+	case ir.IntrinsicFabs:
+		return math.Abs(args[0])
+	case ir.IntrinsicFloor:
+		return math.Floor(args[0])
+	case ir.IntrinsicFmin:
+		return math.Min(args[0], args[1])
+	case ir.IntrinsicFmax:
+		return math.Max(args[0], args[1])
+	default:
+		return math.NaN()
+	}
+}

@@ -1,0 +1,208 @@
+package refinterp
+
+import (
+	"strings"
+	"testing"
+
+	"trident/internal/ir"
+)
+
+// mustParse parses IR text or fails the test.
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func TestRunSimpleOutput(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  %a = add i32 2, i32 3
+  print %a
+  ret
+}
+`)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeOK {
+		t.Fatalf("outcome = %v, want ok", res.Outcome)
+	}
+	if res.Output != "5\n" {
+		t.Fatalf("output = %q, want %q", res.Output, "5\n")
+	}
+	// add + print + ret = 3 dispatched instructions, 1 register write.
+	if res.DynInstrs != 3 || res.DynResults != 1 {
+		t.Fatalf("counters = (%d,%d), want (3,1)", res.DynInstrs, res.DynResults)
+	}
+}
+
+func TestDivZeroTrap(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  %z = sub i32 1, i32 1
+  %d = sdiv i32 7, %z
+  print %d
+  ret
+}
+`)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeCrash || res.Trap == nil || res.Trap.Kind != TrapDivZero {
+		t.Fatalf("got outcome %v trap %+v, want crash/div-zero", res.Outcome, res.Trap)
+	}
+}
+
+func TestOOBLoadTrap(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  %p = alloca i32 x 2
+  %q = gep i32, %p, i64 100
+  %v = load i32, %q
+  print %v
+  ret
+}
+`)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeCrash || res.Trap == nil || res.Trap.Kind != TrapOOBLoad {
+		t.Fatalf("got outcome %v trap %+v, want crash/oob-load", res.Outcome, res.Trap)
+	}
+}
+
+func TestInfiniteLoopHangs(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  br spin
+spin:
+  br spin
+}
+`)
+	res, err := Run(m, Options{MaxDynInstrs: 1000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeHang {
+		t.Fatalf("outcome = %v, want hang", res.Outcome)
+	}
+	if res.DynInstrs != 1001 {
+		t.Fatalf("DynInstrs = %d, want budget+1", res.DynInstrs)
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @rec() void {
+entry:
+  call @rec()
+  ret
+}
+func @main() void {
+entry:
+  call @rec()
+  ret
+}
+`)
+	res, err := Run(m, Options{MaxCallDepth: 16})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeCrash || res.Trap == nil || res.Trap.Kind != TrapStackOverflow {
+		t.Fatalf("got outcome %v trap %+v, want crash/stack-overflow", res.Outcome, res.Trap)
+	}
+}
+
+func TestCheckDetects(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  %a = add i32 1, i32 2
+  %b = add i32 1, i32 3
+  check %a, %b
+  ret
+}
+`)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcome != OutcomeDetected || res.Trap == nil || res.Trap.Kind != TrapDetected {
+		t.Fatalf("got outcome %v trap %+v, want detected", res.Outcome, res.Trap)
+	}
+}
+
+func TestOnResultInjection(t *testing.T) {
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  %a = add i32 2, i32 3
+  print %a
+  ret
+}
+`)
+	hit := 0
+	res, err := Run(m, Options{
+		OnResult: func(in *ir.Instr, bits uint64) uint64 {
+			hit++
+			return bits ^ 1 // flip the low bit of the sum
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if hit != 1 {
+		t.Fatalf("OnResult fired %d times, want 1", hit)
+	}
+	if strings.TrimSpace(res.Output) != "4" {
+		t.Fatalf("output = %q, want 4 (5 with bit 0 flipped)", res.Output)
+	}
+}
+
+func TestPhiSimultaneousSwap(t *testing.T) {
+	// The classic swap idiom: both phis must read the pre-entry values.
+	m := mustParse(t, `
+module "t"
+func @main() void {
+entry:
+  br head
+head:
+  %x = phi i32 [i32 1, entry], [%y, head]
+  %y = phi i32 [i32 2, entry], [%x, head]
+  %n = phi i32 [i32 0, entry], [%n1, head]
+  %n1 = add %n, i32 1
+  %c = icmp slt %n1, i32 3
+  condbr %c, head, exit
+exit:
+  print %x
+  print %y
+  ret
+}
+`)
+	res, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// 3 iterations: (1,2) -> (2,1) -> (1,2).
+	if res.Output != "1\n2\n" {
+		t.Fatalf("output = %q, want 1,2 after an odd number of swaps", res.Output)
+	}
+}

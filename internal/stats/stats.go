@@ -58,13 +58,36 @@ func MeanAbsError(pred, meas []float64) (float64, error) {
 }
 
 // ProportionCI95 returns the half-width of the 95% confidence interval of
-// a proportion p measured over n trials (normal approximation) — the
-// paper's FI error bars.
+// a proportion p measured over n trials — the paper's FI error bars. It
+// uses the Wilson score interval rather than the textbook normal
+// approximation: the normal half-width 1.96*sqrt(p(1-p)/n) collapses to
+// zero when p is exactly 0 or 1, which silently overstates confidence
+// for low-SDC programs (observing 0 SDCs in n trials bounds the true
+// rate near 3.84/(n+3.84), not 0). The Wilson half-width stays positive
+// for every finite n and converges to the normal approximation as n
+// grows, so mid-range error bars change only marginally.
+//
+// The reported interval is centered on the measured p (as the paper's
+// plots are), so the half-width is the distance from p to the farther
+// Wilson bound.
 func ProportionCI95(p float64, n int) float64 {
 	if n <= 0 {
 		return 0
 	}
-	return 1.96 * math.Sqrt(p*(1-p)/float64(n))
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	const z = 1.96
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo := center - half
+	hi := center + half
+	return math.Max(p-lo, hi-p)
 }
 
 // TTestResult is the outcome of a paired two-tailed t-test.

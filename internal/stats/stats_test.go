@@ -34,17 +34,34 @@ func TestMeanAbsError(t *testing.T) {
 }
 
 func TestProportionCI95(t *testing.T) {
-	// Paper: ±0.07% to ±1.76% at 3000 samples; the extremes correspond to
-	// very small p and p near the largest measured SDC probability.
+	// At mid-range p and large n the Wilson half-width matches the normal
+	// approximation the paper quotes (±1.79% at p=0.5, n=3000).
 	ci := ProportionCI95(0.5, 3000)
 	if !approx(ci, 0.0179, 0.0005) {
 		t.Errorf("CI95(0.5, 3000) = %v, want ~0.0179", ci)
 	}
-	if ProportionCI95(0, 3000) != 0 {
-		t.Error("CI at p=0 should be 0")
+	// At p exactly 0 or 1 the normal approximation collapses to a
+	// zero-width bar; Wilson must not. Observing 0 successes in n trials
+	// bounds the rate near z^2/(n+z^2) ≈ 3.84/n for large n.
+	lo := ProportionCI95(0, 3000)
+	if lo <= 0 {
+		t.Error("CI at p=0 must be positive (Wilson), got 0")
+	}
+	if !approx(lo, 3.84/3003.84, 1e-4) {
+		t.Errorf("CI95(0, 3000) = %v, want ~%v", lo, 3.84/3003.84)
+	}
+	if hi := ProportionCI95(1, 3000); !approx(hi, lo, 1e-12) {
+		t.Errorf("CI at p=1 (%v) should mirror p=0 (%v)", hi, lo)
 	}
 	if ProportionCI95(0.5, 0) != 0 {
 		t.Error("CI with no trials should be 0")
+	}
+	// Monotone shrink with n, and symmetry in p.
+	if ProportionCI95(0.3, 100) <= ProportionCI95(0.3, 10000) {
+		t.Error("CI should shrink as n grows")
+	}
+	if a, b := ProportionCI95(0.2, 500), ProportionCI95(0.8, 500); !approx(a, b, 1e-12) {
+		t.Errorf("CI should be symmetric in p: %v vs %v", a, b)
 	}
 }
 
