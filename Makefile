@@ -18,20 +18,28 @@ doc:
 	sh scripts/doccheck.sh
 
 # check is the CI gate: vet everything, then race-test the concurrent
-# campaign engine, the interpreter it drives, and the cross-check
-# harness that compares them against the reference evaluator. The race
-# run includes the snapshot round-trip suite (internal/interp) and the
-# differential suite comparing snapshot-replay campaigns against legacy
-# full re-execution (internal/fault). The fuzz smoke run gives each
+# campaign engine, the interpreters it drives (legacy and decoded,
+# including the engine-parity and pooled-frame hygiene suites), the
+# decoded lowering pass, and the cross-check harness that compares them
+# against the reference evaluator. The race run includes the snapshot
+# round-trip suite (internal/interp) and the differential suites
+# comparing snapshot-replay and decoded-engine campaigns against legacy
+# full re-execution (internal/fault). The decoded crosscheck tier sweeps
+# a random corpus through the three-way oracle with the decoded engine
+# driving the campaign-level checks. The fuzz smoke run gives each
 # native fuzz target a bounded slice of random exploration, and the
-# fibench smoke run then proves both engines still agree end-to-end on a
-# short real campaign AND that the telemetry layer stays within its ≤3%
-# overhead budget (see OBSERVABILITY.md).
+# fibench smoke run then proves all engines still agree end-to-end on a
+# short real campaign, that the telemetry layer stays within its ≤3%
+# overhead budget (see OBSERVABILITY.md), and that the decoded engine
+# keeps a measurable lead over the snapshot engine (the 1.1x smoke floor
+# is deliberately below the ≥1.4x geomean BENCH_fi.json records, so CI
+# jitter on one kernel does not flake the gate).
 check: build doc
-	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/telemetry/...
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/...
 	$(GO) test -race -short ./internal/crosscheck/...
+	$(GO) run ./cmd/crosscheck -n 60 -seed 77 -kernels=false -engine decoded
 	$(MAKE) fuzz-smoke
-	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -out /dev/null
+	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -min-decoded-speedup 1.1 -out /dev/null
 
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep
@@ -40,11 +48,12 @@ fuzz-smoke:
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzInterpOracle -fuzztime 10s
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime 10s
 
-# bench measures the snapshot-replay campaign engine against the legacy
-# path plus the telemetry layer's overhead (committed as BENCH_fi.json)
-# and runs the campaign benchmarks.
+# bench measures the snapshot-replay and decoded campaign engines
+# against the legacy path plus the telemetry layer's overhead across all
+# 11 paper kernels (committed as BENCH_fi.json) and runs the campaign
+# benchmarks.
 bench:
-	$(GO) run ./cmd/fibench -repeats 3 -out BENCH_fi.json
+	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia -repeats 3 -out BENCH_fi.json
 	$(GO) test -bench='BenchmarkCampaign' -benchmem .
 
 # bench-all runs the full benchmark harness (paper tables, ablations,

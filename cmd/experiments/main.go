@@ -20,6 +20,10 @@
 //	                 FI trials resume from; 0 disables snapshot replay and
 //	                 re-executes every trial from instruction zero
 //	                 (default 2048)
+//	-engine string   interpreter engine for golden runs and FI trials:
+//	                 "legacy" (default) or "decoded" (pre-decoded
+//	                 instruction streams; bit-identical results, faster
+//	                 campaigns)
 //	-metrics-out string
 //	                 write a JSON metrics snapshot here on exit
 //	                 (see OBSERVABILITY.md)
@@ -45,6 +49,7 @@ import (
 
 	"trident/internal/experiments"
 	"trident/internal/fault"
+	"trident/internal/interp"
 	"trident/internal/telemetry"
 )
 
@@ -66,6 +71,7 @@ func run(args []string) error {
 	format := fs.String("format", "text", "output format: text or md")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for per-campaign JSONL checkpoints; an interrupted run resumes from them")
 	snapInterval := fs.Int("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that FI trials resume from (0 = legacy full re-execution)")
+	engineName := fs.String("engine", "legacy", "interpreter engine for golden runs and FI trials: legacy or decoded")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (program loads, campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the run's lifetime")
@@ -74,6 +80,10 @@ func run(args []string) error {
 		return err
 	}
 	md := *format == "md"
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 
 	reg := telemetry.Default
 	var trace *telemetry.Trace
@@ -141,6 +151,7 @@ func run(args []string) error {
 		Metrics:          reg,
 		Trace:            trace,
 		Progress:         onProgress,
+		Engine:           engine,
 	}
 	if *snapInterval == 0 {
 		cfg.SnapshotInterval = -1

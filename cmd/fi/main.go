@@ -18,6 +18,7 @@
 // Usage:
 //
 //	fi -program pathfinder [-n 3000] [-seed 1] [-workers 4] [-per-instr]
+//	   [-engine legacy|decoded] [-snapshot-interval 2048]
 //	   [-checkpoint trials.jsonl] [-resume] [-retries 2] [-trial-timeout 30s]
 //	   [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
 //	fi -ir file.tir [...]
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"trident/internal/fault"
+	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/progs"
 	"trident/internal/stats"
@@ -62,6 +64,7 @@ func run(args []string) error {
 	retries := fs.Int("retries", 1, "retry attempts for trials failing with transient engine errors")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
 	snapInterval := fs.Uint64("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that trials resume from (0 = legacy full re-execution)")
+	engineName := fs.String("engine", "legacy", "interpreter engine for the golden run and every trial: legacy or decoded")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
@@ -71,6 +74,10 @@ func run(args []string) error {
 	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	engine, err := interp.ParseEngine(*engineName)
+	if err != nil {
+		return err
 	}
 
 	reg := telemetry.Default
@@ -132,6 +139,7 @@ func run(args []string) error {
 		Metrics:          reg,
 		Trace:            trace,
 		OnProgress:       onProgress,
+		Engine:           engine,
 	})
 	if err != nil {
 		return err

@@ -1,8 +1,10 @@
-// Command fibench compares the two fault-injection execution paths — the
-// legacy engine that re-interprets every trial from instruction zero, and
+// Command fibench compares the three fault-injection execution paths —
+// the legacy engine that re-interprets every trial from instruction zero,
 // the snapshot-replay engine that resumes each trial from the nearest
-// golden-run snapshot — on identical campaigns, verifies the results are
-// bit-identical, and records the timings as JSON (BENCH_fi.json).
+// golden-run snapshot, and the decoded engine that additionally executes
+// AOT-lowered instruction streams with pooled frames — on identical
+// campaigns, verifies the results are bit-identical, and records the
+// timings as JSON (BENCH_fi.json).
 //
 // It also measures the cost of the telemetry layer: each snapshot
 // campaign is re-run with a live metrics registry, JSONL trace, and
@@ -15,12 +17,14 @@
 //
 //	fibench [-programs pathfinder,nw,sad] [-n 400] [-seed 7] [-workers 4]
 //	        [-interval 2048] [-repeats 1] [-max-overhead 0]
-//	        [-out BENCH_fi.json]
+//	        [-min-decoded-speedup 0] [-out BENCH_fi.json]
 //
 // -out "-" writes to stdout. -repeats N times every campaign N times and
 // keeps the fastest run, damping scheduler noise on loaded machines. The
-// run fails if any program's campaigns diverge between the paths, or if
-// -max-overhead is positive and exceeded.
+// run fails if any program's campaigns diverge between the paths, if
+// -max-overhead is positive and exceeded, or if -min-decoded-speedup is
+// positive and the geometric-mean decoded-vs-snapshot speedup falls
+// below it.
 package main
 
 import (
@@ -29,11 +33,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"trident/internal/fault"
+	"trident/internal/interp"
 	"trident/internal/progs"
 	"trident/internal/telemetry"
 )
@@ -50,6 +56,7 @@ type result struct {
 	SnapshotSetup float64 `json:"snapshot_setup_ms"`
 	LegacyMs      float64 `json:"legacy_ms"`
 	SnapshotMs    float64 `json:"snapshot_ms"`
+	DecodedMs     float64 `json:"decoded_ms"`
 	// OverheadBaseMs and InstrumentedMs are the single-worker pair
 	// behind the overhead measurement: the same snapshot campaign bare
 	// and with every observability sink attached. Single-threaded runs
@@ -58,6 +65,9 @@ type result struct {
 	OverheadBaseMs float64 `json:"overhead_base_ms"`
 	InstrumentedMs float64 `json:"instrumented_ms"`
 	Speedup        float64 `json:"speedup"`
+	// DecodedSpeedup is the decoded engine's gain over the snapshot
+	// engine on the same snapshot-replay campaign: snapshot_ms/decoded_ms.
+	DecodedSpeedup float64 `json:"decoded_speedup"`
 	// TelemetryOverhead is the fractional slowdown with metrics,
 	// tracing, and a progress callback all attached:
 	// instrumented_ms/overhead_base_ms - 1. Negative values are
@@ -66,6 +76,7 @@ type result struct {
 	Identical         bool    `json:"identical"`
 	TrialsPerSecL     float64 `json:"legacy_trials_per_sec"`
 	TrialsPerSecS     float64 `json:"snapshot_trials_per_sec"`
+	TrialsPerSecD     float64 `json:"decoded_trials_per_sec"`
 	OutcomeSummary    string  `json:"outcomes"`
 }
 
@@ -85,6 +96,7 @@ func run(args []string) error {
 	interval := fs.Uint64("interval", 2048, "snapshot interval in dynamic instructions")
 	repeats := fs.Int("repeats", 1, "measure each campaign this many times and keep the fastest")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail if telemetry overhead exceeds this fraction (0 disables the gate)")
+	minDecoded := fs.Float64("min-decoded-speedup", 0, "fail if the geomean decoded-vs-snapshot speedup falls below this factor (0 disables the gate)")
 	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,13 +116,27 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
-			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs,
-			r.Speedup, r.TelemetryOverhead*100, r.Identical)
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms speedup=%.2fx decoded-speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
+			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.DecodedMs,
+			r.Speedup, r.DecodedSpeedup, r.TelemetryOverhead*100, r.Identical)
 		if !r.Identical {
-			return fmt.Errorf("%s: snapshot campaign diverged from legacy campaign", name)
+			return fmt.Errorf("%s: campaigns diverged between execution paths", name)
 		}
 		results = append(results, r)
+	}
+
+	// The decoded gate uses the geometric mean so every kernel weighs
+	// equally; an arithmetic mean would let one long kernel mask a
+	// regression on the short ones.
+	logSum := 0.0
+	for _, r := range results {
+		logSum += math.Log(r.DecodedSpeedup)
+	}
+	geomean := math.Exp(logSum / float64(len(results)))
+	fmt.Fprintf(os.Stderr, "decoded speedup geomean: %.2fx\n", geomean)
+	if *minDecoded > 0 && geomean < *minDecoded {
+		return fmt.Errorf("decoded speedup geomean %.2fx below the %.2fx floor",
+			geomean, *minDecoded)
 	}
 
 	// Gate on the aggregate across programs — total fastest instrumented
@@ -224,6 +250,21 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		return result{}, err
 	}
 
+	// The decoded engine runs the same snapshot-replay campaign, so its
+	// column isolates the engine swap: AOT-lowered instruction streams
+	// and pooled frames against the tree-walking interpreter.
+	dec, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: workers, SnapshotInterval: interval,
+		Engine: interp.EngineDecoded,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	dres, decDur, err := timeCampaign(dec, n, repeats)
+	if err != nil {
+		return result{}, err
+	}
+
 	// The overhead measurement runs its own single-worker pair: worker-
 	// pool scheduling jitter at campaign scale is several percent, far
 	// above the signal, while single-threaded runs are stable enough to
@@ -263,13 +304,16 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		SnapshotSetup:     float64(setupDur.Microseconds()) / 1000,
 		LegacyMs:          float64(legacyDur.Microseconds()) / 1000,
 		SnapshotMs:        float64(snapDur.Microseconds()) / 1000,
+		DecodedMs:         float64(decDur.Microseconds()) / 1000,
 		OverheadBaseMs:    float64(obareDur.Microseconds()) / 1000,
 		InstrumentedMs:    float64(instDur.Microseconds()) / 1000,
 		Speedup:           legacyDur.Seconds() / snapDur.Seconds(),
+		DecodedSpeedup:    snapDur.Seconds() / decDur.Seconds(),
 		TelemetryOverhead: instDur.Seconds()/obareDur.Seconds() - 1,
-		Identical:         identical(lres, sres) && identical(sres, ires),
+		Identical:         identical(lres, sres) && identical(sres, dres) && identical(sres, ires),
 		TrialsPerSecL:     float64(n) / legacyDur.Seconds(),
 		TrialsPerSecS:     float64(n) / snapDur.Seconds(),
+		TrialsPerSecD:     float64(n) / decDur.Seconds(),
 		OutcomeSummary:    summarize(lres),
 	}
 	return r, nil

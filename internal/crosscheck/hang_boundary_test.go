@@ -11,17 +11,26 @@ import (
 
 // hangBoundaryClassify runs m under an explicit instruction budget on
 // every execution path the engine has — the legacy interpreter loop
-// (SnapshotInterval=0), the snapshot-capture run, a resume from the last
-// captured snapshot, and the naive reference evaluator — and returns the
-// four outcome strings. The paths must never disagree, at any budget.
-func hangBoundaryClassify(t *testing.T, m *ir.Module, budget uint64) (legacy, snap, resumed, ref string) {
+// (SnapshotInterval=0), the decoded engine, the snapshot-capture run, a
+// resume from the last captured snapshot, a decoded resume of the same
+// snapshot, and the naive reference evaluator — and returns the outcome
+// strings keyed by path name. The paths must never disagree, at any
+// budget.
+func hangBoundaryClassify(t *testing.T, m *ir.Module, budget uint64) map[string]string {
 	t.Helper()
+	out := make(map[string]string)
 
 	legacyRes, err := interp.Run(m, interp.Options{MaxDynInstrs: budget})
 	if err != nil {
 		t.Fatalf("legacy run (budget %d): %v", budget, err)
 	}
-	legacy = legacyRes.Outcome.String()
+	out["legacy"] = legacyRes.Outcome.String()
+
+	decRes, err := interp.Run(m, interp.Options{Engine: interp.EngineDecoded, MaxDynInstrs: budget})
+	if err != nil {
+		t.Fatalf("decoded run (budget %d): %v", budget, err)
+	}
+	out["decoded"] = decRes.Outcome.String()
 
 	var last *interp.Snapshot
 	snapRes, err := interp.Run(m, interp.Options{
@@ -32,23 +41,32 @@ func hangBoundaryClassify(t *testing.T, m *ir.Module, budget uint64) (legacy, sn
 	if err != nil {
 		t.Fatalf("snapshot run (budget %d): %v", budget, err)
 	}
-	snap = snapRes.Outcome.String()
+	out["snapshot"] = snapRes.Outcome.String()
 
-	resumed = snap // no snapshot captured before the budget ⇒ nothing to resume
+	// No snapshot captured before the budget ⇒ nothing to resume.
+	out["resume"] = out["snapshot"]
+	out["decoded-resume"] = out["snapshot"]
 	if last != nil {
 		resRes, err := interp.Resume(last, interp.Options{MaxDynInstrs: budget})
 		if err != nil {
 			t.Fatalf("resume (budget %d): %v", budget, err)
 		}
-		resumed = resRes.Outcome.String()
+		out["resume"] = resRes.Outcome.String()
+		decResumeRes, err := interp.Resume(last, interp.Options{
+			Engine: interp.EngineDecoded, MaxDynInstrs: budget,
+		})
+		if err != nil {
+			t.Fatalf("decoded resume (budget %d): %v", budget, err)
+		}
+		out["decoded-resume"] = decResumeRes.Outcome.String()
 	}
 
 	refRes, err := refinterp.Run(m, refinterp.Options{MaxDynInstrs: budget})
 	if err != nil {
 		t.Fatalf("reference run (budget %d): %v", budget, err)
 	}
-	ref = refRes.Outcome.String()
-	return legacy, snap, resumed, ref
+	out["refinterp"] = refRes.Outcome.String()
+	return out
 }
 
 // TestHangBoundary pins the hang-classification boundary: for a program
@@ -160,10 +178,7 @@ done:
 				{d, tc.want},
 				{d + 1, tc.want},
 			} {
-				legacy, snap, resumed, ref := hangBoundaryClassify(t, m, row.budget)
-				for path, got := range map[string]string{
-					"legacy": legacy, "snapshot": snap, "resume": resumed, "refinterp": ref,
-				} {
+				for path, got := range hangBoundaryClassify(t, m, row.budget) {
 					if got != row.want {
 						t.Errorf("budget %d (D%+d), %s path: outcome %s, want %s",
 							row.budget, int64(row.budget)-int64(d), path, got, row.want)
@@ -198,12 +213,17 @@ entry:
 		if err != nil {
 			t.Fatalf("interp run: %v", err)
 		}
+		dec, err := interp.Run(m, interp.Options{Engine: interp.EngineDecoded, MaxDynInstrs: budget})
+		if err != nil {
+			t.Fatalf("decoded run: %v", err)
+		}
 		for path, r := range map[string]struct {
 			outcome string
 			dyn     uint64
 		}{
 			"refinterp": {ref.Outcome.String(), ref.DynInstrs},
 			"interp":    {prod.Outcome.String(), prod.DynInstrs},
+			"decoded":   {dec.Outcome.String(), dec.DynInstrs},
 		} {
 			if r.outcome != "hang" {
 				t.Errorf("%s at budget %d: outcome %s, want hang", path, budget, r.outcome)

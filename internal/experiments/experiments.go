@@ -64,6 +64,11 @@ type Config struct {
 	// completions (fault.Options.OnProgress semantics); cmd/experiments
 	// feeds it into a live stderr progress line.
 	Progress func(fault.Progress)
+	// Engine selects the interpreter engine that executes the golden run
+	// and every injection trial (fault.Options.Engine semantics). The
+	// zero value is the legacy engine; results are bit-identical across
+	// engines.
+	Engine interp.Engine
 }
 
 // faultOptions builds injector options for the given sampling seed,
@@ -76,6 +81,7 @@ func (c Config) faultOptions(seed uint64) fault.Options {
 		Metrics:    c.Metrics,
 		Trace:      c.Trace,
 		OnProgress: c.Progress,
+		Engine:     c.Engine,
 	}
 	if c.SnapshotInterval > 0 {
 		opts.SnapshotInterval = uint64(c.SnapshotInterval)

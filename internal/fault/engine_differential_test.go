@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"trident/internal/interp"
+	"trident/internal/ir"
+	"trident/internal/progs"
+)
+
+// The decoded-engine differential suite extends the snapshot-replay
+// proof to the second execution engine: a campaign run on the decoded
+// engine — with or without snapshot replay — must be bit-identical to
+// the legacy engine's, trial for trial.
+
+// TestDifferentialDecodedEngine runs one random campaign per program on
+// the legacy path and on three decoded configurations (cold, snapshot
+// replay, pooled workers) and requires byte-identical transcripts.
+func TestDifferentialDecodedEngine(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 25
+	}
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := p.Build()
+			legacy, err := New(m, Options{Seed: 42, Workers: 4})
+			if err != nil {
+				t.Fatalf("legacy injector: %v", err)
+			}
+			want, err := legacy.CampaignRandom(context.Background(), n)
+			if err != nil {
+				t.Fatalf("legacy campaign: %v", err)
+			}
+			configs := map[string]Options{
+				"cold":     {Seed: 42, Workers: 4, Engine: interp.EngineDecoded},
+				"snapshot": {Seed: 42, Workers: 4, Engine: interp.EngineDecoded, SnapshotInterval: legacy.GoldenDynInstrs()/7 + 1},
+				"serial":   {Seed: 42, Workers: 1, Engine: interp.EngineDecoded},
+			}
+			for name, opts := range configs {
+				dec, err := New(m, opts)
+				if err != nil {
+					t.Fatalf("%s injector: %v", name, err)
+				}
+				res, err := dec.CampaignRandom(context.Background(), n)
+				if err != nil {
+					t.Fatalf("%s campaign: %v", name, err)
+				}
+				if got, w := transcript(res), transcript(want); got != w {
+					t.Errorf("%s campaign transcript diverges from legacy\nlegacy:\n%s\ndecoded:\n%s",
+						name, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDecodedPerTrial compares individual InjectDetail
+// observations — outcome, crash latency, output hash — between engines
+// for the same sampled fault points.
+func TestDifferentialDecodedPerTrial(t *testing.T) {
+	perProg := 30
+	if testing.Short() {
+		perProg = 10
+	}
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := p.Build()
+			legacy, err := New(m, Options{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := New(m, Options{Seed: 7, Engine: interp.EngineDecoded})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy.GoldenOutput() != dec.GoldenOutput() ||
+				legacy.GoldenDynInstrs() != dec.GoldenDynInstrs() ||
+				legacy.ActivationSpace() != dec.ActivationSpace() {
+				t.Fatalf("golden observations diverge: legacy (%d instrs, %d space), decoded (%d instrs, %d space)",
+					legacy.GoldenDynInstrs(), legacy.ActivationSpace(),
+					dec.GoldenDynInstrs(), dec.ActivationSpace())
+			}
+			for _, spec := range legacy.sampleRandom(perProg) {
+				ld, err := legacy.InjectDetail(context.Background(), spec.instr, spec.instance, spec.bit)
+				if err != nil {
+					t.Fatalf("legacy trial %s/%d/%d: %v", spec.instr.Pos(), spec.instance, spec.bit, err)
+				}
+				dd, err := dec.InjectDetail(context.Background(), spec.instr, spec.instance, spec.bit)
+				if err != nil {
+					t.Fatalf("decoded trial %s/%d/%d: %v", spec.instr.Pos(), spec.instance, spec.bit, err)
+				}
+				if ld != dd {
+					t.Errorf("trial %s inst=%d bit=%d diverges: legacy %+v, decoded %+v",
+						spec.instr.Pos(), spec.instance, spec.bit, ld, dd)
+				}
+			}
+		})
+	}
+}
+
+// TestTrialStateReset is the pooled-state hygiene check: a trial state
+// dirtied by a previous trial must come out of reset indistinguishable
+// from a fresh one. A stale counter or injection flag leaking into the
+// next trial fails here.
+func TestTrialStateReset(t *testing.T) {
+	ts := acquireTrialState()
+	defer releaseTrialState(ts)
+
+	stale := &ir.Instr{Op: ir.OpAdd, Type: ir.I32}
+	ts.target = stale
+	ts.instance = 99
+	ts.mask = 0xFF00
+	ts.seen = 1234
+	ts.injectedAt = 777
+	ts.injected = true
+
+	next := &ir.Instr{Op: ir.OpMul, Type: ir.I64}
+	ts.reset(next, 3, 5)
+
+	if ts.target != next {
+		t.Errorf("target = %v, want the new trial's target", ts.target)
+	}
+	if ts.instance != 3 {
+		t.Errorf("instance = %d, want 3", ts.instance)
+	}
+	if ts.mask != 1<<5 {
+		t.Errorf("mask = %#x, want %#x", ts.mask, uint64(1<<5))
+	}
+	if ts.seen != 0 {
+		t.Errorf("stale seen = %d survived reset", ts.seen)
+	}
+	if ts.injectedAt != 0 {
+		t.Errorf("stale injectedAt = %d survived reset", ts.injectedAt)
+	}
+	if ts.injected {
+		t.Errorf("stale injected flag survived reset")
+	}
+
+	// The pooled hook closure must act on the post-reset state.
+	got := ts.hook(&interp.Context{}, stale, 0b1)
+	if got != 0b1 || ts.seen != 0 {
+		t.Errorf("hook matched the stale target after reset (bits=%#b seen=%d)", got, ts.seen)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		got = ts.hook(&interp.Context{DynCount: 10 + i}, next, 0)
+	}
+	if !ts.injected || got != 1<<5 || ts.injectedAt != 13 {
+		t.Errorf("hook did not fire on instance 3 of the new target (injected=%v bits=%#x at=%d)",
+			ts.injected, got, ts.injectedAt)
+	}
+
+	// Release must drop the target reference.
+	releaseTrialState(ts)
+	if ts.target != nil {
+		t.Errorf("releaseTrialState retained target %v", ts.target)
+	}
+	ts = acquireTrialState() // rebalance the deferred release
+}
+
+// TestTrialStateSequentialReuse re-runs the same trial spec repeatedly
+// on one goroutine — forcing pool round-trips through the same state —
+// and requires identical observations every time.
+func TestTrialStateSequentialReuse(t *testing.T) {
+	p := progs.All()[0]
+	inj, err := New(p.Build(), Options{Seed: 3, Engine: interp.EngineDecoded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := inj.sampleRandom(5)
+	var first []Detail
+	for round := 0; round < 3; round++ {
+		for i, spec := range specs {
+			d, err := inj.InjectDetail(context.Background(), spec.instr, spec.instance, spec.bit)
+			if err != nil {
+				t.Fatalf("round %d trial %d: %v", round, i, err)
+			}
+			if round == 0 {
+				first = append(first, d)
+			} else if d != first[i] {
+				t.Errorf("round %d trial %d diverges: %+v vs %+v", round, i, d, first[i])
+			}
+		}
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
+	"trident/internal/decoded"
 	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/telemetry"
@@ -141,6 +143,13 @@ type Options struct {
 	// golden run, the snapshot-capture pass and each campaign, and one
 	// event per errored trial. Nil disables tracing.
 	Trace *telemetry.Trace
+	// Engine selects the interpreter execution engine for the golden run,
+	// the snapshot-capture pass and every trial. The zero value is the
+	// legacy engine. With interp.EngineDecoded the injector lowers the
+	// module once (interp.CompileDecoded) and shares the immutable
+	// program across all workers and trials. Outcomes are bit-identical
+	// across engines — enforced by the differential test suite.
+	Engine interp.Engine
 	// OnProgress, when non-nil, is invoked synchronously after every
 	// completed trial of a campaign (including trials replayed from a
 	// checkpoint) with monotonically non-decreasing Done and outcome
@@ -181,6 +190,11 @@ type Injector struct {
 	// execution order (empty when SnapshotInterval is 0).
 	snaps []goldenSnap
 
+	// prog is the module lowered for the decoded engine, compiled once in
+	// New and shared (it is immutable) by every run the injector issues.
+	// Nil on the legacy engine.
+	prog *decoded.Program
+
 	// met is the pre-resolved metric set (nil when Options.Metrics is
 	// nil), so trial workers record through atomics only.
 	met *campaignMetrics
@@ -207,10 +221,15 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 	}
 	inj := &Injector{module: m, opts: opts, execCount: make(map[*ir.Instr]uint64)}
 	inj.met = newCampaignMetrics(opts.Metrics)
+	if opts.Engine == interp.EngineDecoded {
+		inj.prog = interp.CompileDecoded(m, opts.Metrics)
+	}
 
 	span := opts.Trace.Start("golden-run", telemetry.Attrs{"module": m.Name})
 	goldenStart := time.Now()
 	res, err := interp.Run(m, interp.Options{
+		Engine:  opts.Engine,
+		Decoded: inj.prog,
 		Metrics: opts.Metrics,
 		Hooks: interp.Hooks{
 			OnResult: func(_ *interp.Context, in *ir.Instr, bits uint64) uint64 {
@@ -270,6 +289,8 @@ func (inj *Injector) captureSnapshots() error {
 	setupStart := time.Now()
 	counts := make(map[*ir.Instr]uint64, len(inj.targets))
 	res, err := interp.Run(inj.module, interp.Options{
+		Engine:           inj.opts.Engine,
+		Decoded:          inj.prog,
 		Metrics:          inj.opts.Metrics,
 		SnapshotInterval: interval,
 		OnSnapshot: func(s *interp.Snapshot) {
@@ -382,27 +403,16 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 		ctx, cancel = context.WithTimeout(ctx, inj.opts.TrialTimeout)
 		defer cancel()
 	}
-	var seen uint64
-	var injectedAt uint64
-	injected := false
+	ts := acquireTrialState()
+	defer releaseTrialState(ts)
+	ts.reset(target, instance, bit)
 	iopts := interp.Options{
 		Context:      ctx,
 		MaxDynInstrs: inj.hangBudget,
 		Metrics:      inj.opts.Metrics,
-		Hooks: interp.Hooks{
-			OnResult: func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64 {
-				if injected || in != target {
-					return bits
-				}
-				seen++
-				if seen != instance {
-					return bits
-				}
-				injected = true
-				injectedAt = ctx.DynCount
-				return bits ^ (1 << uint(bit))
-			},
-		},
+		Engine:       inj.opts.Engine,
+		Decoded:      inj.prog,
+		Hooks:        interp.Hooks{OnResult: ts.hook},
 	}
 	// Snapshot replay: the pre-fault prefix of the trial is identical to
 	// the golden run, so resume from the latest golden snapshot preceding
@@ -412,7 +422,7 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 	var err error
 	if si := inj.snapshotBefore(target, instance); si >= 0 {
 		gs := inj.snaps[si]
-		seen = gs.counts[target]
+		ts.seen = gs.counts[target]
 		if mt := inj.met; mt != nil {
 			mt.replaySnap.Inc()
 			mt.savedInstrs.Add(gs.state.DynInstrs())
@@ -443,14 +453,68 @@ func (inj *Injector) InjectDetail(ctx context.Context, target *ir.Instr, instanc
 			return Detail{}, fmt.Errorf("fault: injected run: %w", err)
 		}
 	}
-	if !injected {
+	if !ts.injected {
 		return Detail{}, fmt.Errorf("fault: instance %d of %s never executed", instance, target.Pos())
 	}
 	d := Detail{Outcome: inj.classify(res), OutputHash: hashOutput(res.Output)}
-	if d.Outcome == Crash && res.DynInstrs >= injectedAt {
-		d.CrashLatency = res.DynInstrs - injectedAt
+	if d.Outcome == Crash && res.DynInstrs >= ts.injectedAt {
+		d.CrashLatency = res.DynInstrs - ts.injectedAt
 	}
 	return d, nil
+}
+
+// trialState is the reusable per-trial injection context. The OnResult
+// hook closure is built once per pooled instance and captures the state
+// struct, so a campaign of N trials reuses a handful of closures
+// instead of allocating one (plus its captured variables) per trial.
+// reset rearms every field; a stale target or counter surviving into
+// the next trial is a bug the hygiene tests check for.
+type trialState struct {
+	target     *ir.Instr
+	instance   uint64
+	mask       uint64
+	seen       uint64
+	injectedAt uint64
+	injected   bool
+	hook       func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64
+}
+
+// reset rearms the state for one (target, instance, bit) trial spec.
+func (ts *trialState) reset(target *ir.Instr, instance uint64, bit int) {
+	ts.target = target
+	ts.instance = instance
+	ts.mask = 1 << uint(bit)
+	ts.seen = 0
+	ts.injectedAt = 0
+	ts.injected = false
+}
+
+// trialStatePool recycles trial states (and their hook closures) across
+// trials and workers.
+var trialStatePool = sync.Pool{New: func() any {
+	ts := &trialState{}
+	ts.hook = func(ctx *interp.Context, in *ir.Instr, bits uint64) uint64 {
+		if ts.injected || in != ts.target {
+			return bits
+		}
+		ts.seen++
+		if ts.seen != ts.instance {
+			return bits
+		}
+		ts.injected = true
+		ts.injectedAt = ctx.DynCount
+		return bits ^ ts.mask
+	}
+	return ts
+}}
+
+func acquireTrialState() *trialState { return trialStatePool.Get().(*trialState) }
+
+// releaseTrialState returns ts to the pool, dropping the target
+// reference so pooled states do not retain modules.
+func releaseTrialState(ts *trialState) {
+	ts.target = nil
+	trialStatePool.Put(ts)
 }
 
 // hashOutput is the 64-bit FNV-1a hash of a program's output.

@@ -1,0 +1,655 @@
+// The decoded execution engine (Options.Engine = EngineDecoded).
+//
+// This is the second of the interpreter's two engines. It executes the
+// pre-lowered instruction streams produced by internal/decoded: operand
+// resolution is a slice index instead of an interface type-switch,
+// globals resolve through the dense slot table, phi prologues are
+// straight move lists per CFG edge, and dispatch runs one flat switch
+// over pre-classified steps. Activation frames (with their register
+// files and phi scratch) come from a process-wide pool and are zeroed
+// on reuse, so a campaign of N trials stops allocating O(N · frames).
+//
+// The engine implements the same observable contract as the legacy
+// loop, bit for bit: identical hook sequences and arguments (hooks see
+// the original *ir.Instr, so fault targets compare equal across
+// engines), identical count-before-execute hang semantics, identical
+// trap kinds and positions, identical output formatting, and identical
+// snapshot boundaries. Snapshots themselves are engine-neutral — frames
+// are captured in IR terms — so state captured under one engine resumes
+// under the other. The crosscheck suite holds all of this to zero
+// divergence against both the legacy engine and the reference
+// evaluator.
+
+package interp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"trident/internal/decoded"
+	"trident/internal/ir"
+	"trident/internal/telemetry"
+)
+
+// CompileDecoded lowers m for the decoded engine, recording the
+// lowering latency as interp.decode_us when reg is non-nil. Campaign
+// engines call it once per module and hand the program to every trial
+// via Options.Decoded; per-run lowering (a nil Options.Decoded) goes
+// through it too.
+func CompileDecoded(m *ir.Module, reg *telemetry.Registry) *decoded.Program {
+	start := metricsStart(reg)
+	p := decoded.Compile(m)
+	if reg != nil {
+		reg.Histogram("interp.decode_us").Since(start)
+	}
+	return p
+}
+
+// decodedProgram returns the caller-supplied pre-compiled program when
+// it matches the module, else lowers on the fly.
+func decodedProgram(m *ir.Module, opts Options) *decoded.Program {
+	if p := opts.Decoded; p != nil && p.Module == m {
+		return p
+	}
+	return CompileDecoded(m, opts.Metrics)
+}
+
+// runDecoded is Run on the decoded engine.
+func runDecoded(m *ir.Module, opts Options) (*Result, error) {
+	start := metricsStart(opts.Metrics)
+	main := m.Func("main")
+	if main == nil {
+		return nil, fmt.Errorf("interp: module %q has no main", m.Name)
+	}
+	if len(main.Params) != 0 {
+		return nil, fmt.Errorf("interp: main must take no parameters")
+	}
+	applyDefaults(&opts)
+	prog := decodedProgram(m, opts)
+
+	ctx := &Context{Mem: NewMemory(), opts: opts}
+	globals, err := initGlobals(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+
+	vm := newDMachine(ctx, prog, globals)
+	_, err = vm.runSafe(prog.ByFunc[main])
+	res, rerr := finishRun(ctx, err)
+	vm.flushPoolMetrics(opts.Metrics)
+	recordRun(opts.Metrics, start, 0, ctx, res, rerr)
+	return res, rerr
+}
+
+// resumeDecoded is Resume on the decoded engine. The snapshot's frames
+// are stored in IR terms, so it accepts state captured by either
+// engine.
+func resumeDecoded(s *Snapshot, opts Options) (*Result, error) {
+	applyDefaults(&opts)
+	start := metricsStart(opts.Metrics)
+	prog := decodedProgram(s.frames[0].fn.Module, opts)
+	mem, remap := s.mem.Clone()
+	ctx := &Context{
+		Mem:        mem,
+		DynCount:   s.dynCount,
+		DynResults: s.dynResults,
+		opts:       opts,
+		lines:      s.lines,
+		depth:      s.depth,
+	}
+	ctx.output.WriteString(s.output)
+	vm := newDMachine(ctx, prog, s.globals)
+	vm.frames = make([]*dframe, len(s.frames))
+	for i, fs := range s.frames {
+		df := prog.ByFunc[fs.fn]
+		if df == nil {
+			return nil, fmt.Errorf("interp: resume: function %s is not part of the decoded program", fs.fn.Name)
+		}
+		bi, ok := df.ByBlock[fs.block]
+		if !ok {
+			return nil, fmt.Errorf("interp: resume: block %s is not part of function %s", fs.block.Name, fs.fn.Name)
+		}
+		fr := vm.acquireFrame(df)
+		copy(fr.regs, fs.regs)
+		copy(fr.params, fs.params)
+		fr.blk = &df.Blocks[bi]
+		fr.prev = fs.prev
+		fr.dip = fs.ip - fr.blk.NPhi
+		for _, seg := range fs.allocas {
+			fr.allocas = append(fr.allocas, remap[seg])
+		}
+		vm.frames[i] = fr
+	}
+	recordResume(opts.Metrics, start)
+	_, err := vm.resumeSafe()
+	res, rerr := finishRun(ctx, err)
+	vm.flushPoolMetrics(opts.Metrics)
+	recordRun(opts.Metrics, start, s.dynCount, ctx, res, rerr)
+	return res, rerr
+}
+
+// dframe is one activation of the decoded engine. Unlike the legacy
+// frame it is pooled: acquireFrame recycles retired frames, re-zeroing
+// registers and parameters so reuse is observationally identical to a
+// fresh allocation.
+type dframe struct {
+	fn      *decoded.Func
+	regs    []uint64
+	params  []uint64
+	scratch []uint64 // phi staging buffer, sized to fn.MaxPhi
+	allocas []*Segment
+	blk     *decoded.Block
+	prev    *ir.Block // predecessor block, for snapshot capture
+	dip     int       // next instruction index within blk.Code
+	reused  bool      // came out of the pool at least once (hit/miss stats)
+}
+
+// dframePool recycles frames (with their register, parameter and
+// scratch arrays) across runs, trials and goroutines.
+var dframePool = sync.Pool{New: func() any { return new(dframe) }}
+
+// acquireFrame takes a frame from the pool and readies it for fn.
+func (vm *dmachine) acquireFrame(fn *decoded.Func) *dframe {
+	fr := dframePool.Get().(*dframe)
+	if fr.reused {
+		vm.poolHits++
+	} else {
+		vm.poolMisses++
+	}
+	fr.prepare(fn)
+	return fr
+}
+
+// prepare readies a (possibly recycled) frame for fn. Registers and
+// parameters are sized and zeroed — pooled reuse must be
+// indistinguishable from a fresh allocation, or stale register values
+// would leak between trials. The phi scratch is sized without clearing:
+// every slot is written before it is read.
+func (fr *dframe) prepare(fn *decoded.Func) {
+	fr.fn = fn
+	fr.blk = nil
+	fr.prev = nil
+	fr.dip = 0
+	fr.regs = resizeZeroed(fr.regs, fn.NumRegs)
+	fr.params = resizeZeroed(fr.params, fn.NumParams)
+	if cap(fr.scratch) < fn.MaxPhi {
+		fr.scratch = make([]uint64, fn.MaxPhi)
+	} else {
+		fr.scratch = fr.scratch[:fn.MaxPhi]
+	}
+	fr.allocas = fr.allocas[:0]
+}
+
+// resizeZeroed returns s resized to n elements, all zero, reusing its
+// backing array when large enough.
+func resizeZeroed(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// releaseFrame returns fr to the pool, dropping object references so
+// pooled frames do not retain programs or memory segments.
+func releaseFrame(fr *dframe) {
+	fr.fn = nil
+	fr.blk = nil
+	fr.prev = nil
+	clear(fr.allocas)
+	fr.allocas = fr.allocas[:0]
+	fr.reused = true
+	dframePool.Put(fr)
+}
+
+// dmachine executes a decoded program against a shared context — the
+// decoded-engine counterpart of machine, with the same explicit-frame
+// structure that makes Snapshot/Resume possible.
+type dmachine struct {
+	ctx     *Context
+	prog    *decoded.Program
+	globals []uint64
+	frames  []*dframe
+
+	cancelCtx context.Context
+	cancel    <-chan struct{}
+
+	snapEvery uint64
+	nextSnap  uint64
+
+	// poolHits/poolMisses tally frame-pool reuse for this execution,
+	// flushed to the metrics registry at run end (never touched on the
+	// dispatch path by atomics).
+	poolHits   uint64
+	poolMisses uint64
+}
+
+// newDMachine wires a decoded machine to its context, mirroring
+// newMachine.
+func newDMachine(ctx *Context, prog *decoded.Program, globals []uint64) *dmachine {
+	vm := &dmachine{ctx: ctx, prog: prog, globals: globals}
+	if c := ctx.opts.Context; c != nil {
+		vm.cancelCtx = c
+		vm.cancel = c.Done()
+	}
+	if ctx.opts.SnapshotInterval > 0 && ctx.opts.OnSnapshot != nil {
+		vm.snapEvery = ctx.opts.SnapshotInterval
+		vm.nextSnap = ctx.DynCount + vm.snapEvery
+	}
+	return vm
+}
+
+// flushPoolMetrics records the run's frame-pool tallies.
+func (vm *dmachine) flushPoolMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	if vm.poolHits > 0 {
+		reg.Counter("interp.pool.frame_hits").Add(vm.poolHits)
+	}
+	if vm.poolMisses > 0 {
+		reg.Counter("interp.pool.frame_misses").Add(vm.poolMisses)
+	}
+	vm.poolHits, vm.poolMisses = 0, 0
+}
+
+// runSafe pushes main and drives the loop behind the shared panic
+// barrier.
+func (vm *dmachine) runSafe(main *decoded.Func) (bits uint64, err error) {
+	defer recoverInternal(&err)
+	if perr := vm.push(main); perr != nil {
+		vm.unwind()
+		return 0, perr
+	}
+	ret, lerr := vm.loop()
+	if lerr != nil {
+		vm.unwind()
+		return 0, lerr
+	}
+	return ret, nil
+}
+
+// resumeSafe drives the loop of an already-populated frame stack.
+func (vm *dmachine) resumeSafe() (bits uint64, err error) {
+	defer recoverInternal(&err)
+	ret, lerr := vm.loop()
+	if lerr != nil {
+		vm.unwind()
+		return 0, lerr
+	}
+	return ret, nil
+}
+
+// push creates and enters a new activation for fn (no arguments: calls
+// write arguments into the callee frame inline in the loop).
+func (vm *dmachine) push(fn *decoded.Func) error {
+	ctx := vm.ctx
+	if ctx.depth >= ctx.opts.MaxCallDepth {
+		return &Trap{Kind: TrapStackOverflow, Instr: fn.Ref.Entry().Instrs[0]}
+	}
+	ctx.depth++
+	fr := vm.acquireFrame(fn)
+	vm.frames = append(vm.frames, fr)
+	fr.blk = &fn.Blocks[0]
+	if fr.blk.NPhi > 0 {
+		return vm.applyEdge(fr, &fr.blk.Edges[fr.blk.EntryEdge])
+	}
+	return nil
+}
+
+// pop releases the top frame's allocas, removes it from the stack and
+// recycles it.
+func (vm *dmachine) pop() {
+	fr := vm.frames[len(vm.frames)-1]
+	for _, seg := range fr.allocas {
+		vm.ctx.Mem.Release(seg)
+	}
+	vm.frames[len(vm.frames)-1] = nil
+	vm.frames = vm.frames[:len(vm.frames)-1]
+	vm.ctx.depth--
+	releaseFrame(fr)
+}
+
+// unwind pops every remaining frame after an error terminates the loop.
+func (vm *dmachine) unwind() {
+	for len(vm.frames) > 0 {
+		vm.pop()
+	}
+}
+
+// evalOp resolves an operand slot to its bit pattern.
+func (vm *dmachine) evalOp(fr *dframe, o *decoded.Operand) uint64 {
+	switch o.Kind {
+	case decoded.KindConst:
+		return o.Bits
+	case decoded.KindReg:
+		return fr.regs[o.Idx]
+	case decoded.KindParam:
+		return fr.params[o.Idx]
+	case decoded.KindGlobal:
+		return vm.globals[o.Idx]
+	default:
+		// Same engine-bug semantics as the legacy eval: raise a typed
+		// error through the panic barrier.
+		panic(&InternalError{Msg: fmt.Sprintf("interp: unknown value kind %T", vm.prog.BadVals[o.Idx])})
+	}
+}
+
+// applyEdge runs one phi prologue: all sources evaluate against the
+// predecessor's register state (into the frame's scratch), then each
+// phi counts, truncates, offers the hook and commits, in phi order —
+// exactly the legacy enterBlock/finishResult sequence.
+func (vm *dmachine) applyEdge(fr *dframe, e *decoded.Edge) error {
+	if e.Bad != nil {
+		return fmt.Errorf("interp: phi %s has no incoming for block %s",
+			e.Bad.Pos(), e.BadPrev)
+	}
+	ctx := vm.ctx
+	scratch := fr.scratch[:len(e.Moves)]
+	for i := range e.Moves {
+		scratch[i] = vm.evalOp(fr, &e.Moves[i].Src)
+	}
+	hook := ctx.opts.Hooks.OnResult
+	for i := range e.Moves {
+		mv := &e.Moves[i]
+		ctx.DynCount++
+		if ctx.DynCount > ctx.opts.MaxDynInstrs {
+			return errHang
+		}
+		bits := ir.TruncateToWidth(scratch[i], mv.Width)
+		ctx.DynResults++
+		if hook != nil {
+			bits = ir.TruncateToWidth(hook(ctx, mv.Ref, bits), mv.Width)
+		}
+		fr.regs[mv.Dst] = bits
+	}
+	return nil
+}
+
+// branchTo moves fr to decoded block t, applying phi edge e when the
+// target has a prologue.
+func (vm *dmachine) branchTo(fr *dframe, t, e int32) error {
+	fr.prev = fr.blk.Ref
+	fr.blk = &fr.fn.Blocks[t]
+	fr.dip = 0
+	if e >= 0 {
+		return vm.applyEdge(fr, &fr.blk.Edges[e])
+	}
+	return nil
+}
+
+// finish truncates, offers the result to the fault-injection hook,
+// counts it, and writes the destination register (non-phi instructions;
+// phis go through applyEdge).
+func (vm *dmachine) finish(fr *dframe, in *decoded.Instr, bits uint64) {
+	if in.Dst < 0 {
+		return
+	}
+	ctx := vm.ctx
+	bits = ir.TruncateToWidth(bits, in.Width)
+	ctx.DynResults++
+	if h := ctx.opts.Hooks.OnResult; h != nil {
+		bits = ir.TruncateToWidth(h(ctx, in.Ref, bits), in.Width)
+	}
+	fr.regs[in.Dst] = bits
+}
+
+// loop is the decoded dispatch loop: one flat switch over pre-classified
+// steps, with the same per-instruction prologue (snapshot check before
+// the count, count before the hang check, cancellation every
+// cancelCheckInterval instructions) as the legacy loop.
+func (vm *dmachine) loop() (uint64, error) {
+	ctx := vm.ctx
+	fr := vm.frames[len(vm.frames)-1]
+	for {
+		if fr.dip >= len(fr.blk.Code) {
+			return 0, fmt.Errorf("interp: fell off end of block in %s", fr.fn.Ref.Name)
+		}
+		in := &fr.blk.Code[fr.dip]
+		if vm.snapEvery != 0 && ctx.DynCount >= vm.nextSnap {
+			vm.takeSnapshot()
+		}
+		ctx.DynCount++
+		if ctx.DynCount > ctx.opts.MaxDynInstrs {
+			return 0, errHang
+		}
+		if vm.cancel != nil && ctx.DynCount&(cancelCheckInterval-1) == 0 {
+			select {
+			case <-vm.cancel:
+				return 0, fmt.Errorf("interp: run cancelled after %d instructions: %w",
+					ctx.DynCount, vm.cancelCtx.Err())
+			default:
+			}
+		}
+		if w := ctx.opts.TraceWriter; w != nil {
+			fmt.Fprintf(w, "%8d %-24s %s\n", ctx.DynCount, in.Ref.Pos(), ir.FormatInstr(in.Ref))
+		}
+		switch in.Step {
+		case decoded.StepBinary:
+			lhs := vm.evalOp(fr, &in.A)
+			rhs := vm.evalOp(fr, &in.B)
+			if h := ctx.opts.Hooks.OnBinary; h != nil {
+				h(ctx, in.Ref, lhs, rhs)
+			}
+			bits, ok := evalBinary(in.Op, in.OpndType, lhs, rhs)
+			if !ok {
+				return 0, &Trap{Kind: TrapDivZero, Instr: in.Ref}
+			}
+			vm.finish(fr, in, bits)
+			fr.dip++
+		case decoded.StepCmp:
+			lhs := vm.evalOp(fr, &in.A)
+			rhs := vm.evalOp(fr, &in.B)
+			if h := ctx.opts.Hooks.OnBinary; h != nil {
+				h(ctx, in.Ref, lhs, rhs)
+			}
+			vm.finish(fr, in, evalCmp(in.Pred, in.OpndType, lhs, rhs))
+			fr.dip++
+		case decoded.StepCast:
+			src := vm.evalOp(fr, &in.A)
+			vm.finish(fr, in, evalCast(in.Op, in.OpndType, in.Type, src))
+			fr.dip++
+		case decoded.StepSelect:
+			var bits uint64
+			if vm.evalOp(fr, &in.A)&1 != 0 {
+				bits = vm.evalOp(fr, &in.B)
+			} else {
+				bits = vm.evalOp(fr, &in.C)
+			}
+			vm.finish(fr, in, bits)
+			fr.dip++
+		case decoded.StepIntrinsic:
+			var bits uint64
+			if in.NArgs <= 2 {
+				var argbuf [2]float64
+				var rawLHS, rawRHS uint64
+				if in.NArgs >= 1 {
+					rawLHS = vm.evalOp(fr, &in.A)
+					argbuf[0] = ir.FloatFromBits(in.A.Type, rawLHS)
+				}
+				if in.NArgs == 2 {
+					rawRHS = vm.evalOp(fr, &in.B)
+					argbuf[1] = ir.FloatFromBits(in.B.Type, rawRHS)
+				}
+				if h := ctx.opts.Hooks.OnBinary; h != nil {
+					h(ctx, in.Ref, rawLHS, rawRHS)
+				}
+				bits = ir.FloatToBits(in.Type, evalIntrinsic(in.Intr, argbuf[:in.NArgs]))
+			} else {
+				// Over-arity intrinsic (rejected by Verify): replicate the
+				// legacy evaluation order, rawRHS tracking the last operand.
+				args := make([]float64, len(in.Args))
+				var rawLHS, rawRHS uint64
+				for i := range in.Args {
+					raw := vm.evalOp(fr, &in.Args[i])
+					if i == 0 {
+						rawLHS = raw
+					} else {
+						rawRHS = raw
+					}
+					args[i] = ir.FloatFromBits(in.Args[i].Type, raw)
+				}
+				if h := ctx.opts.Hooks.OnBinary; h != nil {
+					h(ctx, in.Ref, rawLHS, rawRHS)
+				}
+				bits = ir.FloatToBits(in.Type, evalIntrinsic(in.Intr, args))
+			}
+			vm.finish(fr, in, bits)
+			fr.dip++
+		case decoded.StepAlloca:
+			seg := ctx.Mem.Allocate("alloca", in.AllocSize)
+			fr.allocas = append(fr.allocas, seg)
+			vm.finish(fr, in, seg.Base)
+			fr.dip++
+		case decoded.StepLoad:
+			addr := vm.evalOp(fr, &in.A)
+			bits, ok := ctx.Mem.Load(in.Elem, addr)
+			if !ok {
+				return 0, &Trap{Kind: TrapOOBLoad, Instr: in.Ref, Addr: addr}
+			}
+			if h := ctx.opts.Hooks.OnLoad; h != nil {
+				h(ctx, in.Ref, addr, bits)
+			}
+			vm.finish(fr, in, bits)
+			fr.dip++
+		case decoded.StepStore:
+			bits := vm.evalOp(fr, &in.A)
+			addr := vm.evalOp(fr, &in.B)
+			if !ctx.Mem.Store(in.Elem, addr, bits) {
+				return 0, &Trap{Kind: TrapOOBStore, Instr: in.Ref, Addr: addr}
+			}
+			if h := ctx.opts.Hooks.OnStore; h != nil {
+				h(ctx, in.Ref, addr, bits)
+			}
+			fr.dip++
+		case decoded.StepGep:
+			base := vm.evalOp(fr, &in.A)
+			idx := ir.SignExtend(vm.evalOp(fr, &in.B), in.IdxWidth)
+			vm.finish(fr, in, base+uint64(idx*in.ElemBytes))
+			fr.dip++
+		case decoded.StepCall:
+			callee := in.Callee
+			if ctx.depth >= ctx.opts.MaxCallDepth {
+				return 0, &Trap{Kind: TrapStackOverflow, Instr: callee.Ref.Entry().Instrs[0]}
+			}
+			ctx.depth++
+			nf := vm.acquireFrame(callee)
+			for i := range in.Args {
+				nf.params[i] = vm.evalOp(fr, &in.Args[i])
+			}
+			vm.frames = append(vm.frames, nf)
+			nf.blk = &callee.Blocks[0]
+			if nf.blk.NPhi > 0 {
+				if err := vm.applyEdge(nf, &nf.blk.Edges[nf.blk.EntryEdge]); err != nil {
+					return 0, err
+				}
+			}
+			fr = nf
+		case decoded.StepRet:
+			var ret uint64
+			if in.NArgs == 1 {
+				ret = vm.evalOp(fr, &in.A)
+			}
+			vm.pop()
+			if len(vm.frames) == 0 {
+				return ret, nil
+			}
+			fr = vm.frames[len(vm.frames)-1]
+			// The caller is suspended at its call instruction; deliver the
+			// return value as that instruction's result and step past it.
+			vm.finish(fr, &fr.blk.Code[fr.dip], ret)
+			fr.dip++
+		case decoded.StepBr:
+			if h := ctx.opts.Hooks.OnBranch; h != nil {
+				h(ctx, in.Ref, 0)
+			}
+			if err := vm.branchTo(fr, in.T0, in.E0); err != nil {
+				return 0, err
+			}
+		case decoded.StepCondBr:
+			cond := vm.evalOp(fr, &in.A) & 1
+			taken := 1 // false edge
+			if cond != 0 {
+				taken = 0
+			}
+			if h := ctx.opts.Hooks.OnBranch; h != nil {
+				h(ctx, in.Ref, taken)
+			}
+			t, e := in.T1, in.E1
+			if taken == 0 {
+				t, e = in.T0, in.E0
+			}
+			if err := vm.branchTo(fr, t, e); err != nil {
+				return 0, err
+			}
+		case decoded.StepPrint:
+			bits := vm.evalOp(fr, &in.A)
+			line := ir.FormatValue(in.OpndType, bits, in.Format)
+			ctx.output.WriteString(line)
+			ctx.output.WriteByte('\n')
+			ctx.lines++
+			if h := ctx.opts.Hooks.OnPrint; h != nil {
+				h(ctx, in.Ref, line)
+			}
+			fr.dip++
+		case decoded.StepCheck:
+			a := vm.evalOp(fr, &in.A)
+			b := vm.evalOp(fr, &in.B)
+			if a != b {
+				return 0, &Trap{Kind: TrapDetected, Instr: in.Ref}
+			}
+			fr.dip++
+		default: // decoded.StepInvalid
+			return 0, fmt.Errorf("interp: cannot execute %s at %s", in.Op, in.Ref.Pos())
+		}
+	}
+}
+
+// takeSnapshot captures the current decoded-machine state. The snapshot
+// itself is engine-neutral.
+func (vm *dmachine) takeSnapshot() {
+	reg := vm.ctx.opts.Metrics
+	start := metricsStart(reg)
+	s := vm.capture()
+	recordCapture(reg, start, s)
+	vm.nextSnap = vm.ctx.DynCount + vm.snapEvery
+	vm.ctx.opts.OnSnapshot(s)
+}
+
+// capture deep-copies the machine state into an engine-neutral
+// Snapshot: frames are stored in IR terms (function, block, instruction
+// pointer), so either engine can resume them.
+func (vm *dmachine) capture() *Snapshot {
+	ctx := vm.ctx
+	mem, remap := ctx.Mem.Clone()
+	s := &Snapshot{
+		dynCount:   ctx.DynCount,
+		dynResults: ctx.DynResults,
+		depth:      ctx.depth,
+		lines:      ctx.lines,
+		output:     ctx.output.String(),
+		mem:        mem,
+		globals:    vm.globals,
+		frames:     make([]frameSnap, len(vm.frames)),
+	}
+	for i, fr := range vm.frames {
+		fs := frameSnap{
+			fn:     fr.fn.Ref,
+			block:  fr.blk.Ref,
+			prev:   fr.prev,
+			ip:     fr.dip + fr.blk.NPhi,
+			regs:   append([]uint64(nil), fr.regs...),
+			params: append([]uint64(nil), fr.params...),
+		}
+		if len(fr.allocas) > 0 {
+			fs.allocas = make([]*Segment, len(fr.allocas))
+			for j, seg := range fr.allocas {
+				fs.allocas[j] = remap[seg]
+			}
+		}
+		s.frames[i] = fs
+	}
+	return s
+}

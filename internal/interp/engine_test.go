@@ -1,0 +1,581 @@
+// Cross-engine parity tests: the decoded engine must be observationally
+// identical to the legacy engine — same results, same hook sequences
+// with the same arguments, same trap positions, same hang boundaries,
+// same snapshots — plus pooled-state hygiene (a recycled frame must be
+// indistinguishable from a fresh one).
+
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"trident/internal/decoded"
+	"trident/internal/ir"
+	"trident/internal/progs"
+)
+
+func TestParseEngine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineLegacy, true},
+		{"legacy", EngineLegacy, true},
+		{"decoded", EngineDecoded, true},
+		{"turbo", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParseEngine(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseEngine(%q) succeeded, want error", c.in)
+		}
+	}
+	if len(Engines()) != 2 {
+		t.Errorf("Engines() = %v, want two engines", Engines())
+	}
+}
+
+// hookTrace records every hook invocation as a comparable string,
+// optionally flipping a bit in one dynamic result (the fault-injection
+// usage pattern).
+type hookTrace struct {
+	events     []string
+	flipAt     uint64 // 1-based DynResults index to corrupt, 0 = never
+	flipMask   uint64
+	numResults uint64
+}
+
+func (h *hookTrace) hooks() Hooks {
+	return Hooks{
+		OnResult: func(ctx *Context, in *ir.Instr, bits uint64) uint64 {
+			h.numResults++
+			if h.numResults == h.flipAt {
+				bits ^= h.flipMask
+			}
+			h.events = append(h.events, fmt.Sprintf("result %s %#x d=%d r=%d", in.Pos(), bits, ctx.DynCount, ctx.DynResults))
+			return bits
+		},
+		OnBranch: func(ctx *Context, in *ir.Instr, taken int) {
+			h.events = append(h.events, fmt.Sprintf("branch %s %d d=%d", in.Pos(), taken, ctx.DynCount))
+		},
+		OnBinary: func(ctx *Context, in *ir.Instr, lhs, rhs uint64) {
+			h.events = append(h.events, fmt.Sprintf("binary %s %#x %#x", in.Pos(), lhs, rhs))
+		},
+		OnLoad: func(ctx *Context, in *ir.Instr, addr, bits uint64) {
+			h.events = append(h.events, fmt.Sprintf("load %s %#x %#x", in.Pos(), addr, bits))
+		},
+		OnStore: func(ctx *Context, in *ir.Instr, addr, bits uint64) {
+			h.events = append(h.events, fmt.Sprintf("store %s %#x %#x", in.Pos(), addr, bits))
+		},
+		OnPrint: func(ctx *Context, in *ir.Instr, line string) {
+			h.events = append(h.events, fmt.Sprintf("print %s %q", in.Pos(), line))
+		},
+	}
+}
+
+// runBoth executes m under both engines with identical options and
+// fails the test on any observable difference. It returns the legacy
+// result for further checks.
+func runBoth(t *testing.T, m *ir.Module, opts Options, flipAt, flipMask uint64) (*Result, error) {
+	t.Helper()
+	traces := make([]*hookTrace, 2)
+	results := make([]*Result, 2)
+	errs := make([]error, 2)
+	for i, eng := range []Engine{EngineLegacy, EngineDecoded} {
+		h := &hookTrace{flipAt: flipAt, flipMask: flipMask}
+		o := opts
+		o.Engine = eng
+		o.Hooks = h.hooks()
+		results[i], errs[i] = Run(m, o)
+		traces[i] = h
+	}
+	if (errs[0] == nil) != (errs[1] == nil) {
+		t.Fatalf("error divergence: legacy=%v decoded=%v", errs[0], errs[1])
+	}
+	if errs[0] != nil && errs[0].Error() != errs[1].Error() {
+		t.Fatalf("error text divergence:\n  legacy:  %v\n  decoded: %v", errs[0], errs[1])
+	}
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	compareResultsT(t, results[0], results[1])
+	if len(traces[0].events) != len(traces[1].events) {
+		t.Fatalf("hook event count: legacy=%d decoded=%d", len(traces[0].events), len(traces[1].events))
+	}
+	for i := range traces[0].events {
+		if traces[0].events[i] != traces[1].events[i] {
+			t.Fatalf("hook event %d diverges:\n  legacy:  %s\n  decoded: %s",
+				i, traces[0].events[i], traces[1].events[i])
+		}
+	}
+	return results[0], nil
+}
+
+func compareResultsT(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.Outcome != b.Outcome {
+		t.Fatalf("outcome: legacy=%v decoded=%v", a.Outcome, b.Outcome)
+	}
+	if a.Output != b.Output {
+		t.Fatalf("output diverges:\n  legacy:  %q\n  decoded: %q", a.Output, b.Output)
+	}
+	if a.OutputLines != b.OutputLines {
+		t.Fatalf("output lines: legacy=%d decoded=%d", a.OutputLines, b.OutputLines)
+	}
+	if a.DynInstrs != b.DynInstrs {
+		t.Fatalf("dyn instrs: legacy=%d decoded=%d", a.DynInstrs, b.DynInstrs)
+	}
+	if a.DynResults != b.DynResults {
+		t.Fatalf("dyn results: legacy=%d decoded=%d", a.DynResults, b.DynResults)
+	}
+	if a.PeakMemBytes != b.PeakMemBytes {
+		t.Fatalf("peak mem: legacy=%d decoded=%d", a.PeakMemBytes, b.PeakMemBytes)
+	}
+	if (a.Trap == nil) != (b.Trap == nil) {
+		t.Fatalf("trap presence: legacy=%v decoded=%v", a.Trap, b.Trap)
+	}
+	if a.Trap != nil {
+		if a.Trap.Kind != b.Trap.Kind || a.Trap.Instr != b.Trap.Instr || a.Trap.Addr != b.Trap.Addr {
+			t.Fatalf("trap diverges: legacy=%v decoded=%v", a.Trap, b.Trap)
+		}
+	}
+}
+
+// TestEngineParityKernels runs every benchmark kernel under both
+// engines with full hook observation and requires bit-identical
+// behavior.
+func TestEngineParityKernels(t *testing.T) {
+	for _, p := range progs.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			m := p.Build()
+			if _, err := runBoth(t, m, Options{}, 0, 0); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+// TestEngineParityInjected corrupts one dynamic result mid-run (the
+// fault-injection usage of OnResult) and requires both engines to
+// propagate the corruption identically.
+func TestEngineParityInjected(t *testing.T) {
+	for _, p := range progs.All() {
+		t.Run(p.Name, func(t *testing.T) {
+			m := p.Build()
+			base, err := Run(m, Options{})
+			if err != nil {
+				t.Fatalf("golden: %v", err)
+			}
+			// A handful of injection points spread across the run, plus the
+			// very first and last results.
+			points := []uint64{1, base.DynResults / 3, base.DynResults / 2, base.DynResults}
+			for _, at := range points {
+				if at == 0 {
+					continue
+				}
+				runBoth(t, m, Options{}, at, 1<<7)
+			}
+		})
+	}
+}
+
+// TestEngineParityControl covers the control-flow corner cases the
+// kernels may not hit: traps of every kind, phi-dense diamonds,
+// recursion to stack overflow, and param/global traffic.
+func TestEngineParityControl(t *testing.T) {
+	srcs := map[string]string{
+		"oob-load": `
+module "oob"
+func @main() void {
+entry:
+  %p = alloca i32 x 2
+  %q = gep i32, %p, i64 5
+  %v = load i32, %q
+  print %v
+  ret
+}`,
+		"oob-store": `
+module "oob2"
+func @main() void {
+entry:
+  %p = alloca i32 x 2
+  %q = gep i32, %p, i64 99
+  store i32 7, %q
+  ret
+}`,
+		"div-zero": `
+module "dz"
+func @main() void {
+entry:
+  %a = add i32 10, i32 0
+  %b = sub %a, i32 10
+  %c = sdiv i32 5, %b
+  print %c
+  ret
+}`,
+		"detected": `
+module "det"
+func @main() void {
+entry:
+  %a = add i32 1, i32 2
+  %b = add i32 1, i32 3
+  check %a, %b
+  ret
+}`,
+		"overflow": `
+module "ovf"
+func @rec(%n i32) i32 {
+entry:
+  %r = call @rec(%n)
+  ret %r
+}
+func @main() void {
+entry:
+  %r = call @rec(i32 1)
+  print %r
+  ret
+}`,
+		"phi-diamond": `
+module "phid"
+func @main() void {
+entry:
+  %c = icmp sgt i32 3, i32 2
+  condbr %c, a, b
+a:
+  %x = add i32 10, i32 1
+  br join
+b:
+  %y = add i32 20, i32 2
+  br join
+join:
+  %p = phi i32 [%x, a], [%y, b]
+  %q = phi i32 [i32 100, a], [i32 200, b]
+  %s = add %p, %q
+  print %s
+  ret
+}`,
+		"phi-swap": `
+module "swap"
+func @main() void {
+entry:
+  br loop
+loop:
+  %a = phi i32 [i32 1, entry], [%b, loop]
+  %b = phi i32 [i32 2, entry], [%a, loop]
+  %i = phi i32 [i32 0, entry], [%n, loop]
+  %n = add %i, i32 1
+  %c = icmp slt %n, i32 5
+  condbr %c, loop, done
+done:
+  print %a
+  print %b
+  ret
+}`,
+		"globals": `
+module "glob"
+global @tab i64 x 4 = [1, 2, 3, 4]
+global @acc i64 x 1
+func @main() void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [i64 0, entry], [%n, loop]
+  %p = gep i64, @tab, %i
+  %v = load i64, %p
+  %q = load i64, @acc
+  %s = add %q, %v
+  store %s, @acc
+  %n = add %i, i64 1
+  %c = icmp slt %n, i64 4
+  condbr %c, loop, done
+done:
+  %r = load i64, @acc
+  print %r
+  ret
+}`,
+		"calls": `
+module "calls"
+func @fib(%n i64) i64 {
+entry:
+  %c = icmp sle %n, i64 1
+  condbr %c, base, rec
+base:
+  ret %n
+rec:
+  %a = sub %n, i64 1
+  %b = sub %n, i64 2
+  %fa = call @fib(%a)
+  %fb = call @fib(%b)
+  %s = add %fa, %fb
+  ret %s
+}
+func @main() void {
+entry:
+  %r = call @fib(i64 12)
+  print %r
+  ret
+}`,
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			m := mustParse(t, src)
+			runBoth(t, m, Options{}, 0, 0)
+		})
+	}
+}
+
+// TestEngineParityHangBoundary sweeps the instruction budget through a
+// phi prologue and requires both engines to report the same DynInstrs
+// at every cutoff — the count-before-execute contract.
+func TestEngineParityHangBoundary(t *testing.T) {
+	m := mustParse(t, `
+module "hb"
+func @main() void {
+entry:
+  br loop
+loop:
+  %i = phi i32 [i32 0, entry], [%n, loop]
+  %a = phi i32 [i32 0, entry], [%s, loop]
+  %s = add %a, %i
+  %n = add %i, i32 1
+  %c = icmp slt %n, i32 1000
+  condbr %c, loop, done
+done:
+  print %s
+  ret
+}`)
+	for budget := uint64(1); budget <= 24; budget++ {
+		opts := Options{MaxDynInstrs: budget}
+		res, err := runBoth(t, m, opts, 0, 0)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if res.Outcome != OutcomeHang {
+			t.Fatalf("budget %d: outcome %v, want hang", budget, res.Outcome)
+		}
+	}
+}
+
+// TestEngineSnapshotCrossResume captures snapshots under each engine
+// and resumes each snapshot under both engines; all four combinations
+// must finish identically to the uninterrupted run.
+func TestEngineSnapshotCrossResume(t *testing.T) {
+	p, err := progs.ByName("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Build()
+	golden, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	for _, capEng := range Engines() {
+		var snaps []*Snapshot
+		_, err := Run(m, Options{
+			Engine:           capEng,
+			SnapshotInterval: golden.DynInstrs / 4,
+			OnSnapshot:       func(s *Snapshot) { snaps = append(snaps, s) },
+		})
+		if err != nil {
+			t.Fatalf("capture under %s: %v", capEng, err)
+		}
+		if len(snaps) == 0 {
+			t.Fatalf("capture under %s: no snapshots", capEng)
+		}
+		for _, resEng := range Engines() {
+			for i, s := range snaps {
+				res, err := Resume(s, Options{Engine: resEng})
+				if err != nil {
+					t.Fatalf("cap=%s res=%s snap %d: %v", capEng, resEng, i, err)
+				}
+				compareResultsT(t, golden, res)
+			}
+		}
+	}
+}
+
+// TestEngineParityBrokenModules exercises the decoded lowering's
+// runtime-error markers: constructs Verify rejects but execution must
+// tolerate, where both engines must report the same error.
+func TestEngineParityBrokenModules(t *testing.T) {
+	// A phi in the entry block: reached via the entry pseudo-edge, it has
+	// no incoming for "<entry>".
+	m := &ir.Module{Name: "bad-entry-phi"}
+	fn := m.NewFunc("main", ir.Void)
+	entry := fn.NewBlock("entry")
+	entry.Instrs = append(entry.Instrs,
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I32, Block: entry},
+		&ir.Instr{Op: ir.OpRet, Block: entry})
+	fn.Renumber()
+
+	for _, eng := range Engines() {
+		_, err := Run(m, Options{Engine: eng})
+		if err == nil || !strings.Contains(err.Error(), "no incoming for block <entry>") {
+			t.Errorf("%s: err = %v, want entry-phi error", eng, err)
+		}
+	}
+
+	// A mid-block phi is "cannot execute" on both engines.
+	m2 := &ir.Module{Name: "bad-mid-phi"}
+	fn2 := m2.NewFunc("main", ir.Void)
+	e2 := fn2.NewBlock("entry")
+	e2.Instrs = append(e2.Instrs,
+		&ir.Instr{Op: ir.OpAdd, Type: ir.I32, Block: e2,
+			Operands: []ir.Value{ir.ConstInt(ir.I32, 1), ir.ConstInt(ir.I32, 2)}},
+		&ir.Instr{Op: ir.OpPhi, Type: ir.I32, Block: e2},
+		&ir.Instr{Op: ir.OpRet, Block: e2})
+	fn2.Renumber()
+
+	for _, eng := range Engines() {
+		_, err := Run(m2, Options{Engine: eng})
+		if err == nil || !strings.Contains(err.Error(), "cannot execute phi") {
+			t.Errorf("%s: err = %v, want cannot-execute-phi error", eng, err)
+		}
+	}
+}
+
+// TestFramePoolHygiene dirties a pooled frame and requires prepare to
+// restore it to a fresh-allocation state: stale registers, parameters
+// or alloca references leaking into the next trial must fail here.
+func TestFramePoolHygiene(t *testing.T) {
+	m := mustParse(t, `
+module "h"
+func @f(%a i64, %b i64) i64 {
+entry:
+  %s = add %a, %b
+  ret %s
+}
+func @main() void {
+entry:
+  %r = call @f(i64 1, i64 2)
+  print %r
+  ret
+}`)
+	prog := decoded.Compile(m)
+	df := prog.ByFunc[m.Func("f")]
+
+	fr := &dframe{
+		regs:    []uint64{0xdead, 0xbeef, 0xcafe},
+		params:  []uint64{7, 8, 9},
+		scratch: []uint64{1},
+		allocas: []*Segment{{Base: 1}},
+		blk:     &decoded.Block{},
+		prev:    &ir.Block{},
+		dip:     42,
+	}
+	fr.prepare(df)
+
+	if fr.fn != df {
+		t.Errorf("fn not set")
+	}
+	if fr.blk != nil || fr.prev != nil || fr.dip != 0 {
+		t.Errorf("position state not reset: blk=%v prev=%v dip=%d", fr.blk, fr.prev, fr.dip)
+	}
+	if len(fr.regs) != df.NumRegs {
+		t.Fatalf("regs len = %d, want %d", len(fr.regs), df.NumRegs)
+	}
+	for i, r := range fr.regs {
+		if r != 0 {
+			t.Errorf("stale register %d = %#x after prepare", i, r)
+		}
+	}
+	if len(fr.params) != df.NumParams {
+		t.Fatalf("params len = %d, want %d", len(fr.params), df.NumParams)
+	}
+	for i, p := range fr.params {
+		if p != 0 {
+			t.Errorf("stale param %d = %#x after prepare", i, p)
+		}
+	}
+	if len(fr.allocas) != 0 {
+		t.Errorf("stale allocas survived prepare: %v", fr.allocas)
+	}
+
+	// releaseFrame must drop object references so the pool does not
+	// retain programs or segments.
+	fr.blk = &decoded.Block{}
+	fr.allocas = append(fr.allocas, &Segment{})
+	releaseFrame(fr)
+	if fr.fn != nil || fr.blk != nil || fr.prev != nil {
+		t.Errorf("releaseFrame retained references: fn=%v blk=%v prev=%v", fr.fn, fr.blk, fr.prev)
+	}
+	if !fr.reused {
+		t.Errorf("releaseFrame did not mark frame as pooled")
+	}
+}
+
+// TestFramePoolGrowth verifies prepare re-sizes a small recycled frame
+// upward (and zeroes the grown arrays).
+func TestFramePoolGrowth(t *testing.T) {
+	m := mustParse(t, `
+module "g"
+func @big(%a i64, %b i64, %c i64) i64 {
+entry:
+  %x = add %a, %b
+  %y = add %x, %c
+  %z = mul %y, %y
+  %w = add %z, %x
+  ret %w
+}
+func @main() void {
+entry:
+  %r = call @big(i64 1, i64 2, i64 3)
+  print %r
+  ret
+}`)
+	prog := decoded.Compile(m)
+	df := prog.ByFunc[m.Func("big")]
+	fr := &dframe{regs: []uint64{0xff}, params: []uint64{0xee}}
+	fr.prepare(df)
+	if len(fr.regs) != df.NumRegs || len(fr.params) != df.NumParams {
+		t.Fatalf("prepare did not grow: regs=%d params=%d", len(fr.regs), len(fr.params))
+	}
+	for i, r := range fr.regs {
+		if r != 0 {
+			t.Errorf("grown register %d = %#x, want 0", i, r)
+		}
+	}
+}
+
+// TestDecodedRepeatedRuns reuses one compiled program across many runs
+// on the same and different goroutines — the campaign usage pattern —
+// and checks the pool does not leak state between them.
+func TestDecodedRepeatedRuns(t *testing.T) {
+	p, err := progs.ByName("nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Build()
+	prog := decoded.Compile(m)
+	golden, err := Run(m, Options{})
+	if err != nil {
+		t.Fatalf("golden: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		res, err := Run(m, Options{Engine: EngineDecoded, Decoded: prog})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		compareResultsT(t, golden, res)
+	}
+	t.Run("parallel", func(t *testing.T) {
+		for i := 0; i < 4; i++ {
+			t.Run(fmt.Sprintf("worker%d", i), func(t *testing.T) {
+				t.Parallel()
+				for j := 0; j < 4; j++ {
+					res, err := Run(m, Options{Engine: EngineDecoded, Decoded: prog})
+					if err != nil {
+						t.Fatalf("run %d: %v", j, err)
+					}
+					compareResultsT(t, golden, res)
+				}
+			})
+		}
+	})
+}

@@ -8,9 +8,47 @@ import (
 	"runtime/debug"
 	"strings"
 
+	"trident/internal/decoded"
 	"trident/internal/ir"
 	"trident/internal/telemetry"
 )
+
+// Engine selects the execution engine behind Run and Resume. Both
+// engines implement the identical observable contract — hooks, traps,
+// counters, snapshots, output — and the crosscheck suite holds them to
+// it bit for bit; they differ only in speed.
+type Engine string
+
+// Engines.
+const (
+	// EngineLegacy is the tree-walking explicit-frame machine that
+	// decodes operands on every dispatch. The zero Engine value selects
+	// it.
+	EngineLegacy Engine = "legacy"
+	// EngineDecoded executes pre-decoded instruction streams
+	// (internal/decoded) with pooled frames: operands are pre-resolved
+	// slots, phi prologues are pre-grouped per CFG edge, and activation
+	// frames are reused across runs. Campaign engines use it for
+	// throughput.
+	EngineDecoded Engine = "decoded"
+)
+
+// ParseEngine maps a command-line engine name to an Engine. The empty
+// string selects the legacy default.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", string(EngineLegacy):
+		return EngineLegacy, nil
+	case string(EngineDecoded):
+		return EngineDecoded, nil
+	default:
+		return "", fmt.Errorf("interp: unknown engine %q (valid: legacy, decoded)", s)
+	}
+}
+
+// Engines lists every execution engine, for harnesses that sweep all of
+// them.
+func Engines() []Engine { return []Engine{EngineLegacy, EngineDecoded} }
 
 // InternalError reports an interpreter-internal failure — an engine bug or
 // malformed IR reaching execution — as an ordinary error value instead of
@@ -178,6 +216,15 @@ type Options struct {
 	// execution. Nil disables all recording. See OBSERVABILITY.md for the
 	// metric reference.
 	Metrics *telemetry.Registry
+	// Engine selects the execution engine. The zero value is
+	// EngineLegacy.
+	Engine Engine
+	// Decoded, when non-nil and compiled from the module being run, is
+	// the pre-lowered program the decoded engine executes, letting
+	// campaign engines pay the lowering cost once per module instead of
+	// once per trial. When nil (or compiled from a different module) the
+	// decoded engine lowers on the fly. Ignored by the legacy engine.
+	Decoded *decoded.Program
 }
 
 const (
@@ -224,6 +271,9 @@ type Result struct {
 
 // Run executes m's main function under the given options.
 func Run(m *ir.Module, opts Options) (*Result, error) {
+	if opts.Engine == EngineDecoded {
+		return runDecoded(m, opts)
+	}
 	start := metricsStart(opts.Metrics)
 	main := m.Func("main")
 	if main == nil {
@@ -235,22 +285,38 @@ func Run(m *ir.Module, opts Options) (*Result, error) {
 	applyDefaults(&opts)
 
 	ctx := &Context{Mem: NewMemory(), opts: opts}
-	globalBase := make(map[*ir.Global]uint64, len(m.Globals))
-	for _, g := range m.Globals {
+	globals, err := initGlobals(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+
+	vm := newMachine(ctx, globals)
+	_, err = vm.runSafe(main)
+	res, err := finishRun(ctx, err)
+	recordRun(opts.Metrics, start, 0, ctx, res, err)
+	return res, err
+}
+
+// initGlobals allocates and initializes the module's globals, returning
+// their base addresses as a dense table indexed by ir.Global.Slot. Both
+// engines resolve a global operand with one slice index into it, so the
+// table's order must match the slots AddGlobal assigned.
+func initGlobals(ctx *Context, m *ir.Module) ([]uint64, error) {
+	globals := make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		if g.Slot != i {
+			return nil, fmt.Errorf("interp: global @%s has slot %d at position %d (globals must be built with Module.AddGlobal)",
+				g.Name, g.Slot, i)
+		}
 		seg := ctx.Mem.Allocate(g.Name, uint64(g.SizeBytes()))
-		globalBase[g] = seg.Base
-		for i, bits := range g.Init {
-			if !ctx.Mem.Store(g.Elem, seg.Base+uint64(i*g.Elem.Bytes()), bits) {
+		globals[i] = seg.Base
+		for j, bits := range g.Init {
+			if !ctx.Mem.Store(g.Elem, seg.Base+uint64(j*g.Elem.Bytes()), bits) {
 				return nil, fmt.Errorf("interp: initializing @%s failed", g.Name)
 			}
 		}
 	}
-
-	vm := newMachine(ctx, globalBase)
-	_, err := vm.runSafe(main)
-	res, err := finishRun(ctx, err)
-	recordRun(opts.Metrics, start, 0, ctx, res, err)
-	return res, err
+	return globals, nil
 }
 
 // applyDefaults fills in zero-valued execution limits.
@@ -265,7 +331,7 @@ func applyDefaults(opts *Options) {
 
 // newMachine wires a machine to its context, including cancellation and
 // snapshot configuration from the context's options.
-func newMachine(ctx *Context, globals map[*ir.Global]uint64) *machine {
+func newMachine(ctx *Context, globals []uint64) *machine {
 	vm := &machine{ctx: ctx, globals: globals}
 	if c := ctx.opts.Context; c != nil {
 		vm.cancelCtx = c
@@ -313,8 +379,11 @@ func finishRun(ctx *Context, err error) (*Result, error) {
 // frames, registers, memory, program position, counters — is a plain data
 // structure, which is what makes Snapshot/Resume possible.
 type machine struct {
-	ctx     *Context
-	globals map[*ir.Global]uint64
+	ctx *Context
+	// globals holds each global's base address at its ir.Global.Slot
+	// index — a dense table, so operand resolution is a slice index
+	// rather than a pointer-keyed map lookup.
+	globals []uint64
 	frames  []*frame
 
 	// cancelCtx/cancel mirror Options.Context for the cooperative
@@ -333,7 +402,7 @@ type machine struct {
 // converted into a typed *InternalError so one bad trial cannot take down
 // a whole campaign process.
 func (vm *machine) runSafe(main *ir.Func) (bits uint64, err error) {
-	defer vm.recoverInternal(&err)
+	defer recoverInternal(&err)
 	if perr := vm.push(main, nil); perr != nil {
 		vm.unwind()
 		return 0, perr
@@ -349,7 +418,7 @@ func (vm *machine) runSafe(main *ir.Func) (bits uint64, err error) {
 // resumeSafe drives the loop of an already-populated frame stack (Resume)
 // behind the same panic barrier as runSafe.
 func (vm *machine) resumeSafe() (bits uint64, err error) {
-	defer vm.recoverInternal(&err)
+	defer recoverInternal(&err)
 	ret, lerr := vm.loop()
 	if lerr != nil {
 		vm.unwind()
@@ -358,8 +427,9 @@ func (vm *machine) resumeSafe() (bits uint64, err error) {
 	return ret, nil
 }
 
-// recoverInternal converts an escaping panic into a typed *InternalError.
-func (vm *machine) recoverInternal(err *error) {
+// recoverInternal converts an escaping panic into a typed
+// *InternalError. Both engines defer it around their dispatch loops.
+func recoverInternal(err *error) {
 	r := recover()
 	if r == nil {
 		return
@@ -387,6 +457,11 @@ type frame struct {
 	block   *ir.Block
 	prev    *ir.Block
 	ip      int
+	// scratch is the frame-resident phi staging buffer, grown to the
+	// largest prologue entered so far — block entry reuses it instead of
+	// allocating per entry, which on phi-heavy loops is an allocation
+	// per iteration.
+	scratch []uint64
 }
 
 // push creates and enters a new activation for fn, running the entry
@@ -435,7 +510,10 @@ func (vm *machine) enterBlock(fr *frame) error {
 	}
 	if nPhi > 0 {
 		prev := fr.prev
-		vals := make([]uint64, nPhi)
+		if cap(fr.scratch) < nPhi {
+			fr.scratch = make([]uint64, nPhi)
+		}
+		vals := fr.scratch[:nPhi]
 		for i := 0; i < nPhi; i++ {
 			in := block.Instrs[i]
 			found := false
@@ -476,7 +554,7 @@ func (vm *machine) eval(fr *frame, v ir.Value) uint64 {
 	case *ir.Param:
 		return fr.params[x.Index]
 	case *ir.Global:
-		return vm.globals[x]
+		return vm.globals[x.Slot]
 	default:
 		// A value kind the machine does not know is an engine bug, not a
 		// program behavior. eval has no error return (it sits on the hot

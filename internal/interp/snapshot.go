@@ -18,8 +18,10 @@ package interp
 
 import (
 	"fmt"
+	"time"
 
 	"trident/internal/ir"
+	"trident/internal/telemetry"
 )
 
 // Snapshot is an immutable deep copy of interpreter state at an
@@ -34,9 +36,9 @@ type Snapshot struct {
 	output     string
 	mem        *Memory
 	frames     []frameSnap
-	// globals is shared, not copied: global bases are immutable after
-	// module initialization.
-	globals map[*ir.Global]uint64
+	// globals is shared, not copied: the dense slot-indexed base table
+	// is immutable after module initialization.
+	globals []uint64
 }
 
 // frameSnap is one suspended activation. Its alloca segments point into
@@ -73,13 +75,30 @@ func (vm *machine) takeSnapshot() {
 	reg := vm.ctx.opts.Metrics
 	start := metricsStart(reg)
 	s := vm.capture()
-	if reg != nil {
-		reg.Counter("interp.snapshot.captures").Inc()
-		reg.Counter("interp.snapshot.bytes").Add(s.MemBytes())
-		reg.Histogram("interp.snapshot.capture_us").Since(start)
-	}
+	recordCapture(reg, start, s)
 	vm.nextSnap = vm.ctx.DynCount + vm.snapEvery
 	vm.ctx.opts.OnSnapshot(s)
+}
+
+// recordCapture records one snapshot capture (from either engine).
+func recordCapture(reg *telemetry.Registry, start time.Time, s *Snapshot) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("interp.snapshot.captures").Inc()
+	reg.Counter("interp.snapshot.bytes").Add(s.MemBytes())
+	reg.Histogram("interp.snapshot.capture_us").Since(start)
+}
+
+// recordResume records one snapshot-state rebuild (memory clone + frame
+// copies) — the fixed per-trial cost of snapshot replay, recorded
+// separately from the execution itself.
+func recordResume(reg *telemetry.Registry, start time.Time) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("interp.snapshot.resumes").Inc()
+	reg.Histogram("interp.snapshot.restore_us").Since(start)
 }
 
 // capture deep-copies the machine state. The memory clone returns a
@@ -130,6 +149,9 @@ func Resume(s *Snapshot, opts Options) (*Result, error) {
 	if len(s.frames) == 0 {
 		return nil, fmt.Errorf("interp: resume of empty snapshot")
 	}
+	if opts.Engine == EngineDecoded {
+		return resumeDecoded(s, opts)
+	}
 	applyDefaults(&opts)
 	start := metricsStart(opts.Metrics)
 	mem, remap := s.mem.Clone()
@@ -161,13 +183,7 @@ func Resume(s *Snapshot, opts Options) (*Result, error) {
 		}
 		vm.frames[i] = fr
 	}
-	if reg := opts.Metrics; reg != nil {
-		// The state rebuild (memory clone + frame copies) is the fixed
-		// per-trial cost of snapshot replay; record it separately from the
-		// execution itself.
-		reg.Counter("interp.snapshot.resumes").Inc()
-		reg.Histogram("interp.snapshot.restore_us").Since(start)
-	}
+	recordResume(opts.Metrics, start)
 	_, err := vm.resumeSafe()
 	res, err := finishRun(ctx, err)
 	recordRun(opts.Metrics, start, s.dynCount, ctx, res, err)

@@ -35,9 +35,11 @@ func (m *Module) Global(name string) *Global {
 	return nil
 }
 
-// AddGlobal appends a global to the module and returns it.
+// AddGlobal appends a global to the module and returns it. The global's
+// Slot is its index in Globals; engines rely on slots being dense and in
+// declaration order.
 func (m *Module) AddGlobal(name string, elem Type, count int, init []uint64) *Global {
-	g := &Global{Name: name, Elem: elem, Count: count, Init: init}
+	g := &Global{Name: name, Elem: elem, Count: count, Init: init, Slot: len(m.Globals)}
 	m.Globals = append(m.Globals, g)
 	return g
 }

@@ -103,6 +103,11 @@ type Global struct {
 	// Init holds initial bit patterns for the first len(Init) elements;
 	// remaining elements are zero.
 	Init []uint64
+	// Slot is the global's dense index within its module (its position in
+	// Module.Globals), assigned by Module.AddGlobal. Execution engines use
+	// it to resolve a global operand to its base address with a slice
+	// index instead of a map lookup.
+	Slot int
 }
 
 var _ Value = (*Global)(nil)

@@ -28,11 +28,14 @@ func Verify(m *Module) error {
 		report(m.Name, "module has no main function")
 	}
 	seenGlobals := make(map[string]bool, len(m.Globals))
-	for _, g := range m.Globals {
+	for i, g := range m.Globals {
 		if seenGlobals[g.Name] {
 			report("@"+g.Name, "duplicate global name")
 		}
 		seenGlobals[g.Name] = true
+		if g.Slot != i {
+			report("@"+g.Name, "global slot %d does not match position %d (build globals with Module.AddGlobal)", g.Slot, i)
+		}
 		if g.Count <= 0 {
 			report("@"+g.Name, "global has non-positive element count %d", g.Count)
 		}
