@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc fuzz-smoke
+.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck
 
 build:
 	$(GO) build ./...
@@ -33,13 +33,23 @@ doc:
 # overhead budget (see OBSERVABILITY.md), and that the decoded engine
 # keeps a measurable lead over the snapshot engine (the 1.1x smoke floor
 # is deliberately below the ≥1.4x geomean BENCH_fi.json records, so CI
-# jitter on one kernel does not flake the gate).
+# jitter on one kernel does not flake the gate). The servercheck drill
+# then attacks a live fiserver: it SIGKILLs a shard worker mid-campaign,
+# SIGTERMs the server (expecting exit 143 and the job re-queued on
+# disk), restarts over the same spool, and requires the resumed merged
+# result to be byte-identical to a clean run of the same campaign.
 check: build doc
-	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/...
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/...
 	$(GO) test -race -short ./internal/crosscheck/...
 	$(GO) run ./cmd/crosscheck -n 60 -seed 77 -kernels=false -engine decoded
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -min-decoded-speedup 1.1 -out /dev/null
+	$(MAKE) servercheck
+
+# servercheck is the campaign server's kill drill; see
+# scripts/servercheck.sh for the exact choreography.
+servercheck:
+	sh scripts/servercheck.sh
 
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep

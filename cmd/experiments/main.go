@@ -39,28 +39,42 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"trident/internal/experiments"
 	"trident/internal/fault"
 	"trident/internal/interp"
+	"trident/internal/sigctx"
 	"trident/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// Ctrl-C / SIGTERM cancels in-flight campaigns; with -checkpoint-dir
+	// their completed trials survive for the next run to resume from.
+	// The exit code distinguishes "cancelled with partial results"
+	// (130/143, per signal) from "errored" (1).
+	ctx, stop, fired := sigctx.WithSignals(context.Background())
+	err := run(ctx, os.Args[1:])
+	stop()
+	if err != nil {
+		if sig := fired(); sig != nil && errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "experiments: cancelled; completed campaigns were reported (and checkpointed with -checkpoint-dir)")
+			os.Exit(sigctx.ExitCode(sig))
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if sig := fired(); sig != nil {
+		os.Exit(sigctx.ExitCode(sig))
+	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	runList := fs.String("run", "all", "experiments to run (comma separated, or 'all')")
 	samples := fs.Int("samples", 3000, "FI samples for overall SDC")
@@ -100,7 +114,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer dbg.Close()
+		// Graceful: an in-flight pprof scrape gets a second to finish.
+		defer dbg.Shutdown(time.Second)
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
 	}
 	// Metrics accumulate across every selected experiment; the snapshot
@@ -128,11 +143,6 @@ func run(args []string) error {
 			}
 		}
 	}
-
-	// Ctrl-C / SIGTERM cancels in-flight campaigns; with -checkpoint-dir
-	// their completed trials survive for the next run to resume from.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	if *checkpointDir != "" {
 		if err := os.MkdirAll(*checkpointDir, 0o755); err != nil {

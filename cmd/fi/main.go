@@ -22,6 +22,13 @@
 //	   [-checkpoint trials.jsonl] [-resume] [-retries 2] [-trial-timeout 30s]
 //	   [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
 //	fi -ir file.tir [...]
+//	fi -remote http://localhost:8344 -program pathfinder [-shards 4]
+//	   [-detach | -job job-xxxx] [-trials-out trials.jsonl]
+//
+// Exit codes follow the shell convention: 0 for a completed campaign,
+// 1 for errors, and 128+signum (130 for SIGINT, 143 for SIGTERM) when
+// a signal cancelled the campaign — partial results were reported, but
+// distinguishably from both success and failure.
 package main
 
 import (
@@ -30,28 +37,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"sync"
-	"syscall"
 	"time"
 
 	"trident/internal/fault"
 	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/progs"
+	"trident/internal/server"
+	"trident/internal/sigctx"
 	"trident/internal/stats"
 	"trident/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	code, err := run(os.Args[1:])
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fi:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run(args []string) error {
+func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("fi", flag.ContinueOnError)
 	program := fs.String("program", "", "built-in benchmark name")
 	irFile := fs.String("ir", "", "textual IR file")
@@ -69,15 +80,59 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
 	progress := fs.Bool("progress", true, "render a live campaign progress line on stderr")
+	remote := fs.String("remote", "", "submit to a running fiserver at this base URL (e.g. http://localhost:8344) instead of running locally")
+	jobID := fs.String("job", "", "with -remote: attach to this existing job instead of submitting a new one")
+	detach := fs.Bool("detach", false, "with -remote: submit, print the job id, and exit without watching")
+	shards := fs.Int("shards", 0, "with -remote: shard count for the server-side campaign (0 = server default)")
+	trialsOut := fs.String("trials-out", "", "with -remote: write the result's per-trial records as JSONL here")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return 2, nil
 	}
 	if *resume && *checkpoint == "" {
-		return fmt.Errorf("-resume requires -checkpoint")
+		return 1, fmt.Errorf("-resume requires -checkpoint")
 	}
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
-		return err
+		return 1, err
+	}
+
+	// Ctrl-C / SIGTERM cancels the campaign gracefully: in-flight trials
+	// are abandoned, completed ones are reported (and checkpointed), and
+	// the exit code records which signal it was (130/143).
+	ctx, stop, fired := sigctx.WithSignals(context.Background())
+	defer stop()
+
+	if *remote != "" {
+		if *perInstr {
+			return 1, fmt.Errorf("-per-instr is not supported with -remote")
+		}
+		var irText string
+		if *irFile != "" {
+			src, rerr := os.ReadFile(*irFile)
+			if rerr != nil {
+				return 1, rerr
+			}
+			irText = string(src)
+		}
+		return runRemote(ctx, fired, remoteOpts{
+			base:      *remote,
+			jobID:     *jobID,
+			detach:    *detach,
+			trialsOut: *trialsOut,
+			progress:  *progress,
+			req: &server.SubmitRequest{
+				Program:          *program,
+				IR:               irText,
+				N:                *n,
+				Seed:             *seed,
+				Shards:           *shards,
+				Workers:          *workers,
+				Engine:           *engineName,
+				SnapshotInterval: *snapInterval,
+				MaxRetries:       *retries,
+				TrialTimeoutMS:   trialTimeout.Milliseconds(),
+			},
+		})
 	}
 
 	reg := telemetry.Default
@@ -85,7 +140,7 @@ func run(args []string) error {
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
-			return err
+			return 1, err
 		}
 		defer tf.Close()
 		trace = telemetry.NewTrace(tf)
@@ -93,20 +148,16 @@ func run(args []string) error {
 	if *debugAddr != "" {
 		dbg, err := telemetry.ServeDebug(*debugAddr, reg)
 		if err != nil {
-			return err
+			return 1, err
 		}
-		defer dbg.Close()
+		// Graceful: an in-flight pprof scrape gets a second to finish.
+		defer dbg.Shutdown(time.Second)
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
 	}
 
-	// Ctrl-C / SIGTERM cancels the campaign gracefully: in-flight trials
-	// are abandoned, completed ones are reported (and checkpointed).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	m, err := loadModule(*program, *irFile)
 	if err != nil {
-		return err
+		return 1, err
 	}
 	// The progress meter and the campaign share stderr; the meter's
 	// final line is flushed before any summary printing below.
@@ -142,7 +193,7 @@ func run(args []string) error {
 		Engine:           engine,
 	})
 	if err != nil {
-		return err
+		return 1, err
 	}
 	fmt.Printf("golden run: %d dynamic instructions, activation space %d\n",
 		inj.GoldenDynInstrs(), inj.ActivationSpace())
@@ -164,7 +215,7 @@ func run(args []string) error {
 	meter.Final(lastProgress)
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !cancelled {
-		return err
+		return 1, err
 	}
 
 	// Snapshot metrics now, before any -per-instr extra campaigns run,
@@ -172,7 +223,7 @@ func run(args []string) error {
 	// tallies printed below.
 	if *metricsOut != "" {
 		if werr := writeMetrics(reg, *metricsOut); werr != nil {
-			return werr
+			return 1, werr
 		}
 		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metricsOut)
 	}
@@ -204,7 +255,9 @@ func run(args []string) error {
 		}
 	}
 	if cancelled {
-		return nil
+		// Partial results were reported; the exit code says which signal
+		// cut the campaign short (130 for SIGINT, 143 for SIGTERM).
+		return sigctx.ExitCode(fired()), nil
 	}
 
 	if *perInstr {
@@ -214,8 +267,12 @@ func run(args []string) error {
 		}
 		targets := inj.Targets()
 		measured, err := inj.PerInstrSDC(ctx, targets, perN)
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("\nper-instruction campaign cancelled\n")
+			return sigctx.ExitCode(fired()), nil
+		}
 		if err != nil {
-			return err
+			return 1, err
 		}
 		sort.Slice(targets, func(i, j int) bool {
 			if measured[targets[i]] != measured[targets[j]] {
@@ -229,7 +286,7 @@ func run(args []string) error {
 			fmt.Printf("%-32s %-24s %9.1f%%\n", ir.FormatInstr(in), in.Pos(), measured[in]*100)
 		}
 	}
-	return nil
+	return 0, nil
 }
 
 // writeMetrics dumps a registry snapshot as indented JSON at path.

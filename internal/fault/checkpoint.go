@@ -19,6 +19,14 @@ import (
 	"sync"
 )
 
+// warnf logs non-fatal checkpoint anomalies — torn tails skipped on
+// resume, stale errored records superseded during a merge. The default
+// writes one line to stderr; tests swap it to capture output. It is
+// never called on the trial hot path.
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // TrialKey durably identifies one trial of a campaign across process
 // restarts: instruction IDs are function-local, so the function name is
 // part of the key. The campaign seed lives in the checkpoint header.
@@ -43,6 +51,18 @@ type checkpointMeta struct {
 }
 
 const checkpointVersion = 1
+
+// matches validates a log's header against the campaign about to use
+// it, so a log is never replayed against a different campaign.
+func (m checkpointMeta) matches(path string, want checkpointMeta) error {
+	if m.Version != want.Version || m.Module != want.Module ||
+		m.Kind != want.Kind || m.Seed != want.Seed || m.Space != want.Space {
+		return fmt.Errorf("fault: checkpoint %s was written by a different campaign "+
+			"(module %q seed %d space %d, want module %q seed %d space %d)",
+			path, m.Module, m.Seed, m.Space, want.Module, want.Seed, want.Space)
+	}
+	return nil
+}
 
 // trialRecord is one completed trial, one JSON object per line.
 type trialRecord struct {
@@ -70,6 +90,7 @@ type Checkpoint struct {
 	cache    map[TrialKey]trialRecord
 	replayed int
 	writeErr error
+	warnings []string
 }
 
 // openCheckpoint creates the log at path, or loads and compacts an
@@ -119,56 +140,98 @@ func (ck *Checkpoint) create(meta checkpointMeta) error {
 }
 
 // load parses an existing log, validating the header against want and
-// tolerating a truncated final line.
+// tolerating (with a logged warning) a torn tail left by a crash
+// mid-append.
 func (ck *Checkpoint) load(data []byte, want checkpointMeta) error {
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	if !sc.Scan() {
-		return fmt.Errorf("fault: checkpoint %s: missing header", ck.path)
+	meta, recs, warns, err := readLog(ck.path, data)
+	if err != nil {
+		return err
 	}
-	var meta checkpointMeta
-	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
-		return fmt.Errorf("fault: checkpoint %s: bad header: %w", ck.path, err)
+	if err := meta.matches(ck.path, want); err != nil {
+		return err
 	}
-	if meta.Version != want.Version || meta.Module != want.Module ||
-		meta.Kind != want.Kind || meta.Seed != want.Seed || meta.Space != want.Space {
-		return fmt.Errorf("fault: checkpoint %s was written by a different campaign "+
-			"(module %q seed %d space %d, want module %q seed %d space %d)",
-			ck.path, meta.Module, meta.Seed, meta.Space, want.Module, want.Seed, want.Space)
-	}
-	for sc.Scan() {
-		var rec trialRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			// Truncated or corrupt tail: everything before it is still
-			// good; the compaction pass discards this line.
-			break
-		}
-		if _, ok := outcomeFromName(rec.Outcome); !ok {
-			break
-		}
-		ck.cache[rec.key()] = rec
+	ck.cache = recs
+	ck.warnings = append(ck.warnings, warns...)
+	for _, w := range warns {
+		warnf("%s", w)
 	}
 	return nil
 }
 
-// compact atomically rewrites the log as header + cached records in
-// key-sorted order, then reopens it for appending.
-func (ck *Checkpoint) compact(meta checkpointMeta) error {
-	tmp := ck.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("fault: checkpoint: %w", err)
+// readLog parses one checkpoint log into its header and record map.
+//
+// Robustness contract: a process killed mid-append (kill -9, power
+// loss) leaves at most a truncated or garbled final line. Such a torn
+// tail is skipped with a warning — losing one in-flight trial is
+// harmless, it simply re-executes on resume — but a corrupt line that
+// is *followed* by intact records is not crash debris and fails the
+// load, because silently dropping it would under-report completed
+// trials without any crash to explain it.
+func readLog(path string, data []byte) (checkpointMeta, map[TrialKey]trialRecord, []string, error) {
+	var meta checkpointMeta
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return meta, nil, nil, fmt.Errorf("fault: checkpoint %s: missing header", path)
 	}
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(meta); err != nil {
-		f.Close()
-		return fmt.Errorf("fault: checkpoint: %w", err)
+	if err := json.Unmarshal(sc.Bytes(), &meta); err != nil {
+		return meta, nil, nil, fmt.Errorf("fault: checkpoint %s: bad header: %w", path, err)
 	}
-	recs := make([]trialRecord, 0, len(ck.cache))
-	for _, rec := range ck.cache {
-		recs = append(recs, rec)
+	recs := make(map[TrialKey]trialRecord)
+	line := 1
+	tornLine, tornBytes := 0, 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		var rec trialRecord
+		bad := json.Unmarshal(raw, &rec) != nil
+		if !bad {
+			if _, ok := outcomeFromName(rec.Outcome); !ok {
+				bad = true
+			}
+		}
+		if bad {
+			if tornLine == 0 {
+				tornLine = line
+			}
+			tornBytes += len(raw)
+			continue
+		}
+		if tornLine != 0 {
+			return meta, nil, nil, fmt.Errorf(
+				"fault: checkpoint %s: corrupt record at line %d followed by intact records (not a torn tail)",
+				path, tornLine)
+		}
+		recs[rec.key()] = rec
 	}
+	var warns []string
+	if tornLine != 0 {
+		warns = append(warns, fmt.Sprintf(
+			"fault: checkpoint %s: skipped torn tail at line %d (%d byte(s)) left by a crash mid-append; the affected trial(s) will re-execute",
+			path, tornLine, tornBytes))
+	}
+	if err := sc.Err(); err != nil {
+		// An overlong line the scanner refused to buffer is tail garbage
+		// of a kind no writer of ours produces; treat it like a torn tail
+		// rather than failing the whole resume.
+		warns = append(warns, fmt.Sprintf(
+			"fault: checkpoint %s: skipped unreadable tail after line %d (%v)", path, line, err))
+	}
+	return meta, recs, warns, nil
+}
+
+// Warnings returns the non-fatal anomalies observed while loading the
+// log (torn tails skipped), in occurrence order.
+func (ck *Checkpoint) Warnings() []string {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return append([]string(nil), ck.warnings...)
+}
+
+// sortRecords orders records by trial key — the deterministic on-disk
+// order used by compaction and merge, independent of worker
+// interleaving.
+func sortRecords(recs []trialRecord) {
 	sort.Slice(recs, func(i, j int) bool {
 		a, b := recs[i], recs[j]
 		if a.Func != b.Func {
@@ -182,6 +245,28 @@ func (ck *Checkpoint) compact(meta checkpointMeta) error {
 		}
 		return a.Bit < b.Bit
 	})
+}
+
+// writeLog atomically writes a complete log — header plus records in
+// key-sorted order — at path via a temp file and rename, so a crash
+// mid-write never destroys an existing log.
+func writeLog(path string, meta checkpointMeta, cache map[TrialKey]trialRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		f.Close()
+		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	recs := make([]trialRecord, 0, len(cache))
+	for _, rec := range cache {
+		recs = append(recs, rec)
+	}
+	sortRecords(recs)
 	for _, rec := range recs {
 		if err := enc.Encode(rec); err != nil {
 			f.Close()
@@ -195,8 +280,17 @@ func (ck *Checkpoint) compact(meta checkpointMeta) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("fault: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, ck.path); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// compact atomically rewrites the log as header + cached records in
+// key-sorted order, then reopens it for appending.
+func (ck *Checkpoint) compact(meta checkpointMeta) error {
+	if err := writeLog(ck.path, meta, ck.cache); err != nil {
+		return err
 	}
 	out, err := os.OpenFile(ck.path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {

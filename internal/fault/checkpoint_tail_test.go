@@ -1,0 +1,200 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trident/internal/progs"
+)
+
+// captureWarnings swaps the package warning sink for the test's
+// duration, returning a function that yields everything logged so far.
+func captureWarnings(t *testing.T) func() []string {
+	t.Helper()
+	var got []string
+	old := warnf
+	warnf = func(format string, args ...any) {
+		got = append(got, fmt.Sprintf(format, args...))
+	}
+	t.Cleanup(func() { warnf = old })
+	return func() []string { return got }
+}
+
+// TestCheckpointTornTailEveryOffset is the crash-mid-append regression
+// suite: a checkpoint truncated at every byte offset of its final
+// record must still resume, recovering every intact record and skipping
+// the torn tail with a logged warning — never failing the whole resume.
+func TestCheckpointTornTailEveryOffset(t *testing.T) {
+	m := mustProg(t, "pathfinder").Build()
+	inj, err := New(m, Options{Seed: 11, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	const n = 12
+	want, err := inj.CampaignRandomCheckpoint(context.Background(), n, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the final record: the log ends with "...\nLAST\n".
+	trimmed := bytes.TrimSuffix(data, []byte("\n"))
+	lastStart := bytes.LastIndexByte(trimmed, '\n') + 1
+	if lastStart <= 0 {
+		t.Fatalf("checkpoint has no records:\n%s", data)
+	}
+	meta := inj.metaRandom(n)
+
+	for cut := lastStart; cut <= len(data); cut++ {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			warned := captureWarnings(t)
+			torn := filepath.Join(dir, fmt.Sprintf("torn-%d.jsonl", cut))
+			if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ck, err := openCheckpoint(torn, meta, true)
+			if err != nil {
+				t.Fatalf("resume failed on truncation at byte %d: %v", cut, err)
+			}
+			defer ck.Close()
+			// A cut at the record boundary leaves a clean log, and a cut
+			// that removes only the trailing newline still leaves a fully
+			// parseable final record; anything in between tears it.
+			wholeFile := cut >= len(data)-1
+			cleanCut := cut == lastStart || wholeFile
+			wantRecs := len(want.Trials)
+			if !wholeFile {
+				wantRecs-- // the torn/removed final record is gone
+			}
+			// Duplicate sampled specs can collapse records; compare
+			// against the cache of the untruncated log instead of n.
+			full, err := openCheckpoint(path, meta, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer full.Close()
+			if wholeFile {
+				wantRecs = len(full.cache)
+			} else if len(full.cache) < wantRecs {
+				wantRecs = len(full.cache) - 1
+			}
+			if got := len(ck.cache); got < wantRecs {
+				t.Errorf("cut at %d: recovered %d records, want at least %d", cut, got, wantRecs)
+			}
+			warns := warned()
+			if cleanCut && len(ck.Warnings()) != 0 {
+				t.Errorf("cut at %d: unexpected warning on clean log: %q", cut, ck.Warnings())
+			}
+			if !cleanCut {
+				if len(ck.Warnings()) == 0 {
+					t.Errorf("cut at %d: torn tail skipped without a warning", cut)
+				}
+				found := false
+				for _, w := range warns {
+					if strings.Contains(w, "torn tail") {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("cut at %d: no torn-tail warning logged (got %q)", cut, warns)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointTornTailResume proves the end-to-end contract: resuming
+// from a torn log re-executes exactly the lost trial(s) and reproduces
+// the uninterrupted campaign bit for bit.
+func TestCheckpointTornTailResume(t *testing.T) {
+	m := mustProg(t, "pathfinder").Build()
+	inj, err := New(m, Options{Seed: 23, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trials.jsonl")
+	const n = 15
+	want, err := inj.CampaignRandomCheckpoint(context.Background(), n, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record in half.
+	trimmed := bytes.TrimSuffix(data, []byte("\n"))
+	lastStart := bytes.LastIndexByte(trimmed, '\n') + 1
+	cut := lastStart + (len(data)-lastStart)/2
+	if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	captureWarnings(t)
+	got, err := inj.ResumeCampaign(context.Background(), n, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Trials) != len(want.Trials) {
+		t.Fatalf("resumed %d trials, want %d", len(got.Trials), len(want.Trials))
+	}
+	for i := range want.Trials {
+		if got.Trials[i] != want.Trials[i] {
+			t.Errorf("trial %d diverged after torn-tail resume: got %+v want %+v",
+				i, got.Trials[i], want.Trials[i])
+		}
+	}
+}
+
+// TestCheckpointMidFileCorruptionRejected pins the other side of the
+// contract: a corrupt line *followed by intact records* is not crash
+// debris and must fail the load instead of silently dropping data.
+func TestCheckpointMidFileCorruptionRejected(t *testing.T) {
+	m := mustProg(t, "pathfinder").Build()
+	inj, err := New(m, Options{Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trials.jsonl")
+	if _, err := inj.CampaignRandomCheckpoint(context.Background(), 8, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("log too short: %d lines", len(lines))
+	}
+	// Garble a record in the middle of the log.
+	mid := len(lines) / 2
+	lines[mid] = []byte("{\"fn\": not json\n")
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	captureWarnings(t)
+	if _, err := openCheckpoint(path, inj.metaRandom(8), true); err == nil {
+		t.Fatal("mid-file corruption followed by intact records was silently accepted")
+	}
+}
+
+// mustProg fetches a built-in benchmark or fails the test.
+func mustProg(t *testing.T, name string) progs.Program {
+	t.Helper()
+	p, err := progs.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -68,6 +68,10 @@ func (o Outcome) String() string {
 // AllOutcomes lists every trial classification in reporting order.
 var AllOutcomes = []Outcome{Benign, SDC, Crash, Hang, Detected, Errored}
 
+// OutcomeFromName inverts Outcome.String — the decoding direction of
+// the checkpoint and campaign-server wire formats.
+func OutcomeFromName(s string) (Outcome, bool) { return outcomeFromName(s) }
+
 // outcomeFromName inverts Outcome.String for checkpoint decoding.
 func outcomeFromName(s string) (Outcome, bool) {
 	for _, o := range AllOutcomes {

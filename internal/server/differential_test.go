@@ -1,0 +1,70 @@
+// Differential acceptance suite: for every benchmark kernel, a
+// campaign run through the server — sharded, merged, reconstructed —
+// must be bit-identical, trial for trial, to a direct fault.Injector
+// run with the same seed. This is the transparency contract of the
+// whole service layer: HTTP, queueing, sharding, checkpointing and
+// merging may add operational machinery but must never change a single
+// measured outcome.
+
+package server
+
+import (
+	"testing"
+
+	"trident/internal/progs"
+)
+
+func TestServerDifferentialAllKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("11-kernel differential sweep is slow in -short mode")
+	}
+	s := newSupervisedServer(t, func(c *Config) {
+		c.MaxConcurrentJobs = 4
+	})
+	s.Start()
+
+	for _, p := range progs.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			req := &SubmitRequest{Program: p.Name, N: 30, Seed: 2026, Shards: 3}
+			j, err := s.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := waitTerminal(t, j); st != JobDone {
+				t.Fatalf("state = %s (%s), want done", st, j.status().Error)
+			}
+			res := j.Result()
+			if res == nil || res.Missing != 0 {
+				t.Fatalf("result = %+v, want complete", res)
+			}
+			diffTrials(t, res.Trials, directTrials(t, req), p.Name)
+			// The aggregate counts must agree with the trial list.
+			total := 0
+			for _, c := range res.Counts {
+				total += c
+			}
+			if total != req.N {
+				t.Errorf("counts sum to %d, want %d", total, req.N)
+			}
+		})
+	}
+}
+
+// TestServerDifferentialDecodedEngine repeats the differential for the
+// pre-decoded engine on one kernel, pinning engine selection through
+// the wire format.
+func TestServerDifferentialDecodedEngine(t *testing.T) {
+	s := newSupervisedServer(t, nil)
+	s.Start()
+	req := &SubmitRequest{Program: "nw", N: 40, Seed: 11, Shards: 2, Engine: "decoded"}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j); st != JobDone {
+		t.Fatalf("state = %s (%s), want done", st, j.status().Error)
+	}
+	diffTrials(t, j.Result().Trials, directTrials(t, req), "nw/decoded")
+}

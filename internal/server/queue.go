@@ -1,0 +1,85 @@
+// This file is the server's job registry and FIFO admission queue. The
+// registry owns every job the server knows about (queued, running and
+// terminal alike — terminal jobs keep serving status and results); the
+// pending list orders the ones awaiting a scheduler slot.
+
+package server
+
+import "sync"
+
+type queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	pending []string
+	// wake nudges the scheduler when work arrives; buffered so an add
+	// with no scheduler parked on it never blocks.
+	wake chan struct{}
+	max  int // pending cap; <= 0 means unbounded
+}
+
+func newQueue(max int) *queue {
+	return &queue{jobs: make(map[string]*Job), wake: make(chan struct{}, 1), max: max}
+}
+
+// add registers the job and, when enqueue is set, appends it to the
+// pending list. It reports false when the pending list is full — the
+// job is then not registered at all.
+func (q *queue) add(j *Job, enqueue bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if enqueue && q.max > 0 && len(q.pending) >= q.max {
+		return false
+	}
+	q.jobs[j.ID] = j
+	if enqueue {
+		q.pending = append(q.pending, j.ID)
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// pop dequeues the oldest pending job, or nil when none is pending.
+// Jobs cancelled while queued are skipped (their terminal state was
+// already set by the cancel path).
+func (q *queue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pending) > 0 {
+		id := q.pending[0]
+		q.pending = q.pending[1:]
+		j := q.jobs[id]
+		if j == nil || j.State().Terminal() {
+			continue
+		}
+		return j
+	}
+	return nil
+}
+
+// get looks a job up by ID.
+func (q *queue) get(id string) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.jobs[id]
+}
+
+// list returns every registered job, unordered.
+func (q *queue) list() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, 0, len(q.jobs))
+	for _, j := range q.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// depth returns the number of pending jobs.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testJob(id string) *Job {
+	return newJob(id, "", &SubmitRequest{Program: "pathfinder", N: 10, Shards: 2})
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue(0)
+	for i := 0; i < 5; i++ {
+		if !q.add(testJob(fmt.Sprintf("job-%d", i)), true) {
+			t.Fatalf("add %d rejected", i)
+		}
+	}
+	if d := q.depth(); d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+	for i := 0; i < 5; i++ {
+		j := q.pop()
+		if j == nil || j.ID != fmt.Sprintf("job-%d", i) {
+			t.Fatalf("pop %d = %v, want job-%d", i, j, i)
+		}
+	}
+	if j := q.pop(); j != nil {
+		t.Fatalf("pop on empty = %v", j)
+	}
+}
+
+func TestQueueCap(t *testing.T) {
+	q := newQueue(2)
+	if !q.add(testJob("a"), true) || !q.add(testJob("b"), true) {
+		t.Fatal("adds under cap rejected")
+	}
+	if q.add(testJob("c"), true) {
+		t.Fatal("add over cap accepted")
+	}
+	if q.get("c") != nil {
+		t.Fatal("rejected job was registered")
+	}
+	// Registration without enqueue ignores the cap (terminal jobs at
+	// recovery).
+	if !q.add(testJob("d"), false) {
+		t.Fatal("non-enqueued add rejected")
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth = %d, want 2", q.depth())
+	}
+}
+
+func TestQueueSkipsCancelled(t *testing.T) {
+	q := newQueue(0)
+	a, b := testJob("a"), testJob("b")
+	q.add(a, true)
+	q.add(b, true)
+	a.state = JobCancelled // cancelled while queued
+	if j := q.pop(); j != b {
+		t.Fatalf("pop = %v, want b", j)
+	}
+	if j := q.pop(); j != nil {
+		t.Fatalf("second pop = %v, want nil", j)
+	}
+	// Cancelled job is still registered for status lookups.
+	if q.get("a") != a {
+		t.Fatal("cancelled job lost from registry")
+	}
+	if got := len(q.list()); got != 2 {
+		t.Fatalf("list len = %d, want 2", got)
+	}
+}

@@ -1,0 +1,425 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as the shard-worker process for exec-mode tests: the
+// execRunner re-executes this test binary with -worker-dir, and we
+// divert into RunWorker instead of the test suite (the helper-process
+// pattern).
+func TestMain(m *testing.M) {
+	dir, shard, chaos := "", -1, time.Duration(0)
+	args := os.Args[1:]
+	for i := 0; i < len(args)-1; i++ {
+		switch args[i] {
+		case "-worker-dir":
+			dir = args[i+1]
+		case "-worker-shard":
+			shard, _ = strconv.Atoi(args[i+1])
+		case "-chaos-trial-delay":
+			chaos, _ = time.ParseDuration(args[i+1])
+		}
+	}
+	if dir != "" {
+		os.Exit(RunWorker(dir, shard, chaos))
+	}
+	os.Exit(m.Run())
+}
+
+// httpServer wraps a started Server in an httptest listener.
+func httpServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJob(t *testing.T, url string, req *SubmitRequest) SubmitResponse {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var re RequestError
+		_ = json.NewDecoder(resp.Body).Decode(&re)
+		t.Fatalf("POST /jobs = %d (%v)", resp.StatusCode, &re)
+	}
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID == "" || sr.State != string(JobQueued) {
+		t.Fatalf("submit response = %+v", sr)
+	}
+	return sr
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// streamEvents consumes the job's JSONL event stream until the done
+// event, returning every event seen.
+func streamEvents(t *testing.T, url, id string) []Event {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	var evs []Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		evs = append(evs, ev)
+		if ev.Type == "done" {
+			return evs
+		}
+	}
+	t.Fatalf("event stream ended without done event (%d events)", len(evs))
+	return nil
+}
+
+// TestSubmitRunResult is the front-door happy path: submit over HTTP,
+// watch the event stream to completion, fetch the result, and require
+// it bit-identical to a direct Injector run.
+func TestSubmitRunResult(t *testing.T) {
+	s := newSupervisedServer(t, nil)
+	s.Start()
+	ts := httpServer(t, s)
+
+	req := &SubmitRequest{Program: "pathfinder", N: 60, Seed: 42, Shards: 3}
+	sr := postJob(t, ts.URL, req)
+
+	evs := streamEvents(t, ts.URL, sr.ID)
+	last := evs[len(evs)-1]
+	if last.State != string(JobDone) {
+		t.Fatalf("final event state = %q (%s), want done", last.State, last.Error)
+	}
+	if last.Done != req.N || last.Total != req.N {
+		t.Fatalf("final progress %d/%d, want %d/%d", last.Done, last.Total, req.N, req.N)
+	}
+
+	var res Result
+	if code := getJSON(t, ts.URL+"/jobs/"+sr.ID+"/result", &res); code != http.StatusOK {
+		t.Fatalf("GET result = %d", code)
+	}
+	if res.State != string(JobDone) || res.Missing != 0 {
+		t.Fatalf("result state=%s missing=%d", res.State, res.Missing)
+	}
+	diffTrials(t, res.Trials, directTrials(t, req), "server campaign")
+
+	// Status and list surfaces agree.
+	var st JobStatus
+	if code := getJSON(t, ts.URL+"/jobs/"+sr.ID, &st); code != http.StatusOK || st.State != string(JobDone) {
+		t.Fatalf("GET status = %d, state %s", code, st.State)
+	}
+	var list []JobStatus
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK || len(list) != 1 {
+		t.Fatalf("GET /jobs = %d, %d jobs", code, len(list))
+	}
+}
+
+// TestDrainRequeuesAndRestartResumes is the graceful-drain contract:
+// SIGTERM-equivalent drain mid-campaign re-queues the job on disk, a
+// new server over the same spool resumes it from its shard checkpoints,
+// and the final result is still bit-identical to a clean run.
+func TestDrainRequeuesAndRestartResumes(t *testing.T) {
+	spool := t.TempDir()
+	s1, err := New(Config{
+		Spool:             spool,
+		RetryBase:         time.Millisecond,
+		ChaosTrialDelay:   5 * time.Millisecond, // slow trials so the drain lands mid-campaign
+		MaxConcurrentJobs: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	ts1 := httpServer(t, s1)
+
+	req := &SubmitRequest{Program: "pathfinder", N: 240, Seed: 1234, Shards: 3}
+	sr := postJob(t, ts1.URL, req)
+	j1 := s1.q.get(sr.ID)
+
+	// Wait until the campaign has made real progress.
+	deadline := time.After(30 * time.Second)
+	for j1.status().Done < 10 {
+		select {
+		case <-j1.watch():
+		case <-deadline:
+			t.Fatalf("no progress before drain (done=%d)", j1.status().Done)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !s1.Draining() {
+		t.Fatal("server not draining after Drain")
+	}
+	// Post-drain: admission refuses with 503 + Retry-After.
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts1.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit while draining = %d (Retry-After %q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if st := j1.State(); st != JobQueued {
+		t.Fatalf("job state after drain = %s, want queued", st)
+	}
+
+	// Restart: a fresh server over the same spool, without the chaos
+	// delay, resumes the job and completes it.
+	s2 := newSupervisedServer(t, func(c *Config) { c.Spool = spool })
+	j2 := s2.q.get(sr.ID)
+	if j2 == nil {
+		t.Fatal("restarted server lost the job")
+	}
+	if st := j2.State(); st != JobQueued {
+		t.Fatalf("recovered job state = %s, want queued", st)
+	}
+	s2.Start()
+	if st := waitTerminal(t, j2); st != JobDone {
+		t.Fatalf("resumed job state = %s (%s), want done", st, j2.status().Error)
+	}
+	res := j2.Result()
+	if res == nil || res.Missing != 0 {
+		t.Fatalf("resumed result = %+v, want complete", res)
+	}
+	diffTrials(t, res.Trials, directTrials(t, req), "drained+resumed campaign")
+}
+
+// TestCancelJob: DELETE cancels a running job; the partial result built
+// from its checkpoints is served with the gaps accounted for.
+func TestCancelJob(t *testing.T) {
+	s := newSupervisedServer(t, func(c *Config) {
+		c.ChaosTrialDelay = 5 * time.Millisecond
+	})
+	s.Start()
+	ts := httpServer(t, s)
+
+	req := &SubmitRequest{Program: "pathfinder", N: 400, Seed: 5, Shards: 2}
+	sr := postJob(t, ts.URL, req)
+	j := s.q.get(sr.ID)
+	deadline := time.After(30 * time.Second)
+	for j.status().Done < 5 {
+		select {
+		case <-j.watch():
+		case <-deadline:
+			t.Fatal("no progress before cancel")
+		}
+	}
+
+	httpReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+sr.ID, nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	if st := waitTerminal(t, j); st != JobCancelled {
+		t.Fatalf("state = %s, want cancelled", st)
+	}
+	res := j.Result()
+	if res == nil {
+		t.Fatal("cancelled job has no partial result")
+	}
+	if res.Missing == 0 {
+		t.Error("cancelled mid-run but nothing missing")
+	}
+	if got := len(res.Trials) + res.Missing; got != req.N {
+		t.Errorf("trials(%d) + missing(%d) != n(%d)", len(res.Trials), res.Missing, req.N)
+	}
+}
+
+// TestCancelQueuedJob: cancelling a job that never got a slot finalizes
+// it without running anything.
+func TestCancelQueuedJob(t *testing.T) {
+	s := newSupervisedServer(t, nil)
+	// Scheduler NOT started: the job stays queued.
+	ts := httpServer(t, s)
+	sr := postJob(t, ts.URL, &SubmitRequest{Program: "nw", N: 10, Seed: 1, Shards: 2})
+	httpReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/jobs/"+sr.ID, nil)
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != string(JobCancelled) {
+		t.Fatalf("state = %s, want cancelled", st.State)
+	}
+	s.Start() // scheduler must skip the cancelled job without wedging
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := newSupervisedServer(t, nil)
+	s.Start()
+	ts := httpServer(t, s)
+
+	if code := getJSON(t, ts.URL+"/jobs/nonesuch", nil); code != http.StatusNotFound {
+		t.Errorf("GET unknown job = %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"n":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re RequestError
+	_ = json.NewDecoder(resp.Body).Decode(&re)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || re.Field != "program" {
+		t.Errorf("bad submit = %d, field %q", resp.StatusCode, re.Field)
+	}
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", code, health)
+	}
+}
+
+// TestQueueFullRejects: submissions past the queue cap get 429 and do
+// not leave debris in the spool.
+func TestQueueFullRejects(t *testing.T) {
+	s := newSupervisedServer(t, func(c *Config) { c.MaxQueueDepth = 1 })
+	// Scheduler not started, so the first job occupies the queue.
+	ts := httpServer(t, s)
+	postJob(t, ts.URL, &SubmitRequest{Program: "nw", N: 10, Shards: 2})
+	body, _ := json.Marshal(&SubmitRequest{Program: "nw", N: 10, Shards: 2})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit over cap = %d, want 429", resp.StatusCode)
+	}
+	entries, err := os.ReadDir(fmt.Sprintf("%s/jobs", s.cfg.Spool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("spool has %d job dirs after rejection, want 1", len(entries))
+	}
+}
+
+// TestExecWorkerDifferential runs a campaign with every shard in its
+// own child process (the test binary re-executed via TestMain) and
+// requires the merged result bit-identical to a direct run.
+func TestExecWorkerDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec workers are slow in -short mode")
+	}
+	s := newSupervisedServer(t, func(c *Config) {
+		c.WorkerMode = "exec"
+		c.ExecPath = os.Args[0]
+	})
+	s.Start()
+	ts := httpServer(t, s)
+
+	req := &SubmitRequest{Program: "pathfinder", N: 60, Seed: 77, Shards: 2}
+	sr := postJob(t, ts.URL, req)
+	j := s.q.get(sr.ID)
+	if st := waitTerminal(t, j); st != JobDone {
+		t.Fatalf("state = %s (%s), want done", st, j.status().Error)
+	}
+	res := j.Result()
+	if res == nil || res.Missing != 0 {
+		t.Fatalf("result = %+v, want complete", res)
+	}
+	diffTrials(t, res.Trials, directTrials(t, req), "exec-worker campaign")
+}
+
+// TestExecWorkerDrainResume: draining TERMs the shard worker processes;
+// their checkpoints survive, and a restarted (inproc) server resumes to
+// a result bit-identical to a clean run — the crash drill of
+// scripts/servercheck.sh in miniature.
+func TestExecWorkerDrainResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exec workers are slow in -short mode")
+	}
+	spool := t.TempDir()
+	s1, err := New(Config{
+		Spool:           spool,
+		WorkerMode:      "exec",
+		ExecPath:        os.Args[0],
+		ChaosTrialDelay: 5 * time.Millisecond,
+		RetryBase:       time.Millisecond,
+		DrainGrace:      10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	req := &SubmitRequest{Program: "pathfinder", N: 240, Seed: 99, Shards: 2}
+	j1, err := s1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(60 * time.Second)
+	for j1.status().Done < 10 {
+		select {
+		case <-j1.watch():
+		case <-deadline:
+			t.Fatalf("no progress before drain (done=%d)", j1.status().Done)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := j1.State(); st != JobQueued {
+		t.Fatalf("state after drain = %s, want queued", st)
+	}
+
+	s2 := newSupervisedServer(t, func(c *Config) { c.Spool = spool })
+	j2 := s2.q.get(j1.ID)
+	s2.Start()
+	if st := waitTerminal(t, j2); st != JobDone {
+		t.Fatalf("resumed state = %s (%s), want done", st, j2.status().Error)
+	}
+	diffTrials(t, j2.Result().Trials, directTrials(t, req), "TERMed exec workers resumed")
+}

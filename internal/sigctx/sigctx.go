@@ -1,0 +1,79 @@
+// Package sigctx ties termination signals to context cancellation and
+// to the shell's 128+signum exit-code convention, so every binary in
+// the repository reports "cancelled with partial results" (130 for
+// SIGINT, 143 for SIGTERM) distinguishably from "errored" (1).
+//
+// The standard library's signal.NotifyContext cancels a context on a
+// signal but discards which signal fired; the cmd binaries need it to
+// pick their exit code, and the campaign server needs it to log what
+// triggered a drain. WithSignals keeps both.
+package sigctx
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// WithSignals returns a context that is cancelled when any of the given
+// signals arrives (SIGINT and SIGTERM when none are listed), along with
+// a stop function releasing the signal registration and a fired
+// function reporting which signal cancelled the context — nil if none
+// has. A second signal after the first is left to the default handler,
+// so a stuck process can still be killed by pressing Ctrl-C twice.
+func WithSignals(parent context.Context, sigs ...os.Signal) (ctx context.Context, stop func(), fired func() os.Signal) {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+
+	var mu sync.Mutex
+	var got os.Signal
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		select {
+		case s := <-ch:
+			mu.Lock()
+			got = s
+			mu.Unlock()
+			// Restore default handling so the next signal terminates the
+			// process even if graceful teardown wedges.
+			signal.Stop(ch)
+			cancel()
+		case <-done:
+		}
+	}()
+	stop = func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	fired = func() os.Signal {
+		mu.Lock()
+		defer mu.Unlock()
+		return got
+	}
+	return ctx, stop, fired
+}
+
+// ExitCode maps the signal that cancelled a run to the shell convention
+// 128+signum: 130 for SIGINT (Ctrl-C), 143 for SIGTERM. A nil signal —
+// the run was not cancelled by a signal — maps to 0 so callers can use
+// the result unconditionally; unknown signal types map to 1.
+func ExitCode(sig os.Signal) int {
+	if sig == nil {
+		return 0
+	}
+	s, ok := sig.(syscall.Signal)
+	if !ok {
+		return 1
+	}
+	return 128 + int(s)
+}

@@ -1,0 +1,66 @@
+package sigctx
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		sig  os.Signal
+		want int
+	}{
+		{nil, 0},
+		{syscall.SIGINT, 130},
+		{syscall.SIGTERM, 143},
+		{syscall.SIGHUP, 129},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.sig); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.sig, got, c.want)
+		}
+	}
+}
+
+// TestWithSignalsCancelsAndReports delivers a real SIGTERM to the test
+// process and checks the context cancels and the signal is reported.
+func TestWithSignalsCancelsAndReports(t *testing.T) {
+	ctx, stop, fired := WithSignals(context.Background(), syscall.SIGTERM)
+	defer stop()
+	if got := fired(); got != nil {
+		t.Fatalf("fired() = %v before any signal", got)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled after SIGTERM")
+	}
+	if got := fired(); got != syscall.SIGTERM {
+		t.Fatalf("fired() = %v, want SIGTERM", got)
+	}
+	if code := ExitCode(fired()); code != 143 {
+		t.Fatalf("exit code %d, want 143", code)
+	}
+}
+
+// TestWithSignalsStopIdempotent: stop releases the registration and is
+// safe to call repeatedly; the context ends up cancelled either way.
+func TestWithSignalsStopIdempotent(t *testing.T) {
+	ctx, stop, fired := WithSignals(context.Background())
+	stop()
+	stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+	if got := fired(); got != nil {
+		t.Fatalf("fired() = %v after stop without signal", got)
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -54,8 +55,41 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	return ds, nil
 }
 
-// Addr returns the listener's address (useful with ":0").
-func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+// Addr returns the listener's address (useful with ":0"). Safe on a
+// nil receiver, like the rest of the package.
+func (s *DebugServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
 
-// Close shuts the server down immediately.
-func (s *DebugServer) Close() error { return s.srv.Close() }
+// Shutdown stops the server gracefully: the listener closes immediately
+// (no new scrapes), and in-flight requests — a pprof profile mid-write,
+// a /debug/vars scrape — get up to timeout to finish before the
+// remaining connections are cut. Unlike Close it never truncates a
+// response mid-body unless the deadline expires, and either way the
+// listener is released, never leaked. Safe on a nil receiver (no-op).
+func (s *DebugServer) Shutdown(timeout time.Duration) error {
+	if s == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Handlers outlived the deadline: fall back to a hard close so
+		// the listener and connections are released regardless.
+		s.srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Close shuts the server down immediately, cutting in-flight requests.
+// Safe on a nil receiver (no-op).
+func (s *DebugServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

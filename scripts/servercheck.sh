@@ -1,0 +1,142 @@
+#!/bin/sh
+# servercheck.sh — the campaign server's chaos drill, run by `make check`.
+#
+# It exercises the full crash-tolerance story against real processes:
+#
+#   1. start fiserver with exec-mode shard workers and a per-trial chaos
+#      delay so the campaign stays open long enough to attack
+#   2. submit a sharded pathfinder campaign, detached
+#   3. SIGKILL one shard worker process mid-campaign (kernel-enforced
+#      crash; no goroutine cleanup gets to run)
+#   4. SIGTERM the server mid-campaign and require exit code 143 with
+#      the job re-queued on disk
+#   5. restart the server over the same spool (no chaos), attach, and
+#      wait for the resumed job to finish
+#   6. run the same campaign again cleanly and compare the per-trial
+#      JSONL dumps byte for byte
+#
+# Passing means: a killed worker was retried from its checkpoint, a
+# drained server resumed after restart, and none of it changed a single
+# trial outcome.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d /tmp/servercheck.XXXXXX)
+SPOOL="$TMP/spool"
+SRV_PID=""
+
+cleanup() {
+    [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+    # Reap any shard workers left over from a failed run.
+    for p in /proc/[0-9]*; do
+        if tr '\0' ' ' <"$p/cmdline" 2>/dev/null | grep -q -- "-worker-dir $SPOOL"; then
+            kill -9 "${p#/proc/}" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "servercheck: FAIL: $*" >&2
+    exit 1
+}
+
+echo "servercheck: building binaries"
+$GO build -o "$TMP/fiserver" ./cmd/fiserver
+$GO build -o "$TMP/fi" ./cmd/fi
+
+start_server() { # args: extra fiserver flags...
+    rm -f "$TMP/addr"
+    "$TMP/fiserver" -addr 127.0.0.1:0 -addr-file "$TMP/addr" -spool "$SPOOL" \
+        -worker-mode exec -shard-retries 3 -retry-base 100ms "$@" \
+        >>"$TMP/server.log" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while [ ! -s "$TMP/addr" ]; do
+        i=$((i + 1))
+        [ $i -gt 100 ] && fail "server did not write its address (log: $(cat "$TMP/server.log"))"
+        sleep 0.1
+    done
+    ADDR=$(cat "$TMP/addr")
+}
+
+find_worker() { # prints the pid of one shard worker process, if any
+    for p in /proc/[0-9]*; do
+        if tr '\0' ' ' <"$p/cmdline" 2>/dev/null | grep -q -- "-worker-dir $SPOOL"; then
+            echo "${p#/proc/}"
+            return 0
+        fi
+    done
+    return 1
+}
+
+N=1200
+SEED=20260807
+SHARDS=3
+
+echo "servercheck: starting fiserver (exec workers, chaos delay)"
+start_server -chaos-trial-delay 20ms
+
+echo "servercheck: submitting sharded campaign (n=$N, shards=$SHARDS)"
+SUBMIT=$("$TMP/fi" -remote "http://$ADDR" -program pathfinder -n $N -seed $SEED \
+    -shards $SHARDS -workers 1 -detach -progress=false)
+JOB=$(echo "$SUBMIT" | sed -n 's/^submitted job \(job-[0-9a-f]*\).*/\1/p')
+[ -n "$JOB" ] || fail "could not parse job id from: $SUBMIT"
+echo "servercheck: job $JOB"
+
+echo "servercheck: hunting a shard worker to SIGKILL"
+i=0
+WORKER=""
+while [ -z "$WORKER" ]; do
+    i=$((i + 1))
+    [ $i -gt 300 ] && fail "no shard worker process appeared"
+    WORKER=$(find_worker || true)
+    [ -n "$WORKER" ] || sleep 0.1
+done
+kill -9 "$WORKER" || fail "could not SIGKILL worker $WORKER"
+echo "servercheck: SIGKILLed shard worker $WORKER"
+
+# Give the supervisor a moment to notice the corpse and start the retry,
+# so the drain below exercises retry-in-progress state too.
+sleep 1
+
+echo "servercheck: SIGTERMing the server mid-campaign"
+kill -TERM "$SRV_PID"
+rc=0
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+[ "$rc" -eq 143 ] || fail "server exit code $rc after SIGTERM, want 143"
+
+STATE=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$SPOOL/jobs/$JOB/state.json")
+[ "$STATE" = "queued" ] || fail "job state after drain is '$STATE', want 'queued'"
+echo "servercheck: server exited 143, job re-queued on disk"
+
+echo "servercheck: restarting server over the same spool (no chaos)"
+start_server
+
+echo "servercheck: attaching to the resumed job"
+"$TMP/fi" -remote "http://$ADDR" -job "$JOB" -trials-out "$TMP/resumed.jsonl" \
+    -progress=false >"$TMP/attach.log" 2>&1 ||
+    fail "resumed job did not complete: $(cat "$TMP/attach.log")"
+grep -q "^job $JOB: done" "$TMP/attach.log" || fail "resumed job not done: $(cat "$TMP/attach.log")"
+
+echo "servercheck: running the same campaign cleanly for comparison"
+"$TMP/fi" -remote "http://$ADDR" -program pathfinder -n $N -seed $SEED \
+    -shards $SHARDS -trials-out "$TMP/clean.jsonl" -progress=false \
+    >"$TMP/clean.log" 2>&1 || fail "clean run failed: $(cat "$TMP/clean.log")"
+
+cmp "$TMP/resumed.jsonl" "$TMP/clean.jsonl" ||
+    fail "resumed campaign diverged from clean run (kill+drain+resume changed trial outcomes)"
+
+LINES=$(wc -l <"$TMP/resumed.jsonl")
+[ "$LINES" -eq $N ] || fail "expected $N trial records, got $LINES"
+
+echo "servercheck: shutting down"
+kill -TERM "$SRV_PID"
+rc=0
+wait "$SRV_PID" || rc=$?
+SRV_PID=""
+[ "$rc" -eq 143 ] || fail "server exit code $rc on final SIGTERM, want 143"
+
+echo "servercheck: PASS (killed worker retried, drained server resumed, $LINES trials bit-identical)"
