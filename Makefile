@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck
+.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck
 
 build:
 	$(GO) build ./...
@@ -37,19 +37,30 @@ doc:
 # then attacks a live fiserver: it SIGKILLs a shard worker mid-campaign,
 # SIGTERMs the server (expecting exit 143 and the job re-queued on
 # disk), restarts over the same spool, and requires the resumed merged
-# result to be byte-identical to a clean run of the same campaign.
+# result to be byte-identical to a clean run of the same campaign. The
+# cachecheck drill closes the loop on the compositional profile cache:
+# run, edit one kernel function, re-run, and require that only the
+# edited function re-injected and the composed result byte-compares
+# with a from-scratch campaign (the cache/hashutil packages also run
+# under -race alongside the other concurrent tiers).
 check: build doc
-	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/...
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/... ./internal/cache/... ./internal/hashutil/...
 	$(GO) test -race -short ./internal/crosscheck/...
 	$(GO) run ./cmd/crosscheck -n 60 -seed 77 -kernels=false -engine decoded
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -min-decoded-speedup 1.1 -out /dev/null
 	$(MAKE) servercheck
+	$(MAKE) cachecheck
 
 # servercheck is the campaign server's kill drill; see
 # scripts/servercheck.sh for the exact choreography.
 servercheck:
 	sh scripts/servercheck.sh
+
+# cachecheck is the compositional cache's edit-and-rerun drill; see
+# scripts/cachecheck.sh for the exact choreography.
+cachecheck:
+	sh scripts/cachecheck.sh
 
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep
@@ -57,6 +68,7 @@ servercheck:
 fuzz-smoke:
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzInterpOracle -fuzztime 10s
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime 10s
+	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzCacheKeyCanonical -fuzztime 10s
 
 # bench measures the snapshot-replay and decoded campaign engines
 # against the legacy path plus the telemetry layer's overhead across all

@@ -84,6 +84,7 @@ func run(ctx context.Context, args []string) error {
 	workers := fs.Int("workers", 4, "parallel FI workers")
 	format := fs.String("format", "text", "output format: text or md")
 	checkpointDir := fs.String("checkpoint-dir", "", "directory for per-campaign JSONL checkpoints; an interrupted run resumes from them")
+	cacheDir := fs.String("cache-dir", "", "content-addressed per-function campaign profile cache; re-runs re-inject only edited functions (takes precedence over -checkpoint-dir)")
 	snapInterval := fs.Int("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that FI trials resume from (0 = legacy full re-execution)")
 	engineName := fs.String("engine", "legacy", "interpreter engine for golden runs and FI trials: legacy or decoded")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
@@ -156,6 +157,7 @@ func run(ctx context.Context, args []string) error {
 		Workers:       *workers,
 		Context:       ctx,
 		CheckpointDir: *checkpointDir,
+		CacheDir:      *cacheDir,
 		// Config's convention: negative disables the snapshot engine.
 		SnapshotInterval: *snapInterval,
 		Metrics:          reg,

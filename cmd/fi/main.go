@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,7 +42,9 @@ import (
 	"sync"
 	"time"
 
+	"trident/internal/cache"
 	"trident/internal/fault"
+	"trident/internal/hashutil"
 	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/progs"
@@ -71,6 +74,8 @@ func run(args []string) (int, error) {
 	workers := fs.Int("workers", 4, "parallel injection workers")
 	perInstr := fs.Bool("per-instr", false, "also report per-instruction SDC probabilities (uses -n per instruction / 10)")
 	checkpoint := fs.String("checkpoint", "", "JSONL trial log: completed trials are persisted here and replayed on restart")
+	cacheDir := fs.String("cache-dir", "", "run an incremental compositional campaign against a content-addressed per-function profile cache rooted here; only functions whose body hash changed since the cached run re-inject")
+	composeOut := fs.String("compose-out", "", "with -cache-dir: write the composed per-function result as deterministic JSON here (cache-state independent, so runs can be byte-compared)")
 	resume := fs.Bool("resume", false, "require an existing checkpoint (refuse to start from scratch); implies -checkpoint")
 	retries := fs.Int("retries", 1, "retry attempts for trials failing with transient engine errors")
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
@@ -85,11 +90,26 @@ func run(args []string) (int, error) {
 	detach := fs.Bool("detach", false, "with -remote: submit, print the job id, and exit without watching")
 	shards := fs.Int("shards", 0, "with -remote: shard count for the server-side campaign (0 = server default)")
 	trialsOut := fs.String("trials-out", "", "with -remote: write the result's per-trial records as JSONL here")
+	dumpIR := fs.Bool("dump-ir", false, "print the selected module's canonical IR to stdout and exit (for scripted edit-and-rerun drills)")
 	if err := fs.Parse(args); err != nil {
 		return 2, nil
 	}
+	if *dumpIR {
+		m, err := loadModule(*program, *irFile)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Print(ir.Print(m))
+		return 0, nil
+	}
 	if *resume && *checkpoint == "" {
 		return 1, fmt.Errorf("-resume requires -checkpoint")
+	}
+	if *composeOut != "" && *cacheDir == "" {
+		return 1, fmt.Errorf("-compose-out requires -cache-dir")
+	}
+	if *cacheDir != "" && (*checkpoint != "" || *perInstr || *remote != "") {
+		return 1, fmt.Errorf("-cache-dir is incompatible with -checkpoint, -per-instr and -remote")
 	}
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
@@ -202,6 +222,14 @@ func run(args []string) (int, error) {
 			inj.Snapshots(), *snapInterval)
 	}
 
+	if *cacheDir != "" {
+		return runCompositional(ctx, fired, compositionalOpts{
+			inj: inj, module: m, n: *n,
+			cacheDir: *cacheDir, composeOut: *composeOut, metricsOut: *metricsOut,
+			reg: reg, trace: trace, meter: meter, lastProgress: lastProgress,
+		})
+	}
+
 	start := time.Now()
 	var res *fault.CampaignResult
 	switch {
@@ -287,6 +315,146 @@ func run(args []string) (int, error) {
 		}
 	}
 	return 0, nil
+}
+
+type compositionalOpts struct {
+	inj          *fault.Injector
+	module       *ir.Module
+	n            int
+	cacheDir     string
+	composeOut   string
+	metricsOut   string
+	reg          *telemetry.Registry
+	trace        *telemetry.Trace
+	meter        *telemetry.ProgressMeter
+	lastProgress func() string
+}
+
+// runCompositional executes the incremental campaign mode behind
+// -cache-dir: per-function sections are replayed from the content-
+// addressed profile cache when their body hash and golden-run stamp
+// still match, and re-injected (then cached) otherwise.
+func runCompositional(ctx context.Context, fired func() os.Signal, o compositionalOpts) (int, error) {
+	store, err := cache.Open(o.cacheDir, cache.Options{Metrics: o.reg, Trace: o.trace})
+	if err != nil {
+		return 1, err
+	}
+	start := time.Now()
+	res, err := o.inj.CampaignCompositional(ctx, o.n, store)
+	o.meter.Final(o.lastProgress)
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
+		return 1, err
+	}
+	if o.metricsOut != "" {
+		if werr := writeMetrics(o.reg, o.metricsOut); werr != nil {
+			return 1, werr
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", o.metricsOut)
+	}
+	if cancelled {
+		fmt.Printf("\ncampaign cancelled after %.1fs: reporting the %d completed trials (of %d requested); finished sections are cached\n",
+			time.Since(start).Seconds(), res.N(), o.n)
+	}
+
+	fmt.Printf("\ncompositional campaign over %s (%d trials, cache %s):\n",
+		o.module.Name, res.N(), o.cacheDir)
+	fmt.Printf("%-16s %-18s %10s %7s  %s\n", "function", "body hash", "weight", "trials", "cache")
+	for i := range res.Funcs {
+		fc := &res.Funcs[i]
+		state := "MISS (injected)"
+		if fc.Cached {
+			state = "HIT  (replayed)"
+		}
+		fmt.Printf("@%-15s %-18s %10d %7d  %s\n",
+			fc.Name, hashutil.Hex(fc.BodyHash), fc.Weight, len(fc.Records), state)
+	}
+	fmt.Printf("cache: %d hit(s), %d miss(es)\n", res.Hits, res.Misses)
+	fmt.Printf("\ncomposed outcome rates:\n")
+	for _, o2 := range fault.AllOutcomes {
+		name := o2.String()
+		if cnt, ok := res.Composed.Counts[name]; ok && (o2 != fault.Errored || cnt > 0) {
+			fmt.Printf("  %-9s %6d  (%.2f%%)\n", name, cnt, res.Composed.Rates[name]*100)
+		}
+	}
+	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI, Wilson from merged tallies)\n",
+		res.Composed.SDC*100, res.Composed.ErrorBar95()*100)
+
+	if o.composeOut != "" && !cancelled {
+		if werr := writeCompose(o.composeOut, o.module.Name, res); werr != nil {
+			return 1, werr
+		}
+		fmt.Fprintf(os.Stderr, "composed result written to %s\n", o.composeOut)
+	}
+	if cancelled {
+		return sigctx.ExitCode(fired()), nil
+	}
+	return 0, nil
+}
+
+// composeFileFunc is one function's section in the -compose-out JSON.
+// Cache hit/miss state is deliberately absent: the file depends only on
+// the campaign's inputs and outcomes, so an incremental run and a
+// from-scratch run of the same campaign produce byte-identical files —
+// the property scripts/cachecheck.sh asserts with cmp.
+type composeFileFunc struct {
+	Func     string           `json:"func"`
+	BodyHash string           `json:"body_hash"`
+	Weight   uint64           `json:"weight"`
+	N        int              `json:"n"`
+	Counts   map[string]int   `json:"counts"`
+	Trials   []cache.TrialRec `json:"trials"`
+}
+
+type composeFile struct {
+	Module     string             `json:"module"`
+	Trials     int                `json:"trials"`
+	Classified int                `json:"classified"`
+	Funcs      []composeFileFunc  `json:"funcs"`
+	Counts     map[string]int     `json:"counts"`
+	Rates      map[string]float64 `json:"rates"`
+	SDC        float64            `json:"sdc"`
+	SDCLo      float64            `json:"sdc_lo"`
+	SDCHi      float64            `json:"sdc_hi"`
+}
+
+func writeCompose(path, module string, res *fault.CompositionalResult) error {
+	out := composeFile{
+		Module:     module,
+		Trials:     res.Composed.Trials,
+		Classified: res.Composed.Classified,
+		Counts:     res.Composed.Counts,
+		Rates:      res.Composed.Rates,
+		SDC:        res.Composed.SDC,
+		SDCLo:      res.Composed.SDCLo,
+		SDCHi:      res.Composed.SDCHi,
+	}
+	for i := range res.Funcs {
+		fc := &res.Funcs[i]
+		out.Funcs = append(out.Funcs, composeFileFunc{
+			Func:     fc.Name,
+			BodyHash: hashutil.Hex(fc.BodyHash),
+			Weight:   fc.Weight,
+			N:        fc.N,
+			Counts:   outcomeNames(fc.Counts),
+			Trials:   fc.Records,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// outcomeNames converts an Outcome-keyed tally to string keys (JSON maps
+// sort keys, keeping the file deterministic).
+func outcomeNames(counts map[fault.Outcome]int) map[string]int {
+	out := make(map[string]int, len(counts))
+	for o, n := range counts {
+		out[o.String()] = n
+	}
+	return out
 }
 
 // writeMetrics dumps a registry snapshot as indented JSON at path.

@@ -32,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"trident/internal/server"
@@ -59,6 +60,7 @@ func run(args []string) int {
 	maxIRBytes := fs.Int("max-ir-bytes", 4<<20, "max submitted IR text size")
 	maxWall := fs.Duration("max-wall", 15*time.Minute, "per-job wall-clock budget (jobs exceeding it degrade to partial results)")
 	chaosDelay := fs.Duration("chaos-trial-delay", 0, "slow every trial by this much (crash-drill instrumentation, not for production)")
+	resultCache := fs.Bool("result-cache", true, "serve repeated campaigns (same module hash, seed, n) from a spool-backed result cache")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (job/shard/drain spans)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
@@ -98,6 +100,10 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/vars\n", dbg.Addr())
 	}
 
+	resultCacheDir := ""
+	if *resultCache {
+		resultCacheDir = filepath.Join(*spool, "cache")
+	}
 	srv, err := server.New(server.Config{
 		Spool:             *spool,
 		MaxConcurrentJobs: *jobs,
@@ -107,6 +113,7 @@ func run(args []string) int {
 		RetryBase:         *retryBase,
 		WorkerMode:        *workerMode,
 		ChaosTrialDelay:   *chaosDelay,
+		ResultCacheDir:    resultCacheDir,
 		Limits: server.Limits{
 			MaxTrials:  *maxTrials,
 			MaxIRBytes: *maxIRBytes,

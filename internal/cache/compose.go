@@ -1,0 +1,129 @@
+package cache
+
+import (
+	"sort"
+
+	"trident/internal/stats"
+)
+
+// This file is the composition layer: it stitches per-function outcome
+// tallies into whole-program estimates. The math mirrors a monolithic
+// campaign exactly when trials were apportioned proportionally to
+// activation weight (as CampaignCompositional does), and stays
+// statistically honest (BEC, PAPERS.md) in general: per-function rates
+// are reweighted by each function's share of the activation space, and
+// the confidence interval is recomputed from the merged tallies rather
+// than averaged.
+
+// ErroredName is the outcome string excluded from program-level rates
+// (matching fault.CampaignResult.Rate, which normalizes program outcomes
+// over classified trials only).
+const ErroredName = "errored"
+
+// SDCName is the outcome string whose composed rate carries the
+// confidence interval.
+const SDCName = "sdc"
+
+// FuncTally is one function's contribution to a composed estimate.
+type FuncTally struct {
+	// Func is the function name (reporting only).
+	Func string
+	// Weight is the function's activation count — its dynamic
+	// register-write total in the golden run.
+	Weight uint64
+	// Counts tallies trial outcomes by name.
+	Counts map[string]int
+}
+
+// classified returns the tally's program-classified trial count.
+func (t FuncTally) classified() int {
+	n := 0
+	for o, c := range t.Counts {
+		if o != ErroredName {
+			n += c
+		}
+	}
+	return n
+}
+
+// Composed is a whole-program estimate stitched from per-function
+// tallies.
+type Composed struct {
+	// Trials is the total trial count; Classified excludes errored.
+	Trials     int
+	Classified int
+	// Counts are the pooled outcome tallies across all functions.
+	Counts map[string]int
+	// Rates are activation-weighted program rates by outcome name:
+	// Σ_f (w_f/W)·p_f(o), renormalized over functions that have
+	// classified trials. The errored rate is pooled over all trials.
+	Rates map[string]float64
+	// SDC is Rates[SDCName]; SDCLo/SDCHi are its 95% Wilson bounds
+	// recomputed from the merged tallies (classified trial total).
+	SDC   float64
+	SDCLo float64
+	SDCHi float64
+}
+
+// ErrorBar95 is the half-width of the composed SDC interval, centered on
+// the composed estimate as fault.CampaignResult.ErrorBar95 centers its
+// interval on the measured rate.
+func (c Composed) ErrorBar95() float64 {
+	lo := c.SDC - c.SDCLo
+	if hi := c.SDCHi - c.SDC; hi > lo {
+		return hi
+	}
+	return lo
+}
+
+// Compose stitches per-function tallies into a whole-program estimate.
+// Functions with zero weight or no classified trials contribute their
+// pooled counts but no rate mass; the weighted average renormalizes over
+// the remaining weight so rates still sum to one.
+func Compose(tallies []FuncTally) Composed {
+	c := Composed{Counts: make(map[string]int), Rates: make(map[string]float64)}
+	var weightSum float64
+	for _, t := range tallies {
+		for o, n := range t.Counts {
+			c.Counts[o] += n
+			c.Trials += n
+		}
+		if t.classified() > 0 && t.Weight > 0 {
+			weightSum += float64(t.Weight)
+		}
+	}
+	c.Classified = c.Trials - c.Counts[ErroredName]
+
+	for _, t := range tallies {
+		cls := t.classified()
+		if cls == 0 || t.Weight == 0 || weightSum == 0 {
+			continue
+		}
+		share := float64(t.Weight) / weightSum
+		for o, n := range t.Counts {
+			if o == ErroredName {
+				continue
+			}
+			c.Rates[o] += share * float64(n) / float64(cls)
+		}
+	}
+	if c.Trials > 0 {
+		if n := c.Counts[ErroredName]; n > 0 {
+			c.Rates[ErroredName] = float64(n) / float64(c.Trials)
+		}
+	}
+	c.SDC = c.Rates[SDCName]
+	c.SDCLo, c.SDCHi = stats.WilsonBounds(c.SDC, c.Classified)
+	return c
+}
+
+// OutcomeNames returns the outcome names present in the composed counts,
+// sorted, for deterministic reporting.
+func (c Composed) OutcomeNames() []string {
+	names := make([]string, 0, len(c.Counts))
+	for o := range c.Counts {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	return names
+}

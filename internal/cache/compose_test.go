@@ -1,0 +1,122 @@
+package cache
+
+import (
+	"math"
+	"testing"
+
+	"trident/internal/stats"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+// TestComposeSingleFunctionMatchesMonolithic pins the base case: one
+// function's tally composes to exactly its own rates and the Wilson
+// interval a monolithic campaign would report.
+func TestComposeSingleFunctionMatchesMonolithic(t *testing.T) {
+	c := Compose([]FuncTally{{
+		Func:   "main",
+		Weight: 1000,
+		Counts: map[string]int{"benign": 70, "sdc": 20, "crash": 10},
+	}})
+	if c.Trials != 100 || c.Classified != 100 {
+		t.Fatalf("trials=%d classified=%d, want 100/100", c.Trials, c.Classified)
+	}
+	if !almostEq(c.SDC, 0.2) {
+		t.Errorf("SDC = %v, want 0.2", c.SDC)
+	}
+	lo, hi := stats.WilsonBounds(0.2, 100)
+	if !almostEq(c.SDCLo, lo) || !almostEq(c.SDCHi, hi) {
+		t.Errorf("bounds (%v, %v), want (%v, %v)", c.SDCLo, c.SDCHi, lo, hi)
+	}
+	if !almostEq(c.ErrorBar95(), stats.ProportionCI95(0.2, 100)) {
+		t.Errorf("ErrorBar95 = %v, want ProportionCI95 = %v",
+			c.ErrorBar95(), stats.ProportionCI95(0.2, 100))
+	}
+}
+
+// TestComposeWeights checks the activation-weighted average: a function
+// with three times the weight contributes three times the rate mass,
+// regardless of how many trials each section ran.
+func TestComposeWeights(t *testing.T) {
+	c := Compose([]FuncTally{
+		{Func: "hot", Weight: 300, Counts: map[string]int{"sdc": 50, "benign": 50}},  // p=0.5
+		{Func: "cold", Weight: 100, Counts: map[string]int{"sdc": 10, "benign": 90}}, // p=0.1
+	})
+	want := 0.75*0.5 + 0.25*0.1
+	if !almostEq(c.SDC, want) {
+		t.Errorf("SDC = %v, want %v", c.SDC, want)
+	}
+	// Program rates over classified outcomes sum to 1.
+	sum := 0.0
+	for o, r := range c.Rates {
+		if o != ErroredName {
+			sum += r
+		}
+	}
+	if !almostEq(sum, 1) {
+		t.Errorf("classified rates sum to %v, want 1 (%v)", sum, c.Rates)
+	}
+}
+
+// TestComposeSkipsUnclassified: a function whose section produced no
+// classified trials contributes counts but no rate mass, and the weights
+// renormalize over the rest.
+func TestComposeSkipsUnclassified(t *testing.T) {
+	c := Compose([]FuncTally{
+		{Func: "ok", Weight: 100, Counts: map[string]int{"sdc": 25, "benign": 75}},
+		{Func: "broken", Weight: 900, Counts: map[string]int{ErroredName: 10}},
+	})
+	if !almostEq(c.SDC, 0.25) {
+		t.Errorf("SDC = %v, want 0.25 (broken function must not dilute)", c.SDC)
+	}
+	if c.Trials != 110 || c.Classified != 100 {
+		t.Errorf("trials=%d classified=%d, want 110/100", c.Trials, c.Classified)
+	}
+	if !almostEq(c.Rates[ErroredName], 10.0/110) {
+		t.Errorf("errored rate = %v, want %v", c.Rates[ErroredName], 10.0/110)
+	}
+	lo, hi := stats.WilsonBounds(0.25, 100)
+	if !almostEq(c.SDCLo, lo) || !almostEq(c.SDCHi, hi) {
+		t.Errorf("interval uses n=%d: (%v,%v), want (%v,%v)", c.Classified, c.SDCLo, c.SDCHi, lo, hi)
+	}
+}
+
+func TestComposeEmpty(t *testing.T) {
+	c := Compose(nil)
+	if c.Trials != 0 || c.SDC != 0 || c.SDCLo != 0 || c.SDCHi != 0 {
+		t.Errorf("empty compose not zero: %+v", c)
+	}
+}
+
+// TestComposeProportionalApportionmentIsExact: when trials are
+// apportioned exactly proportionally to weight, the weighted SDC equals
+// the pooled SDC — composition and pooling agree, which is why the
+// compositional campaign's composed rate can be bit-compared against a
+// merged monolithic result.
+func TestComposeProportionalApportionmentIsExact(t *testing.T) {
+	// 60 and 40 trials for weights 600 and 400.
+	tallies := []FuncTally{
+		{Func: "a", Weight: 600, Counts: map[string]int{"sdc": 15, "benign": 45}},
+		{Func: "b", Weight: 400, Counts: map[string]int{"sdc": 4, "benign": 36}},
+	}
+	c := Compose(tallies)
+	pooled := float64(15+4) / float64(100)
+	if !almostEq(c.SDC, pooled) {
+		t.Errorf("proportional apportionment: composed %v != pooled %v", c.SDC, pooled)
+	}
+}
+
+func TestOutcomeNamesSorted(t *testing.T) {
+	c := Compose([]FuncTally{{Func: "f", Weight: 1,
+		Counts: map[string]int{"sdc": 1, "benign": 1, "crash": 1}}})
+	names := c.OutcomeNames()
+	want := []string{"benign", "crash", "sdc"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Cache-key stability suite: the compositional cache's content address
+// is the canonical printed function body, so its hit rate — and its
+// soundness — hinge on three printer/parser properties proven here:
+//
+//  1. print→parse round trips leave every function hash unchanged
+//     (kernels and a swath of randomly generated programs), so keys
+//     survive serialization through textual IR;
+//  2. a single-instruction mutation changes exactly the containing
+//     function's hash, so an edit invalidates no more than it must;
+//  3. renaming an uncalled function never perturbs other functions'
+//     hashes — while renaming a *called* one rightly invalidates its
+//     callers, whose printed call sites embed the callee name.
+package cache_test
+
+import (
+	"testing"
+
+	"trident/internal/hashutil"
+	"trident/internal/ir"
+	"trident/internal/irgen"
+	"trident/internal/progs"
+)
+
+// funcHashes maps every function to its canonical body hash.
+func funcHashes(m *ir.Module) map[string]uint64 {
+	h := make(map[string]uint64, len(m.Funcs))
+	for _, f := range m.Funcs {
+		h[f.Name] = hashutil.Function(f)
+	}
+	return h
+}
+
+// assertRoundTripStable prints m, reparses it and requires every
+// function hash (and the module hash) to survive unchanged.
+func assertRoundTripStable(t *testing.T, label string, m *ir.Module) {
+	t.Helper()
+	before := funcHashes(m)
+	m2, err := ir.Parse(ir.Print(m))
+	if err != nil {
+		t.Fatalf("%s: reparse: %v", label, err)
+	}
+	after := funcHashes(m2)
+	if len(after) != len(before) {
+		t.Fatalf("%s: round trip changed function count: %d → %d", label, len(before), len(after))
+	}
+	for name, h := range before {
+		if after[name] != h {
+			t.Errorf("%s/@%s: hash %s → %s across print→parse",
+				label, name, hashutil.Hex(h), hashutil.Hex(after[name]))
+		}
+	}
+	if hm, hm2 := hashutil.Module(m), hashutil.Module(m2); hm != hm2 {
+		t.Errorf("%s: module hash %s → %s across print→parse", label, hashutil.Hex(hm), hashutil.Hex(hm2))
+	}
+}
+
+func TestRoundTripHashStabilityKernels(t *testing.T) {
+	for _, p := range progs.All() {
+		assertRoundTripStable(t, p.Name, p.Build())
+	}
+}
+
+func TestRoundTripHashStabilityGenerated(t *testing.T) {
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		assertRoundTripStable(t, "irgen", irgen.Generate(irgen.Config{Seed: seed}))
+	}
+}
+
+// mutateOneInstr flips the low bit of the first integer-constant
+// operand of a binary instruction and returns the name of the function
+// that was edited ("" if the module offers no such site).
+func mutateOneInstr(m *ir.Module) string {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Op.IsBinary() {
+					continue
+				}
+				for i, op := range in.Operands {
+					if c, ok := op.(*ir.Const); ok && c.Type.IsInt() {
+						in.Operands[i] = &ir.Const{Type: c.Type, Bits: c.Bits ^ 1}
+						return f.Name
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// TestSingleInstructionMutationIsLocal: one mutated instruction changes
+// exactly its own function's hash — every kernel and a set of generated
+// programs.
+func TestSingleInstructionMutationIsLocal(t *testing.T) {
+	modules := make(map[string]*ir.Module)
+	for _, p := range progs.All() {
+		modules[p.Name] = p.Build()
+	}
+	for seed := uint64(1); seed <= 10; seed++ {
+		m := irgen.Generate(irgen.Config{Seed: seed})
+		modules[m.Name] = m
+	}
+	mutated := 0
+	for label, m := range modules {
+		before := funcHashes(m)
+		beforeModule := hashutil.Module(m)
+		edited := mutateOneInstr(m)
+		if edited == "" {
+			continue
+		}
+		mutated++
+		after := funcHashes(m)
+		for name, h := range before {
+			if name == edited {
+				if after[name] == h {
+					t.Errorf("%s: mutation in @%s left its hash unchanged", label, name)
+				}
+				continue
+			}
+			if after[name] != h {
+				t.Errorf("%s: mutation in @%s changed @%s's hash", label, edited, name)
+			}
+		}
+		if hashutil.Module(m) == beforeModule {
+			t.Errorf("%s: mutation left module hash unchanged", label)
+		}
+	}
+	if mutated < 5 {
+		t.Fatalf("only %d modules offered a mutation site; suite is too weak", mutated)
+	}
+}
+
+// renameSource has a called helper, an uncalled spare and a main that
+// only calls the helper — the fixture for the rename invariants.
+const renameSource = `
+module "rename"
+
+func @helper(%x i64) i64 {
+entry:
+  %d = mul %x, i64 3
+  ret %d
+}
+
+func @spare(%x i64) i64 {
+entry:
+  %d = add %x, i64 1
+  ret %d
+}
+
+func @main() void {
+entry:
+  %v = call @helper(i64 14)
+  print %v
+  ret
+}
+`
+
+// TestUncalledFunctionRenameNeverInvalidatesOthers: renaming @spare
+// (no callers) leaves every other function's hash — and therefore
+// every cached profile keyed on it — intact.
+func TestUncalledFunctionRenameNeverInvalidatesOthers(t *testing.T) {
+	m, err := ir.Parse(renameSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := funcHashes(m)
+	m.Func("spare").Name = "spare_v2"
+	after := funcHashes(m)
+	for _, name := range []string{"helper", "main"} {
+		if after[name] != before[name] {
+			t.Errorf("renaming uncalled @spare changed @%s's hash", name)
+		}
+	}
+	if after["spare_v2"] == before["spare"] {
+		t.Error("rename did not change the renamed function's own hash")
+	}
+}
+
+// TestCalledFunctionRenameInvalidatesCallers: renaming @helper must
+// change @main's hash — the printed call site embeds the callee name,
+// so stale cross-function bindings cannot hit the cache.
+func TestCalledFunctionRenameInvalidatesCallers(t *testing.T) {
+	m, err := ir.Parse(renameSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := funcHashes(m)
+	m.Func("helper").Name = "helper_v2"
+	after := funcHashes(m)
+	if after["main"] == before["main"] {
+		t.Error("renaming called @helper left @main's hash unchanged")
+	}
+	if after["spare"] != before["spare"] {
+		t.Error("renaming @helper changed unrelated @spare's hash")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 
+	"trident/internal/hashutil"
 	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/refinterp"
@@ -297,20 +298,7 @@ func compareSnapshotResume(name string, m *ir.Module, base *interp.Result) ([]Mi
 
 func resultSummary(r *interp.Result) string {
 	return fmt.Sprintf("outcome=%s dyn=%d results=%d lines=%d output-hash=%x",
-		r.Outcome, r.DynInstrs, r.DynResults, r.OutputLines, fnvHash(r.Output))
-}
-
-func fnvHash(s string) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
+		r.Outcome, r.DynInstrs, r.DynResults, r.OutputLines, hashutil.Output(r.Output))
 }
 
 // RoundTripModule checks the parser/printer loop on m: Print must parse

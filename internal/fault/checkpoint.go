@@ -17,6 +17,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"trident/internal/hashutil"
 )
 
 // warnf logs non-fatal checkpoint anomalies — torn tails skipped on
@@ -48,6 +50,10 @@ type checkpointMeta struct {
 	// check that the module and input are the ones the log was built for.
 	Space uint64 `json:"space"`
 	N     int    `json:"n"`
+	// ModuleHash is the content address of the module's canonical printed
+	// text (hashutil.Hex form). Older logs omit it; the check applies only
+	// when both sides carry a hash, so version stays 1.
+	ModuleHash string `json:"module_hash,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -60,6 +66,10 @@ func (m checkpointMeta) matches(path string, want checkpointMeta) error {
 		return fmt.Errorf("fault: checkpoint %s was written by a different campaign "+
 			"(module %q seed %d space %d, want module %q seed %d space %d)",
 			path, m.Module, m.Seed, m.Space, want.Module, want.Seed, want.Space)
+	}
+	if m.ModuleHash != "" && want.ModuleHash != "" && m.ModuleHash != want.ModuleHash {
+		return fmt.Errorf("fault: checkpoint %s was written for different module text "+
+			"(module hash %s, want %s)", path, m.ModuleHash, want.ModuleHash)
 	}
 	return nil
 }
@@ -396,12 +406,13 @@ func (ck *Checkpoint) Close() error {
 // metaRandom describes a CampaignRandom run for checkpoint validation.
 func (inj *Injector) metaRandom(n int) checkpointMeta {
 	return checkpointMeta{
-		Version: checkpointVersion,
-		Module:  inj.module.Name,
-		Kind:    "random",
-		Seed:    inj.opts.Seed,
-		Space:   inj.total,
-		N:       n,
+		Version:    checkpointVersion,
+		Module:     inj.module.Name,
+		Kind:       "random",
+		Seed:       inj.opts.Seed,
+		Space:      inj.total,
+		N:          n,
+		ModuleHash: hashutil.Hex(inj.moduleHash),
 	}
 }
 

@@ -1,0 +1,254 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"trident/internal/cache"
+	"trident/internal/ir"
+	"trident/internal/profile"
+	"trident/internal/progs"
+)
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		n       int
+		weights []uint64
+		want    []int
+	}{
+		{100, []uint64{600, 400}, []int{60, 40}},
+		{10, []uint64{1, 1, 1}, []int{4, 3, 3}},
+		{0, []uint64{5, 5}, []int{0, 0}},
+		{5, []uint64{0, 10}, []int{0, 5}},
+		{3, []uint64{1000000, 1}, []int{3, 0}},
+		{7, nil, nil},
+	}
+	for _, c := range cases {
+		got := apportion(c.n, c.weights)
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("apportion(%d, %v) = %v, want %v", c.n, c.weights, got, c.want)
+				break
+			}
+		}
+		if len(c.weights) > 0 && nonZero(c.weights) && sum != c.n {
+			t.Errorf("apportion(%d, %v) sums to %d", c.n, c.weights, sum)
+		}
+	}
+}
+
+func nonZero(ws []uint64) bool {
+	for _, w := range ws {
+		if w > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestApportionDeterministicTies: equal weights resolve leftovers to the
+// earliest indices, every time.
+func TestApportionDeterministicTies(t *testing.T) {
+	w := []uint64{7, 7, 7, 7}
+	first := apportion(10, w)
+	for i := 0; i < 20; i++ {
+		got := apportion(10, w)
+		for j := range got {
+			if got[j] != first[j] {
+				t.Fatalf("apportion unstable: %v then %v", first, got)
+			}
+		}
+	}
+	want := []int{3, 3, 2, 2}
+	for j := range want {
+		if first[j] != want[j] {
+			t.Fatalf("apportion(10, %v) = %v, want %v", w, first, want)
+		}
+	}
+}
+
+func TestFuncSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]string)
+	for _, name := range []string{"main", "cndf", "mainn", ""} {
+		for _, hash := range []uint64{0, 1, 0xdeadbeef} {
+			s := funcSeed(42, name, hash)
+			id := fmt.Sprintf("%s#%x", name, hash)
+			if prev, ok := seen[s]; ok {
+				t.Errorf("funcSeed collision: %q and %q", prev, id)
+			}
+			seen[s] = id
+		}
+	}
+	if funcSeed(1, "main", 7) == funcSeed(2, "main", 7) {
+		t.Error("funcSeed ignores the campaign seed")
+	}
+}
+
+// TestSectionsCoverActivationSpace: the per-function partition must tile
+// the injector's global activation space exactly, and the weights must
+// agree with the profile package's independent accounting.
+func TestSectionsCoverActivationSpace(t *testing.T) {
+	for _, p := range progs.All() {
+		m := p.Build()
+		inj, err := New(m, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		secs := inj.sections()
+		var total uint64
+		for _, sec := range secs {
+			total += sec.weight
+		}
+		if total != inj.ActivationSpace() {
+			t.Errorf("%s: sections tile %d activations, injector has %d",
+				p.Name, total, inj.ActivationSpace())
+		}
+		prof, err := profile.Collect(m, profile.Options{})
+		if err != nil {
+			t.Fatalf("%s: profile: %v", p.Name, err)
+		}
+		weights := prof.FuncWeights()
+		for _, sec := range secs {
+			if weights[sec.fn.Name] != sec.weight {
+				t.Errorf("%s/@%s: section weight %d, profile weight %d",
+					p.Name, sec.fn.Name, sec.weight, weights[sec.fn.Name])
+			}
+		}
+	}
+}
+
+// TestCompositionalNoStore: with a nil store every section runs live and
+// the composed tallies pool to exactly the per-section counts.
+func TestCompositionalNoStore(t *testing.T) {
+	p, err := progs.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := New(p.Build(), Options{Seed: 42, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inj.CampaignCompositional(context.Background(), 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits != 0 || res.Misses != len(res.Funcs) {
+		t.Errorf("nil store: hits=%d misses=%d over %d funcs", res.Hits, res.Misses, len(res.Funcs))
+	}
+	if res.N() != 40 {
+		t.Errorf("N() = %d, want 40", res.N())
+	}
+	if len(res.Funcs) < 2 {
+		t.Fatalf("blackscholes composed over %d functions, want ≥ 2", len(res.Funcs))
+	}
+	merged, err := res.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.N() != 40 {
+		t.Errorf("merged N = %d, want 40", merged.N())
+	}
+	pooled := 0
+	for _, o := range AllOutcomes {
+		pooled += merged.Counts[o]
+	}
+	if pooled != 40 {
+		t.Errorf("merged counts pool to %d, want 40", pooled)
+	}
+	for _, o := range AllOutcomes {
+		if got := res.Composed.Counts[o.String()]; got != merged.Counts[o] {
+			t.Errorf("composed count[%s]=%d, merged %d", o, got, merged.Counts[o])
+		}
+	}
+}
+
+// TestCompositionalCancellation: cancelling mid-campaign returns the
+// completed sections plus the context error, and never caches a partial
+// section.
+func TestCompositionalCancellation(t *testing.T) {
+	p, err := progs.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	inj, err := New(p.Build(), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inj.CampaignCompositional(ctx, 40, store)
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if res.N() != 0 {
+		t.Errorf("pre-cancelled campaign ran %d trials", res.N())
+	}
+	// Nothing may have been cached: a fresh all-miss run must execute.
+	inj2, err := New(p.Build(), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := inj2.CampaignCompositional(context.Background(), 40, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Hits != 0 {
+		t.Errorf("partial campaign left %d cache hits", res2.Hits)
+	}
+}
+
+// TestCompositionalNeverCachesErroredSections: sections with Errored
+// trials must not be stored, so poisoned runs cannot contaminate later
+// campaigns.
+func TestCompositionalNeverCachesErroredSections(t *testing.T) {
+	p, err := progs.ByName("libquantum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injBad, err := New(p.Build(), Options{
+		Seed: 42,
+		TrialHook: func(in *ir.Instr, instance uint64, bit int, attempt int) error {
+			if bit%5 == 1 {
+				panic("chaos: simulated engine fault")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBad, err := injBad.CampaignCompositional(context.Background(), 30, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBad.Composed.Counts[Errored.String()] == 0 {
+		t.Fatal("chaos hook produced no errored trials; test is vacuous")
+	}
+	// A clean re-run must miss (nothing was cached) and produce a clean
+	// profile.
+	injOK, err := New(p.Build(), Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOK, err := injOK.CampaignCompositional(context.Background(), 30, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOK.Hits != 0 {
+		t.Errorf("errored sections were cached: %d hits", resOK.Hits)
+	}
+	if resOK.Composed.Counts[Errored.String()] != 0 {
+		t.Errorf("clean re-run reports %d errored trials", resOK.Composed.Counts[Errored.String()])
+	}
+}

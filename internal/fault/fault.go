@@ -12,12 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
 
 	"trident/internal/decoded"
+	"trident/internal/hashutil"
 	"trident/internal/interp"
 	"trident/internal/ir"
 	"trident/internal/telemetry"
@@ -181,6 +181,11 @@ type Injector struct {
 	goldenDyn    uint64
 	hangBudget   uint64
 
+	// moduleHash is the content address of the module's canonical printed
+	// text, computed once here and stamped into checkpoint headers and
+	// cache keys so stale artifacts are rejected by content, not by name.
+	moduleHash uint64
+
 	// execCount maps each register-writing static instruction to its
 	// dynamic count in the golden run; it defines the activation space.
 	execCount map[*ir.Instr]uint64
@@ -224,6 +229,7 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 		opts.Workers = defaultWorkers
 	}
 	inj := &Injector{module: m, opts: opts, execCount: make(map[*ir.Instr]uint64)}
+	inj.moduleHash = hashutil.Module(m)
 	inj.met = newCampaignMetrics(opts.Metrics)
 	if opts.Engine == interp.EngineDecoded {
 		inj.prog = interp.CompileDecoded(m, opts.Metrics)
@@ -345,6 +351,10 @@ func (inj *Injector) snapshotBefore(target *ir.Instr, instance uint64) int {
 
 // GoldenOutput returns the fault-free program output.
 func (inj *Injector) GoldenOutput() string { return inj.goldenOutput }
+
+// ModuleHash returns the content address of the module under injection:
+// hashutil.Module of its canonical printed text.
+func (inj *Injector) ModuleHash() uint64 { return inj.moduleHash }
 
 // GoldenDynInstrs returns the fault-free dynamic instruction count.
 func (inj *Injector) GoldenDynInstrs() uint64 { return inj.goldenDyn }
@@ -521,12 +531,10 @@ func releaseTrialState(ts *trialState) {
 	trialStatePool.Put(ts)
 }
 
-// hashOutput is the 64-bit FNV-1a hash of a program's output.
-func hashOutput(s string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return h.Sum64()
-}
+// hashOutput is the 64-bit FNV-1a hash of a program's output, shared
+// with the cross-check oracle and the campaign cache through hashutil so
+// output fingerprints are interchangeable across subsystems.
+func hashOutput(s string) uint64 { return hashutil.Output(s) }
 
 func (inj *Injector) classify(res *interp.Result) Outcome {
 	switch res.Outcome {

@@ -1,0 +1,79 @@
+package hashutil
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"trident/internal/ir"
+	"trident/internal/progs"
+)
+
+// TestStringMatchesStdlibFNV pins the hash to the reference FNV-1a the
+// standard library implements: the constants here must never drift,
+// because on-disk cache entries and checkpoints embed these hashes.
+func TestStringMatchesStdlibFNV(t *testing.T) {
+	for _, s := range []string{"", "a", "trident", "module \"x\"\n", "\x00\xff"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := String(s), h.Sum64(); got != want {
+			t.Errorf("String(%q) = %#x, want %#x", s, got, want)
+		}
+		if got, want := Bytes([]byte(s)), h.Sum64(); got != want {
+			t.Errorf("Bytes(%q) = %#x, want %#x", s, got, want)
+		}
+		if Output(s) != String(s) {
+			t.Errorf("Output(%q) != String(%q)", s, s)
+		}
+	}
+}
+
+func TestHex(t *testing.T) {
+	if got := Hex(0); got != "0000000000000000" {
+		t.Errorf("Hex(0) = %q", got)
+	}
+	if got := Hex(0xdeadbeef); got != "00000000deadbeef" {
+		t.Errorf("Hex(0xdeadbeef) = %q", got)
+	}
+}
+
+// TestModuleAndFunctionHashesAreCanonical checks the content-address
+// property on every kernel: the module hash is the hash of the printed
+// text, function hashes are hashes of printed functions, and hashing the
+// same module twice (or its functions in any order) is stable.
+func TestModuleAndFunctionHashesAreCanonical(t *testing.T) {
+	for _, p := range progs.All() {
+		m := p.Build()
+		if got, want := Module(m), String(ir.Print(m)); got != want {
+			t.Errorf("%s: Module = %#x, want hash of printed text %#x", p.Name, got, want)
+		}
+		for _, f := range m.Funcs {
+			if got, want := Function(f), String(ir.PrintFunc(f)); got != want {
+				t.Errorf("%s/@%s: Function = %#x, want %#x", p.Name, f.Name, got, want)
+			}
+			if Function(f) != Function(f) {
+				t.Errorf("%s/@%s: Function hash unstable", p.Name, f.Name)
+			}
+		}
+	}
+}
+
+// TestFunctionHashDistinguishesFunctions is a sanity check that distinct
+// function bodies get distinct hashes on a real multi-function kernel.
+func TestFunctionHashDistinguishesFunctions(t *testing.T) {
+	p, err := progs.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Build()
+	if len(m.Funcs) < 2 {
+		t.Fatalf("blackscholes has %d functions, want ≥ 2", len(m.Funcs))
+	}
+	seen := make(map[uint64]string)
+	for _, f := range m.Funcs {
+		h := Function(f)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("functions @%s and @%s share hash %#x", prev, f.Name, h)
+		}
+		seen[h] = f.Name
+	}
+}

@@ -1,0 +1,114 @@
+// This file is the server's whole-job result cache: a thin layer over
+// internal/cache that short-circuits a job before any shard launches
+// when a previous job already ran the identical campaign. The key is
+// the content address of the campaign, not of the submission: the
+// canonical module hash, the fault-model version, the seed and the
+// trial count. Deliberately absent from the key:
+//
+//   - Shards: the shard merge is bit-identical for any shard count
+//     (the sharding acceptance suite proves it), so a 4-shard job may
+//     serve an 8-shard submission's result.
+//   - Engine: legacy and decoded engines are bit-identical (the
+//     differential suite proves it), so results are shared across
+//     engines.
+//   - SnapshotInterval / Workers: both are performance knobs with no
+//     effect on trial outcomes.
+//
+// Only clean results enter the cache: terminal state done, zero
+// missing trials, no failed shards, no errored trials. Degraded or
+// cancelled jobs always re-run. The stored payload carries no job
+// identity (ID, state) so hits from different jobs are byte-identical
+// modulo the ID the server stamps on the way out.
+
+package server
+
+import (
+	"fmt"
+	"os"
+
+	"trident/internal/fault"
+	"trident/internal/hashutil"
+)
+
+// resultKeyKind tags job-result entries within a cache directory that
+// may also hold per-function profiles.
+const resultKeyKind = "job-result"
+
+// resultKey is the content address of a whole-job campaign result.
+type resultKey struct {
+	Kind       string `json:"kind"`
+	ModuleHash string `json:"module_hash"`
+	Model      string `json:"model"`
+	Seed       uint64 `json:"seed"`
+	N          int    `json:"n"`
+}
+
+// resultCacheKey derives j's cache key, or reports false when the
+// cache is off or the module cannot be built (admission already
+// validated it, so the latter is effectively unreachable).
+func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
+	if s.resultCache == nil {
+		return resultKey{}, false
+	}
+	mod, err := j.req.BuildModule()
+	if err != nil {
+		return resultKey{}, false
+	}
+	return resultKey{
+		Kind:       resultKeyKind,
+		ModuleHash: hashutil.Hex(hashutil.Module(mod)),
+		Model:      fault.ModelVersion,
+		Seed:       j.req.Seed,
+		N:          j.req.N,
+	}, true
+}
+
+// lookupResult consults the result cache for j. A hit returns a copy
+// of the cached result stamped with j's identity and Cached=true.
+// Anything suspicious about the stored payload — wrong trial count,
+// missing trials, errored trials — is treated as a miss, mirroring the
+// store's own torn-entry policy.
+func (s *Server) lookupResult(j *Job) (*Result, bool) {
+	key, ok := s.resultCacheKey(j)
+	if !ok {
+		return nil, false
+	}
+	var payload Result
+	if !s.resultCache.Get(key, &payload) {
+		return nil, false
+	}
+	if payload.N != j.req.N || payload.Missing != 0 || len(payload.Trials) != j.req.N {
+		return nil, false
+	}
+	for i := range payload.Trials {
+		if payload.Trials[i].Outcome == fault.Errored.String() {
+			return nil, false
+		}
+	}
+	res := payload
+	res.ID = j.ID
+	res.State = string(JobDone)
+	res.Cached = true
+	return &res, true
+}
+
+// storeResult persists a finished job's result when — and only when —
+// it is clean: done, complete, no degraded shards, no errored trials.
+// The payload is stripped of job identity before storage.
+func (s *Server) storeResult(j *Job, state JobState, res *Result) {
+	if s.resultCache == nil || res == nil || state != JobDone {
+		return
+	}
+	if res.Missing != 0 || len(res.FailedShards) != 0 || res.Counts[fault.Errored.String()] != 0 {
+		return
+	}
+	key, ok := s.resultCacheKey(j)
+	if !ok {
+		return
+	}
+	payload := *res
+	payload.ID, payload.State, payload.Cached = "", "", false
+	if err := s.resultCache.Put(key, payload); err != nil {
+		fmt.Fprintf(os.Stderr, "server: result cache write for job %s: %v\n", j.ID, err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trident/internal/cache"
 	"trident/internal/telemetry"
 )
 
@@ -71,6 +72,13 @@ type Config struct {
 	// ChaosTrialDelay slows every trial by the given duration — crash
 	// drills use it to land kills mid-campaign. Zero in production.
 	ChaosTrialDelay time.Duration
+	// ResultCacheDir, when set, roots a content-addressed whole-job
+	// result cache shared by every job (and, living on disk, by every
+	// restart): a submission whose module hash, seed, trial count and
+	// fault model match a previously completed clean job is answered
+	// from the cache without launching a single shard. Empty disables
+	// caching.
+	ResultCacheDir string
 	// Limits bounds what submissions may ask for.
 	Limits Limits
 	// Metrics and Trace receive server telemetry (both optional).
@@ -109,11 +117,12 @@ func (c Config) withDefaults() Config {
 // Server is the campaign service: queue, scheduler, shard supervisor
 // and HTTP surface.
 type Server struct {
-	cfg    Config
-	limits Limits
-	met    *serverMetrics
-	q      *queue
-	runner shardRunner
+	cfg         Config
+	limits      Limits
+	met         *serverMetrics
+	q           *queue
+	runner      shardRunner
+	resultCache *cache.Store
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -139,6 +148,13 @@ func New(cfg Config) (*Server, error) {
 		limits: cfg.Limits,
 		met:    newServerMetrics(cfg.Metrics),
 		q:      newQueue(cfg.MaxQueueDepth),
+	}
+	if cfg.ResultCacheDir != "" {
+		store, err := cache.Open(cfg.ResultCacheDir, cache.Options{Metrics: cfg.Metrics, Trace: cfg.Trace})
+		if err != nil {
+			return nil, fmt.Errorf("server: result cache: %w", err)
+		}
+		s.resultCache = store
 	}
 	switch cfg.WorkerMode {
 	case "inproc":

@@ -57,6 +57,15 @@ func (s *Server) runJob(parent context.Context, j *Job) {
 		s.finishJob(j, span, start, JobCancelled, "cancelled before start")
 		return
 	}
+	// Result-cache short circuit: a clean, complete result for this exact
+	// campaign (module hash + model + seed + n) skips sharding entirely.
+	if res, ok := s.lookupResult(j); ok {
+		j.setResult(res)
+		j.setState(JobDone, "")
+		s.met.jobEnd(JobDone, start)
+		span.EndWith(telemetry.Attrs{"state": string(JobDone), "cached": true})
+		return
+	}
 	j.setState(JobRunning, "")
 
 	var wg sync.WaitGroup
@@ -95,6 +104,7 @@ func (s *Server) runJob(parent context.Context, j *Job) {
 		}
 		res.State = string(state)
 		j.setResult(res)
+		s.storeResult(j, state, res)
 	}
 	s.finishJob(j, span, start, state, errMsg)
 }

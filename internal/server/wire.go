@@ -343,6 +343,9 @@ type Result struct {
 	Trials []TrialRecord `json:"trials"`
 	// FailedShards carries the per-shard error status of a degraded job.
 	FailedShards []ShardStatus `json:"failed_shards,omitempty"`
+	// Cached reports that the result was served from the server's
+	// whole-job result cache without running any shards.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Event is one line of a job's JSONL event stream (and of a shard

@@ -74,6 +74,19 @@ func ProportionCI95(p float64, n int) float64 {
 	if n <= 0 {
 		return 0
 	}
+	lo, hi := WilsonBounds(p, n)
+	return math.Max(p-lo, hi-p)
+}
+
+// WilsonBounds returns the lower and upper 95% Wilson score bounds of a
+// proportion p measured over n trials. The compositional campaign cache
+// recomputes intervals from merged tallies through this function, so a
+// composed estimate carries exactly the interval a monolithic campaign
+// with the same pooled counts would report.
+func WilsonBounds(p float64, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 0
+	}
 	if p < 0 {
 		p = 0
 	} else if p > 1 {
@@ -85,9 +98,7 @@ func ProportionCI95(p float64, n int) float64 {
 	denom := 1 + z2/nf
 	center := (p + z2/(2*nf)) / denom
 	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
-	lo := center - half
-	hi := center + half
-	return math.Max(p-lo, hi-p)
+	return center - half, center + half
 }
 
 // TTestResult is the outcome of a paired two-tailed t-test.

@@ -1,0 +1,81 @@
+#!/bin/sh
+# cachecheck.sh — the compositional cache's edit-and-rerun drill, run by
+# `make check`.
+#
+# It exercises the incremental-campaign story end to end through the
+# real CLI:
+#
+#   1. dump blackscholes (the multi-function kernel) to textual IR
+#   2. cold run against an empty cache: every function must MISS and
+#      the cache must populate
+#   3. identical warm re-run: every function must HIT and the composed
+#      JSON must be byte-identical to the cold run's
+#   4. edit exactly one function (@cndf) by renaming every register —
+#      semantics-preserving but hash-changing, the cheapest honest
+#      stand-in for "the developer edited one function"
+#   5. incremental re-run: exactly @cndf re-injects, @main replays
+#   6. from-scratch run of the edited module against a fresh cache:
+#      the composed JSON must byte-compare with the incremental run's
+#
+# Passing means: cache keys are stable across runs, an edit invalidates
+# only the edited function, and the composed incremental result is
+# bit-identical to paying full campaign cost.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d /tmp/cachecheck.XXXXXX)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+    echo "cachecheck: FAIL: $*" >&2
+    exit 1
+}
+
+N=400
+SEED=9
+
+echo "cachecheck: building fi"
+$GO build -o "$TMP/fi" ./cmd/fi
+
+"$TMP/fi" -dump-ir -program blackscholes >"$TMP/orig.tir"
+
+run() { # compose-out cache-dir ir-file log
+    "$TMP/fi" -ir "$3" -n "$N" -seed "$SEED" -progress=false \
+        -cache-dir "$2" -compose-out "$1" >"$4" 2>>"$TMP/stderr.log"
+}
+
+echo "cachecheck: cold run (populates the cache)"
+run "$TMP/cold.json" "$TMP/cache" "$TMP/orig.tir" "$TMP/cold.log"
+grep -q '^cache: 0 hit(s), 2 miss(es)$' "$TMP/cold.log" \
+    || fail "cold run: want 2 misses, got: $(grep '^cache:' "$TMP/cold.log")"
+
+echo "cachecheck: warm re-run (all hits, byte-identical compose)"
+run "$TMP/warm.json" "$TMP/cache" "$TMP/orig.tir" "$TMP/warm.log"
+grep -q '^cache: 2 hit(s), 0 miss(es)$' "$TMP/warm.log" \
+    || fail "warm run: want 2 hits, got: $(grep '^cache:' "$TMP/warm.log")"
+cmp "$TMP/cold.json" "$TMP/warm.json" \
+    || fail "warm compose output differs from cold"
+
+echo "cachecheck: editing @cndf (register rename: hash-changing, semantics-preserving)"
+awk '/^func @cndf\(/ { inside = 1 }
+     inside { gsub(/%/, "%rn_") }
+     inside && /^}/ { inside = 0 }
+     { print }' "$TMP/orig.tir" >"$TMP/edited.tir"
+cmp -s "$TMP/orig.tir" "$TMP/edited.tir" \
+    && fail "edit did not change the module text"
+
+echo "cachecheck: incremental re-run (only @cndf re-injects)"
+run "$TMP/inc.json" "$TMP/cache" "$TMP/edited.tir" "$TMP/inc.log"
+grep -q '^cache: 1 hit(s), 1 miss(es)$' "$TMP/inc.log" \
+    || fail "incremental run: want 1 hit + 1 miss, got: $(grep '^cache:' "$TMP/inc.log")"
+grep '^@cndf' "$TMP/inc.log" | grep -q 'MISS' \
+    || fail "@cndf was not re-injected after its edit"
+grep '^@main' "$TMP/inc.log" | grep -q 'HIT' \
+    || fail "@main did not replay from the cache"
+
+echo "cachecheck: from-scratch run of the edited module (fresh cache)"
+run "$TMP/scratch.json" "$TMP/cache-fresh" "$TMP/edited.tir" "$TMP/scratch.log"
+cmp "$TMP/inc.json" "$TMP/scratch.json" \
+    || fail "incremental compose differs from from-scratch (bit-identity broken)"
+
+echo "cachecheck: PASS"

@@ -112,8 +112,11 @@ STATE=$(sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' "$SPOOL/jobs/$JOB/state.json")
 [ "$STATE" = "queued" ] || fail "job state after drain is '$STATE', want 'queued'"
 echo "servercheck: server exited 143, job re-queued on disk"
 
+# The result cache must be off here: with it on, the clean comparison
+# run below would be answered from the resumed job's cached result, and
+# the bit-identity check would compare the result against itself.
 echo "servercheck: restarting server over the same spool (no chaos)"
-start_server
+start_server -result-cache=false
 
 echo "servercheck: attaching to the resumed job"
 "$TMP/fi" -remote "http://$ADDR" -job "$JOB" -trials-out "$TMP/resumed.jsonl" \
