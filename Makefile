@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck
+.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck prunecheck
 
 build:
 	$(GO) build ./...
@@ -42,15 +42,21 @@ doc:
 # run, edit one kernel function, re-run, and require that only the
 # edited function re-injected and the composed result byte-compares
 # with a from-scratch campaign (the cache/hashutil packages also run
-# under -race alongside the other concurrent tiers).
+# under -race alongside the other concurrent tiers, and the bitlive
+# pass runs under -race too — its Report is shared by campaign workers).
+# The prunecheck drill closes the loop on bit-liveness pruning: pruned
+# and unpruned campaigns through the real CLI, on both engines, must
+# report identical summaries and identical per-trial transcripts
+# (DESIGN.md §5i, scripts/prunecheck.sh).
 check: build doc
-	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/... ./internal/cache/... ./internal/hashutil/...
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/... ./internal/cache/... ./internal/hashutil/... ./internal/bitlive/...
 	$(GO) test -race -short ./internal/crosscheck/...
 	$(GO) run ./cmd/crosscheck -n 60 -seed 77 -kernels=false -engine decoded
 	$(MAKE) fuzz-smoke
 	$(GO) run ./cmd/fibench -programs pathfinder -n 300 -repeats 5 -max-overhead 0.03 -min-decoded-speedup 1.1 -out /dev/null
 	$(MAKE) servercheck
 	$(MAKE) cachecheck
+	$(MAKE) prunecheck
 
 # servercheck is the campaign server's kill drill; see
 # scripts/servercheck.sh for the exact choreography.
@@ -62,20 +68,30 @@ servercheck:
 cachecheck:
 	sh scripts/cachecheck.sh
 
+# prunecheck is the bit-liveness pruning drill: pruned vs unpruned
+# campaigns through the real CLI must be bit-identical; see
+# scripts/prunecheck.sh for the exact choreography.
+prunecheck:
+	sh scripts/prunecheck.sh
+
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep
 # fuzzing is manual: go test ./internal/crosscheck -fuzz <target>.
 fuzz-smoke:
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzInterpOracle -fuzztime 10s
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime 10s
+	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzBitliveSound -fuzztime 10s
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzCacheKeyCanonical -fuzztime 10s
 
-# bench measures the snapshot-replay and decoded campaign engines
-# against the legacy path plus the telemetry layer's overhead across all
-# 11 paper kernels (committed as BENCH_fi.json) and runs the campaign
-# benchmarks.
+# bench measures the snapshot-replay, decoded and pruned campaign
+# engines against the legacy path plus the telemetry layer's overhead
+# across all 11 paper kernels and the narrow-output kernels the pruning
+# pass targets (committed as BENCH_fi.json), and runs the campaign
+# benchmarks. The pruning gate requires a ≥1.2x equal-CI speedup on at
+# least 3 kernels (the narrow-output ones clear it; the paper kernels'
+# near-zero masked fractions are expected).
 bench:
-	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia -repeats 3 -out BENCH_fi.json
+	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia,rgb2gray,nibblepack,boxblur -repeats 3 -min-pruned-ci-speedup 1.2 -out BENCH_fi.json
 	$(GO) test -bench='BenchmarkCampaign' -benchmem .
 
 # bench-all runs the full benchmark harness (paper tables, ablations,

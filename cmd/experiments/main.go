@@ -5,8 +5,8 @@
 //	experiments [flags]
 //
 //	-run string      comma-separated experiments to run:
-//	                 table1,fig5,table2,fig6a,fig6b,fig7,fig8,fig9,inputs,ablations
-//	                 or "all" (default "all")
+//	                 table1,fig5,table2,fig6a,fig6b,fig7,fig8,fig9,inputs,
+//	                 ablations,pruning or "all" (default "all")
 //	-samples int     FI samples for overall SDC probabilities (default 3000)
 //	-perinstr int    FI samples per static instruction (default 100)
 //	-seed uint       deterministic seed (default 2018)
@@ -175,7 +175,7 @@ func run(ctx context.Context, args []string) error {
 	selected := map[string]bool{}
 	if *runList == "all" {
 		for _, n := range []string{"table1", "fig5", "table2", "fig6a", "fig6b",
-			"fig7", "fig8", "fig9", "inputs", "ablations"} {
+			"fig7", "fig8", "fig9", "inputs", "ablations", "pruning"} {
 			selected[n] = true
 		}
 	} else {
@@ -319,6 +319,19 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		stamp("ablations", start)
+	}
+	if selected["pruning"] {
+		start := time.Now()
+		rows, err := experiments.Pruning(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownPruning(w, rows)
+		} else {
+			experiments.RenderPruning(w, rows)
+		}
+		stamp("pruning", start)
 	}
 	return nil
 }

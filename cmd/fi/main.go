@@ -18,7 +18,7 @@
 // Usage:
 //
 //	fi -program pathfinder [-n 3000] [-seed 1] [-workers 4] [-per-instr]
-//	   [-engine legacy|decoded] [-snapshot-interval 2048]
+//	   [-engine legacy|decoded] [-snapshot-interval 2048] [-prune-bits]
 //	   [-checkpoint trials.jsonl] [-resume] [-retries 2] [-trial-timeout 30s]
 //	   [-metrics-out metrics.json] [-trace-out trace.jsonl] [-debug-addr :6060]
 //	fi -ir file.tir [...]
@@ -81,6 +81,7 @@ func run(args []string) (int, error) {
 	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial wall-clock watchdog on top of the instruction budget (0 = none)")
 	snapInterval := fs.Uint64("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that trials resume from (0 = legacy full re-execution)")
 	engineName := fs.String("engine", "legacy", "interpreter engine for the golden run and every trial: legacy or decoded")
+	pruneBits := fs.Bool("prune-bits", false, "skip injections into statically provably-masked bits, recording them benign without execution; results are bit-identical to an unpruned campaign (exact reweighting, see DESIGN.md §5i)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
@@ -151,6 +152,7 @@ func run(args []string) (int, error) {
 				SnapshotInterval: *snapInterval,
 				MaxRetries:       *retries,
 				TrialTimeoutMS:   trialTimeout.Milliseconds(),
+				PruneBits:        *pruneBits,
 			},
 		})
 	}
@@ -211,12 +213,17 @@ func run(args []string) (int, error) {
 		Trace:            trace,
 		OnProgress:       onProgress,
 		Engine:           engine,
+		PruneBits:        *pruneBits,
 	})
 	if err != nil {
 		return 1, err
 	}
 	fmt.Printf("golden run: %d dynamic instructions, activation space %d\n",
 		inj.GoldenDynInstrs(), inj.ActivationSpace())
+	if *pruneBits {
+		fmt.Printf("bit-liveness pruning: %.1f%% of activation-weighted bits provably masked\n",
+			inj.PrunedFraction()*100)
+	}
 	if *snapInterval > 0 {
 		fmt.Printf("snapshot replay: %d golden snapshots (interval %d)\n",
 			inj.Snapshots(), *snapInterval)
@@ -269,6 +276,9 @@ func run(args []string) (int, error) {
 			continue
 		}
 		fmt.Printf("  %-9s %6d  (%.2f%%)\n", o, res.Counts[o], res.Rate(o)*100)
+	}
+	if p := res.PrunedN(); p > 0 {
+		fmt.Printf("  %d of the benign trials were pruned statically (no execution)\n", p)
 	}
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n",
 		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.ClassifiedN())*100)

@@ -15,9 +15,11 @@
 //
 // Usage:
 //
-//	fibench [-programs pathfinder,nw,sad] [-n 400] [-seed 7] [-workers 4]
+//	fibench [-programs pathfinder,nw,sad,rgb2gray,nibblepack,boxblur]
+//	        [-n 400] [-seed 7] [-workers 4]
 //	        [-interval 2048] [-repeats 1] [-max-overhead 0]
-//	        [-min-decoded-speedup 0] [-out BENCH_fi.json]
+//	        [-min-decoded-speedup 0] [-min-pruned-ci-speedup 0]
+//	        [-out BENCH_fi.json]
 //
 // -out "-" writes to stdout. -repeats N times every campaign N times and
 // keeps the fastest run, damping scheduler noise on loaded machines. The
@@ -77,7 +79,19 @@ type result struct {
 	TrialsPerSecL     float64 `json:"legacy_trials_per_sec"`
 	TrialsPerSecS     float64 `json:"snapshot_trials_per_sec"`
 	TrialsPerSecD     float64 `json:"decoded_trials_per_sec"`
-	OutcomeSummary    string  `json:"outcomes"`
+	// PrunedMs times the decoded campaign re-run with bit-liveness
+	// pruning (-prune-bits); its transcript participates in the identity
+	// check, so the timing is only ever published for a bit-identical
+	// result. BitsPrunedPct is the activation-weighted share of the
+	// sampling space the analysis proves masked, and PrunedCISpeedup =
+	// 1/(1-pct/100) is the executed-trial multiplier at equal Wilson CI
+	// width — the honest speedup metric, independent of how cheap the
+	// skipped trials happened to be.
+	PrunedMs        float64 `json:"pruned_ms"`
+	TrialsPerSecP   float64 `json:"pruned_trials_per_sec"`
+	BitsPrunedPct   float64 `json:"bits_pruned_pct"`
+	PrunedCISpeedup float64 `json:"pruned_ci_speedup"`
+	OutcomeSummary  string  `json:"outcomes"`
 }
 
 func main() {
@@ -89,7 +103,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("fibench", flag.ContinueOnError)
-	programs := fs.String("programs", "pathfinder,nw,sad", "comma-separated benchmark names")
+	programs := fs.String("programs", "pathfinder,nw,sad,rgb2gray,nibblepack,boxblur", "comma-separated benchmark names")
 	n := fs.Int("n", 400, "injections per campaign")
 	seed := fs.Uint64("seed", 7, "deterministic seed (same for both paths)")
 	workers := fs.Int("workers", 4, "parallel injection workers")
@@ -97,6 +111,8 @@ func run(args []string) error {
 	repeats := fs.Int("repeats", 1, "measure each campaign this many times and keep the fastest")
 	maxOverhead := fs.Float64("max-overhead", 0, "fail if telemetry overhead exceeds this fraction (0 disables the gate)")
 	minDecoded := fs.Float64("min-decoded-speedup", 0, "fail if the geomean decoded-vs-snapshot speedup falls below this factor (0 disables the gate)")
+	minPrunedCI := fs.Float64("min-pruned-ci-speedup", 0, "fail unless at least -min-pruned-kernels programs reach this pruned equal-CI speedup (0 disables the gate)")
+	minPrunedKernels := fs.Int("min-pruned-kernels", 3, "with -min-pruned-ci-speedup: how many programs must clear the floor")
 	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,9 +132,10 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms speedup=%.2fx decoded-speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
-			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.DecodedMs,
-			r.Speedup, r.DecodedSpeedup, r.TelemetryOverhead*100, r.Identical)
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms pruned=%7.1fms speedup=%.2fx decoded-speedup=%.2fx pruned=%.1f%% ci-speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
+			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.DecodedMs, r.PrunedMs,
+			r.Speedup, r.DecodedSpeedup, r.BitsPrunedPct, r.PrunedCISpeedup,
+			r.TelemetryOverhead*100, r.Identical)
 		if !r.Identical {
 			return fmt.Errorf("%s: campaigns diverged between execution paths", name)
 		}
@@ -137,6 +154,24 @@ func run(args []string) error {
 	if *minDecoded > 0 && geomean < *minDecoded {
 		return fmt.Errorf("decoded speedup geomean %.2fx below the %.2fx floor",
 			geomean, *minDecoded)
+	}
+
+	// The pruning gate counts kernels, not a mean: pruning targets
+	// narrow-output workloads specifically, and the paper kernels'
+	// near-zero fractions are expected, not regressions.
+	if *minPrunedCI > 0 {
+		cleared := 0
+		for _, r := range results {
+			if r.PrunedCISpeedup >= *minPrunedCI {
+				cleared++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "pruned equal-CI speedup ≥ %.2fx on %d/%d kernels\n",
+			*minPrunedCI, cleared, len(results))
+		if cleared < *minPrunedKernels {
+			return fmt.Errorf("only %d kernels reach the %.2fx pruned equal-CI speedup floor (need %d)",
+				cleared, *minPrunedCI, *minPrunedKernels)
+		}
 	}
 
 	// Gate on the aggregate across programs — total fastest instrumented
@@ -265,6 +300,23 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		return result{}, err
 	}
 
+	// The pruned column re-runs the decoded campaign with bit-liveness
+	// pruning: provably-masked bits classify Benign without executing.
+	// Exact reweighting makes the transcript bit-identical, which the
+	// identity check below re-verifies on every bench run.
+	pruned, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: workers, SnapshotInterval: interval,
+		Engine: interp.EngineDecoded, PruneBits: true,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	pres, pruDur, err := timeCampaign(pruned, n, repeats)
+	if err != nil {
+		return result{}, err
+	}
+	prunedFrac := pruned.PrunedFraction()
+
 	// The overhead measurement runs its own single-worker pair: worker-
 	// pool scheduling jitter at campaign scale is several percent, far
 	// above the signal, while single-threaded runs are stable enough to
@@ -310,11 +362,16 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		Speedup:           legacyDur.Seconds() / snapDur.Seconds(),
 		DecodedSpeedup:    snapDur.Seconds() / decDur.Seconds(),
 		TelemetryOverhead: instDur.Seconds()/obareDur.Seconds() - 1,
-		Identical:         identical(lres, sres) && identical(sres, dres) && identical(sres, ires),
-		TrialsPerSecL:     float64(n) / legacyDur.Seconds(),
-		TrialsPerSecS:     float64(n) / snapDur.Seconds(),
-		TrialsPerSecD:     float64(n) / decDur.Seconds(),
-		OutcomeSummary:    summarize(lres),
+		Identical: identical(lres, sres) && identical(sres, dres) &&
+			identical(sres, ires) && identical(dres, pres),
+		TrialsPerSecL:   float64(n) / legacyDur.Seconds(),
+		TrialsPerSecS:   float64(n) / snapDur.Seconds(),
+		TrialsPerSecD:   float64(n) / decDur.Seconds(),
+		PrunedMs:        float64(pruDur.Microseconds()) / 1000,
+		TrialsPerSecP:   float64(n) / pruDur.Seconds(),
+		BitsPrunedPct:   prunedFrac * 100,
+		PrunedCISpeedup: 1 / (1 - prunedFrac),
+		OutcomeSummary:  summarize(lres),
 	}
 	return r, nil
 }

@@ -1,7 +1,8 @@
 // Package analysis provides control-flow analyses over IR functions:
 // dominator and post-dominator trees, natural-loop detection, control
 // dependence, and branch-probability mass propagation. The TRIDENT fc
-// sub-model is built on these.
+// sub-model is built on these. ANALYSIS.md §1 surveys the analyses and
+// their consumers; DESIGN.md §3 describes the fc sub-model they feed.
 package analysis
 
 import (

@@ -14,7 +14,8 @@
 //
 // Both are built on the same profile and def-use machinery as TRIDENT, so
 // the comparison isolates the modeling differences rather than
-// implementation differences.
+// implementation differences. DESIGN.md §4 indexes the Fig. 9
+// experiment these baselines feed.
 package baseline
 
 import (

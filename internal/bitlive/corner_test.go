@@ -1,0 +1,176 @@
+package bitlive_test
+
+import (
+	"testing"
+
+	"trident/internal/bitlive"
+	"trident/internal/ir"
+)
+
+// harness builds a one-function module around the instruction chain
+// emitted by mk, analyzes it, and returns the report. mk receives a
+// builder positioned in the entry block plus a non-constant i64 source
+// value (a load, so the analysis cannot fold it) and must emit its own
+// sinks; the harness terminates the block.
+func harness(t *testing.T, mk func(b *ir.Builder, x *ir.Instr)) *bitlive.Report {
+	t.Helper()
+	m := ir.NewModule("corner")
+	g := m.AddGlobal("g", ir.I64, 1, []uint64{0x5A})
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+	x := b.Load(ir.I64, b.Gep(ir.I64, g, ir.ConstInt(ir.I64, 0)))
+	mk(b, x)
+	b.Ret(nil)
+	f.Renumber()
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return bitlive.Analyze(m)
+}
+
+func checkLive(t *testing.T, rep *bitlive.Report, in *ir.Instr, want uint64, what string) {
+	t.Helper()
+	if got := rep.Live(in); got != want {
+		t.Errorf("%s: live %#x, want %#x (masked %#x)", what, got, want, rep.Masked(in))
+	}
+}
+
+// TestShiftByWidthCorners pins the modulo-width reduction of shift
+// amounts: a constant amount of exactly the register width is the
+// identity shift (not zero, not undefined), amounts above the width
+// wrap, and variable amounts keep only their low log2(width) bits live.
+func TestShiftByWidthCorners(t *testing.T) {
+	harnessCheck := func(name string, mk func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64)) {
+		t.Run(name, func(t *testing.T) {
+			var in *ir.Instr
+			var want uint64
+			rep := harness(t, func(b *ir.Builder, x *ir.Instr) {
+				in, want = mk(b, x)
+			})
+			checkLive(t, rep, in, want, name)
+		})
+	}
+	harnessCheck("shl-by-64-is-identity", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+		b.Print(b.Shl(x, ir.ConstInt(ir.I64, 64)))
+		return x, ^uint64(0)
+	})
+	harnessCheck("lshr-by-64-is-identity", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+		b.Print(b.LShr(x, ir.ConstInt(ir.I64, 64)))
+		return x, ^uint64(0)
+	})
+	harnessCheck("shl-by-68-wraps-to-4", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+		b.Print(b.Shl(x, ir.ConstInt(ir.I64, 68)))
+		return x, ^uint64(0) >> 4 // top 4 bits shift off the end
+	})
+	harnessCheck("ashr-by-width-keeps-sign-demand", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+		b.Print(b.AShr(x, ir.ConstInt(ir.I64, 64)))
+		return x, ^uint64(0)
+	})
+	harnessCheck("variable-amount-low-6-bits", func(b *ir.Builder, x *ir.Instr) (*ir.Instr, uint64) {
+		amt := b.And(x, ir.ConstInt(ir.I64, 0xFF)) // non-const amount
+		b.Print(b.Shl(ir.ConstInt(ir.I64, 1), amt))
+		// Of the amount register, only bits 0..5 reach the modulo-64
+		// reduction; the And above would allow 8, the shift keeps 6.
+		return amt, 0x3F
+	})
+}
+
+// TestICmpConstPartialOverlap pins the constant-comparison rule: in
+// `v <u c`, flipping bit j of v moves it by 2^j, which cannot cross a
+// boundary c that 2^(j+1) divides — so exactly the low ctz(c) bits are
+// masked, and predicates reduce to that primitive through complements,
+// successors, operand swaps, and the signed-to-unsigned sign-bit XOR.
+func TestICmpConstPartialOverlap(t *testing.T) {
+	cases := []struct {
+		name string
+		pred ir.Predicate
+		c    int64
+		swap bool // constant on the left-hand side
+		want uint64
+	}{
+		{"ult-8-masks-low-3", ir.PredULT, 8, false, ^uint64(0x7)},
+		{"ult-12-masks-low-2", ir.PredULT, 12, false, ^uint64(0x3)},
+		{"ult-1-keeps-all", ir.PredULT, 1, false, ^uint64(0)},
+		{"ule-7-is-ult-8", ir.PredULE, 7, false, ^uint64(0x7)},
+		{"uge-16-masks-low-4", ir.PredUGE, 16, false, ^uint64(0xF)},
+		{"ugt-on-left-swaps", ir.PredUGT, 8, true, ^uint64(0x7)}, // 8 >u v ≡ v <u 8
+		{"eq-keeps-all", ir.PredEQ, 8, false, ^uint64(0)},
+		{"slt-0-keeps-sign-only", ir.PredSLT, 0, false, 1 << 63},
+		{"sge-0-keeps-sign-only", ir.PredSGE, 0, false, 1 << 63},
+		{"sle-intmax-constant-true", ir.PredSLE, 0x7FFFFFFFFFFFFFFF, false, 0},
+		{"slt-min-constant-false", ir.PredSLT, -0x8000000000000000, false, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var x *ir.Instr
+			rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+				x = src
+				c := ir.ConstInt(ir.I64, tc.c)
+				if tc.swap {
+					b.Print(b.ICmp(tc.pred, c, x))
+				} else {
+					b.Print(b.ICmp(tc.pred, x, c))
+				}
+			})
+			checkLive(t, rep, x, tc.want, tc.name)
+		})
+	}
+}
+
+// TestSExtAndNegativeConstCorners pins sign-extension demand and the
+// signed-remainder rule for negative constants, whose IR encoding is a
+// sign-extended two's-complement pattern.
+func TestSExtAndNegativeConstCorners(t *testing.T) {
+	t.Run("srem-by-minus-16", func(t *testing.T) {
+		var x *ir.Instr
+		rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+			x = src
+			// v % -16 (truncated semantics) depends on v's low 4 bits and
+			// its sign, exactly like v % 16.
+			b.Print(b.SRem(x, ir.ConstInt(ir.I64, -16)))
+		})
+		checkLive(t, rep, x, 0x800000000000000F, "srem-by-minus-16")
+	})
+	t.Run("srem-by-minus-1-is-constant-zero", func(t *testing.T) {
+		var x *ir.Instr
+		rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+			x = src
+			b.Print(b.SRem(x, ir.ConstInt(ir.I64, -1)))
+		})
+		checkLive(t, rep, x, 0, "srem-by-minus-1")
+	})
+	t.Run("sext-high-demand-folds-to-sign-bit", func(t *testing.T) {
+		var narrow *ir.Instr
+		rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+			narrow = b.Trunc(src, ir.I8)
+			s := b.SExt(narrow, ir.I64)
+			// Demand only bit 40 of the extension: for a negative i8 value
+			// that bit is a copy of the sign, so exactly bit 7 of the
+			// source must stay live.
+			b.Print(b.And(s, ir.ConstInt(ir.I64, 1<<40)))
+		})
+		checkLive(t, rep, narrow, 0x80, "sext-high-demand")
+	})
+	t.Run("sext-low-demand-passes-through", func(t *testing.T) {
+		var narrow *ir.Instr
+		rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+			narrow = b.Trunc(src, ir.I8)
+			s := b.SExt(narrow, ir.I64)
+			b.Print(b.And(s, ir.ConstInt(ir.I64, 0x3F)))
+		})
+		checkLive(t, rep, narrow, 0x3F, "sext-low-demand")
+	})
+	t.Run("mul-by-negative-const-has-no-trailing-zeros", func(t *testing.T) {
+		var x *ir.Instr
+		rep := harness(t, func(b *ir.Builder, src *ir.Instr) {
+			x = src
+			// -penalty-style scaling (nw.go): -4 = ...11100, ctz 2: the
+			// operand's influence starts 2 bits up even for negatives.
+			y := b.Mul(x, ir.ConstInt(ir.I64, -4))
+			b.Print(b.Trunc(y, ir.I8))
+		})
+		checkLive(t, rep, x, 0x3F, "mul-by-minus-4")
+	})
+}

@@ -52,6 +52,14 @@ type FuncKey struct {
 	Seed uint64 `json:"seed"`
 	// N is the number of trials apportioned to this function.
 	N int `json:"n"`
+	// Prune is the hex hash of the static bit-liveness masks in effect
+	// for this function (internal/bitlive, DESIGN.md §5i), empty when
+	// pruning is off. Pruned and unpruned campaigns classify every trial
+	// identically when the analysis is sound, but the analysis itself
+	// can change across versions — keying on the mask hash means a
+	// rule change invalidates exactly the entries whose masks moved,
+	// and unpruned keys stay byte-identical to pre-pruning releases.
+	Prune string `json:"prune,omitempty"`
 	// Stamp pins the golden-run behavior this profile was measured under.
 	Stamp Stamp `json:"stamp"`
 }

@@ -13,7 +13,9 @@
 // checksum over its key and payload bytes, and a torn or tampered entry
 // (the SIGKILL-mid-write case) is detected, reported through the
 // cache.torn counter, and treated as a miss, mirroring the checkpoint
-// log's torn-tail tolerance.
+// log's torn-tail tolerance. DESIGN.md §5h covers the compositional
+// campaign built on this store; §5i covers the pruning field of its
+// keys.
 package cache
 
 import (

@@ -4,6 +4,8 @@
 // variants the paper evaluates (fs alone, fs+fc). Given a profile of one
 // fault-free execution, the model predicts the SDC probability of every
 // instruction and of the whole program without fault injection.
+// DESIGN.md §3 specifies each sub-model and the refinements beyond the
+// paper.
 package core
 
 import (

@@ -18,7 +18,10 @@
 // programs outside the exercised corpus, or that the shared IR-level
 // value helpers (bit truncation, sign extension, float codecs) are
 // themselves correct — those are common to both interpreters by design
-// and pinned by their own unit tests instead.
+// and pinned by their own unit tests instead. DESIGN.md §5e documents
+// the architecture and the bugs the harness has caught; the
+// exhaustive-injection pruning oracle here is specified in DESIGN.md
+// §5i.
 package crosscheck
 
 import (

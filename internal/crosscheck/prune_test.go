@@ -1,0 +1,152 @@
+package crosscheck
+
+import (
+	"context"
+	"testing"
+
+	"trident/internal/fault"
+	"trident/internal/interp"
+	"trident/internal/irgen"
+	"trident/internal/progs"
+)
+
+// TestPruneSoundKernels is the BEC soundness oracle over the full
+// kernel suite on both engines: every (instruction, bit) the liveness
+// analysis prunes is actually injected (first, last, and a middle
+// instance of each) and must classify Benign. A failure here means a
+// transfer function in internal/bitlive is unsound and pruned
+// campaigns would be silently biased.
+func TestPruneSoundKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive injection sweep")
+	}
+	engines := map[string]interp.Engine{
+		"legacy":  interp.EngineLegacy,
+		"decoded": interp.EngineDecoded,
+	}
+	for engName, engine := range engines {
+		engName, engine := engName, engine
+		t.Run(engName, func(t *testing.T) {
+			t.Parallel()
+			for _, p := range progs.Extended() {
+				p := p
+				t.Run(p.Name, func(t *testing.T) {
+					t.Parallel()
+					ms, trials, err := CheckPruneSound(p.Name, p.Build(), PruneSoundOptions{
+						Engine:          engine,
+						InstancesPerBit: 3,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range ms {
+						t.Errorf("%s", d)
+					}
+					t.Logf("%s/%s: %d pruned-bit injections, all Benign", engName, p.Name, trials)
+				})
+			}
+		})
+	}
+}
+
+// TestPrunedCampaignMatchesUnpruned is the exact-reweighting
+// differential: the same campaign run with and without PruneBits must
+// produce the identical trial transcript — same specs in the same
+// order, same outcomes, same counts, rates, and Wilson CIs — with the
+// only difference being which Benign trials carry the Pruned flag.
+// This is what makes pruned numbers citable as full-activation-space
+// numbers rather than estimates over a reduced space.
+func TestPrunedCampaignMatchesUnpruned(t *testing.T) {
+	for _, name := range []string{"rgb2gray", "nibblepack", "boxblur", "sad"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := progs.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 400
+			run := func(pruneBits bool) *fault.CampaignResult {
+				inj, err := fault.New(p.Build(), fault.Options{
+					Seed:             42,
+					PruneBits:        pruneBits,
+					SnapshotInterval: 2048,
+					Engine:           interp.EngineDecoded,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := inj.CampaignRandom(context.Background(), n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			plain, pruned := run(false), run(true)
+			if plain.N() != pruned.N() {
+				t.Fatalf("trial counts differ: %d vs %d", plain.N(), pruned.N())
+			}
+			for i := range plain.Trials {
+				a, b := plain.Trials[i], pruned.Trials[i]
+				// The two campaigns build separate module instances, so specs
+				// are compared by stable identity (position), not pointer.
+				if a.Instr.Pos() != b.Instr.Pos() || a.Instance != b.Instance || a.Bit != b.Bit {
+					t.Fatalf("trial %d sampled different spec: pruning must not touch the sampling stream", i)
+				}
+				if a.Outcome != b.Outcome {
+					t.Errorf("trial %d (%s bit %d): outcome %s unpruned vs %s pruned",
+						i, a.Instr.Pos(), a.Bit, a.Outcome, b.Outcome)
+				}
+				if b.Pruned && b.Outcome != fault.Benign {
+					t.Errorf("trial %d pruned but outcome %s", i, b.Outcome)
+				}
+				if a.Pruned {
+					t.Errorf("trial %d carries Pruned flag in an unpruned campaign", i)
+				}
+			}
+			for _, o := range fault.AllOutcomes {
+				if plain.Counts[o] != pruned.Counts[o] {
+					t.Errorf("count[%s]: %d unpruned vs %d pruned", o, plain.Counts[o], pruned.Counts[o])
+				}
+			}
+			if plain.SDCProb() != pruned.SDCProb() || plain.ErrorBar95() != pruned.ErrorBar95() {
+				t.Errorf("rate/CI drift: SDC %v±%v unpruned vs %v±%v pruned",
+					plain.SDCProb(), plain.ErrorBar95(), pruned.SDCProb(), pruned.ErrorBar95())
+			}
+			if pruned.PrunedN() == 0 {
+				t.Errorf("campaign pruned no trials on %s; differential is vacuous", name)
+			}
+			t.Logf("%s: %d/%d trials pruned, identical tallies", name, pruned.PrunedN(), pruned.N())
+		})
+	}
+}
+
+// FuzzBitliveSound feeds random irgen programs to the soundness oracle
+// with exhaustive instance coverage: every dynamic instance of every
+// pruned bit is injected and must be Benign. Random programs reach
+// operand shapes (shift-by-width, compare overflow corners, negative
+// sign-extended constants) the kernels never exercise.
+func FuzzBitliveSound(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		m := irgen.Generate(irgen.Config{Seed: seed})
+		if moduleTooBigToRun(m) {
+			return
+		}
+		// Pre-screen: the oracle needs a terminating, trap-free golden
+		// run of tractable length.
+		res, err := interp.Run(m, interp.Options{MaxDynInstrs: fuzzRunBudget})
+		if err != nil || res.Outcome != interp.OutcomeOK || res.DynResults == 0 {
+			return
+		}
+		ms, _, err := CheckPruneSound("fuzz", m, PruneSoundOptions{Exhaustive: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, d := range ms {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	})
+}

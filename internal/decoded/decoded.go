@@ -36,6 +36,8 @@
 // A Program is immutable after Compile and safe for concurrent use by
 // any number of executions; it holds no run state. Campaign engines
 // compile once per module and share the Program across all trials.
+// DESIGN.md §5f covers the engine contract; ANALYSIS.md §3 places this
+// lowering within the static-analysis surface.
 package decoded
 
 import "trident/internal/ir"

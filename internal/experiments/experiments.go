@@ -7,6 +7,8 @@
 // Each experiment returns structured rows; the cmd/experiments binary and
 // the repository benchmarks render them. Per-program state (profile,
 // injector, models) is cached so experiment suites do not redo work.
+// DESIGN.md §4 maps every table and figure to its driver here; the
+// pruning experiment is specified in DESIGN.md §5i.
 package experiments
 
 import (

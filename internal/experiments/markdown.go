@@ -160,3 +160,20 @@ func MarkdownInputs(w io.Writer, rows []InputRow) {
 	}
 	fmt.Fprintln(w)
 }
+
+// MarkdownPruning renders the bit-liveness pruning table as markdown.
+func MarkdownPruning(w io.Writer, rows []PruningRow) {
+	fmt.Fprintln(w, "### Bit-liveness pruning (DESIGN.md §5i)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | static masked | weighted masked | pruned/total | CI speedup | unpruned (s) | pruned (s) |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %s | %d/%d | %.2fx | %.3f | %.3f |\n",
+			r.Name, pct(r.StaticFrac), pct(r.ActFrac),
+			r.PrunedTrials, r.Trials, r.SpeedupAtCI, r.UnprunedSeconds, r.PrunedSeconds)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Pruned campaigns reproduce unpruned tallies bit for bit; the CI speedup"+
+		" column is the executed-trial multiplier at equal Wilson interval width, 1/(1−weighted).")
+	fmt.Fprintln(w)
+}

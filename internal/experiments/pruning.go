@@ -1,0 +1,114 @@
+package experiments
+
+// This file measures the bit-liveness pruning pass (internal/bitlive,
+// DESIGN.md §5i) as an experiment: for every workload — the 11 paper
+// kernels plus the narrow-output kernels the pass targets — it reports
+// the static and activation-weighted masked fractions, runs the same
+// campaign with and without pruning, and verifies on the fly that the
+// two transcripts tally identically (the exact-reweighting contract).
+// Because pruned trials classify without executing, a pruned campaign
+// reaches the same Wilson CI width with 1/(1-f) fewer executed trials,
+// where f is the activation-weighted masked fraction; the table reports
+// that executed-trial saving alongside measured wall-clock.
+
+import (
+	"fmt"
+	"time"
+
+	"trident/internal/bitlive"
+	"trident/internal/fault"
+	"trident/internal/progs"
+)
+
+// PruningRow is one workload's pruning measurement.
+type PruningRow struct {
+	Name string
+	// StaticFrac is the masked share of all static result bits.
+	StaticFrac float64
+	// ActFrac is the activation-weighted masked fraction — the share of
+	// the campaign's sampling space that never executes under pruning.
+	ActFrac float64
+	// PrunedTrials / Trials is the measured split of the campaign.
+	PrunedTrials int
+	Trials       int
+	// SpeedupAtCI is the executed-trial multiplier at equal CI width:
+	// 1/(1-ActFrac).
+	SpeedupAtCI float64
+	// UnprunedSeconds and PrunedSeconds are measured campaign wall times.
+	UnprunedSeconds float64
+	PrunedSeconds   float64
+}
+
+// Pruning measures the pruning pass over the extended workload set (the
+// paper kernels keep their honestly-low fractions; the narrow-output
+// kernels are where the pass pays). Unless cfg.Programs restricts the
+// set, all registered workloads are measured.
+func Pruning(cfg Config) ([]PruningRow, error) {
+	cfg = cfg.withDefaults()
+	names := cfg.Programs
+	if len(names) == len(progs.All()) {
+		// Default program set: widen to the extended registry, which is
+		// the pruning pass's intended coverage.
+		names = nil
+		for _, p := range progs.Extended() {
+			names = append(names, p.Name)
+		}
+	}
+	rows := make([]PruningRow, 0, len(names))
+	for _, name := range names {
+		p, err := progs.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := pruneOne(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("pruning/%s: %w", name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func pruneOne(cfg Config, p progs.Program) (*PruningRow, error) {
+	run := func(pruneBits bool) (*fault.Injector, *fault.CampaignResult, float64, error) {
+		m := p.Build()
+		opts := cfg.faultOptions(cfg.Seed)
+		opts.PruneBits = pruneBits
+		inj, err := fault.New(m, opts)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		start := time.Now()
+		res, err := inj.CampaignRandom(cfg.ctx(), cfg.Samples)
+		return inj, res, time.Since(start).Seconds(), err
+	}
+	_, plain, plainSec, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	injPruned, pruned, prunedSec, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	// Exact-reweighting gate: a drifting tally means the table would be
+	// reporting a biased estimator, so fail loudly instead.
+	for _, o := range fault.AllOutcomes {
+		if plain.Counts[o] != pruned.Counts[o] {
+			return nil, fmt.Errorf("pruned campaign drifted: count[%s] %d vs %d",
+				o, pruned.Counts[o], plain.Counts[o])
+		}
+	}
+	m := p.Build()
+	static := bitlive.Analyze(m).ModuleStats(m).Fraction()
+	f := injPruned.PrunedFraction()
+	return &PruningRow{
+		Name:            p.Name,
+		StaticFrac:      static,
+		ActFrac:         f,
+		PrunedTrials:    pruned.PrunedN(),
+		Trials:          pruned.N(),
+		SpeedupAtCI:     1 / (1 - f),
+		UnprunedSeconds: plainSec,
+		PrunedSeconds:   prunedSec,
+	}, nil
+}

@@ -127,6 +127,20 @@ func RenderFig9(w io.Writer, res *Fig9Result) {
 		pct(res.MAETrident), pct(res.MAEEPVF), pct(res.MAEPVF))
 }
 
+// RenderPruning writes the bit-liveness pruning table.
+func RenderPruning(w io.Writer, rows []PruningRow) {
+	fmt.Fprintln(w, "Bit-liveness pruning (DESIGN.md §5i): identical results, fewer executed trials")
+	fmt.Fprintf(w, "%-14s %10s %10s %14s %12s %12s %12s\n",
+		"Benchmark", "static", "weighted", "pruned/total", "CI speedup", "unpruned(s)", "pruned(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10s %10s %8d/%-5d %11.2fx %12.3f %12.3f\n",
+			r.Name, pct(r.StaticFrac), pct(r.ActFrac),
+			r.PrunedTrials, r.Trials, r.SpeedupAtCI, r.UnprunedSeconds, r.PrunedSeconds)
+	}
+	fmt.Fprintln(w, "static: masked share of static result bits; weighted: activation-weighted share")
+	fmt.Fprintln(w, "CI speedup: executed-trial multiplier at equal Wilson CI width, 1/(1-weighted)")
+}
+
 // RenderSeparator writes a section break.
 func RenderSeparator(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 100))

@@ -64,6 +64,21 @@ type CampaignResult struct {
 // N returns the number of trials.
 func (c *CampaignResult) N() int { return len(c.Trials) }
 
+// PrunedN returns the number of trials classified Benign by static
+// bit-liveness pruning instead of execution (0 unless the injector ran
+// with Options.PruneBits). Pruned trials are full members of the
+// campaign: they are included in N, ClassifiedN, Counts[Benign], and
+// every rate and CI.
+func (c *CampaignResult) PrunedN() int {
+	n := 0
+	for _, tr := range c.Trials {
+		if tr.Pruned {
+			n++
+		}
+	}
+	return n
+}
+
 // ClassifiedN returns the number of trials that produced a program-level
 // classification (everything except Errored).
 func (c *CampaignResult) ClassifiedN() int { return len(c.Trials) - c.Counts[Errored] }
@@ -154,6 +169,19 @@ func (inj *Injector) runTrial(ctx context.Context, spec trialSpec) (tr Injection
 		}()
 	}
 	tr = Injection{Instr: spec.instr, Instance: spec.instance, Bit: spec.bit}
+	// Bit-liveness pruning: a provably-masked bit cannot change any
+	// observable, so the trial's outcome is Benign by construction and
+	// execution is skipped. The spec keeps its slot in the sampling
+	// stream, which is what makes the reweighting exact: tallies and CIs
+	// still range over the full activation space.
+	if inj.isPruned(spec) {
+		tr.Outcome = Benign
+		tr.Pruned = true
+		if mt := inj.met; mt != nil {
+			mt.pruned.Inc()
+		}
+		return tr, nil, false
+	}
 	attempts := 1 + inj.opts.MaxRetries
 	if attempts < 1 {
 		attempts = 1
@@ -268,6 +296,12 @@ launch:
 	for i, spec := range specs {
 		if ck != nil {
 			if tr, terr, ok := ck.replay(spec); ok {
+				// The Pruned flag is not persisted in checkpoint records;
+				// recompute it so resumed campaigns report the same pruned
+				// tally as uninterrupted ones. (A checkpoint written without
+				// pruning replays cleanly under pruning and vice versa: the
+				// soundness guarantee makes both classifications Benign.)
+				tr.Pruned = tr.Outcome == Benign && inj.isPruned(spec)
 				res.Trials[i] = tr
 				mu.Lock()
 				if terr != nil {

@@ -172,6 +172,10 @@ func (inj *Injector) sampleSection(sec *funcSection, n int) []trialSpec {
 
 // funcKey builds the content address of one function's campaign section.
 func (inj *Injector) funcKey(sec *funcSection, n int) cache.FuncKey {
+	prune := ""
+	if inj.prune != nil {
+		prune = hashutil.Hex(inj.prune.FuncHash(sec.fn))
+	}
 	return cache.FuncKey{
 		Kind:       cache.FuncProfileKind,
 		Func:       sec.fn.Name,
@@ -180,6 +184,7 @@ func (inj *Injector) funcKey(sec *funcSection, n int) cache.FuncKey {
 		HangFactor: inj.opts.HangFactor,
 		Seed:       inj.opts.Seed,
 		N:          n,
+		Prune:      prune,
 		Stamp: cache.Stamp{
 			GoldenOutput: hashutil.Hex(hashutil.Output(inj.goldenOutput)),
 			GoldenDyn:    inj.goldenDyn,

@@ -6,16 +6,22 @@
 // Faults are only injected into executed register-writing instructions, so
 // every injected fault is activated, matching the paper's definition of
 // SDC probability as conditional on activation.
+//
+// DESIGN.md §5–§5c cover the fault model, campaign lifecycle and the
+// snapshot-replay engine; §5h the compositional cache; §5i the
+// bit-liveness pruning behind Options.PruneBits.
 package fault
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	mbits "math/bits"
 	"sort"
 	"sync"
 	"time"
 
+	"trident/internal/bitlive"
 	"trident/internal/decoded"
 	"trident/internal/hashutil"
 	"trident/internal/interp"
@@ -93,6 +99,13 @@ type Injection struct {
 	Bit int
 	// Outcome classifies the run.
 	Outcome Outcome
+	// Pruned marks a trial that was classified Benign without execution
+	// because the static bit-liveness analysis (internal/bitlive) proved
+	// the flipped bit masked. Pruned trials keep their slot in the
+	// sampling stream, so pruned campaigns remain trial-for-trial
+	// comparable with unpruned ones; the exhaustive oracle in
+	// internal/crosscheck verifies the claim by executing such bits.
+	Pruned bool
 	// CrashLatency is the number of dynamic instructions executed between
 	// the injection and the trap, for Crash outcomes (0 otherwise) — the
 	// quantity behind long-latency-crash characterizations.
@@ -147,6 +160,17 @@ type Options struct {
 	// golden run, the snapshot-capture pass and each campaign, and one
 	// event per errored trial. Nil disables tracing.
 	Trace *telemetry.Trace
+	// PruneBits enables static bit-liveness pruning (internal/bitlive,
+	// DESIGN.md §5i): campaigns classify trials whose flipped bit is
+	// provably masked as Benign without executing them. Sampling is
+	// unchanged — pruned trials occupy the same slots in the same
+	// deterministic stream — so outcome tallies, rates, and Wilson CIs
+	// cover the full activation space and are bit-identical in
+	// expectation to unpruned runs (exactly identical under the
+	// soundness guarantee, which the crosscheck oracle enforces).
+	// Inject/InjectDetail never prune, so single trials — and the
+	// oracle — always execute.
+	PruneBits bool
 	// Engine selects the interpreter execution engine for the golden run,
 	// the snapshot-capture pass and every trial. The zero value is the
 	// legacy engine. With interp.EngineDecoded the injector lowers the
@@ -204,6 +228,10 @@ type Injector struct {
 	// Nil on the legacy engine.
 	prog *decoded.Program
 
+	// prune is the static bit-liveness report used to skip provably-
+	// masked trials; nil unless Options.PruneBits is set.
+	prune *bitlive.Report
+
 	// met is the pre-resolved metric set (nil when Options.Metrics is
 	// nil), so trial workers record through atomics only.
 	met *campaignMetrics
@@ -231,6 +259,9 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 	inj := &Injector{module: m, opts: opts, execCount: make(map[*ir.Instr]uint64)}
 	inj.moduleHash = hashutil.Module(m)
 	inj.met = newCampaignMetrics(opts.Metrics)
+	if opts.PruneBits {
+		inj.prune = bitlive.Analyze(m)
+	}
 	if opts.Engine == interp.EngineDecoded {
 		inj.prog = interp.CompileDecoded(m, opts.Metrics)
 	}
@@ -579,4 +610,36 @@ func randomBit(r *rng, in *ir.Instr) int {
 		return 0
 	}
 	return int(r.intn(uint64(w)))
+}
+
+// PruneReport returns the static bit-liveness report, or nil when
+// Options.PruneBits is off.
+func (inj *Injector) PruneReport() *bitlive.Report { return inj.prune }
+
+// isPruned reports whether a campaign trial spec lands on a provably-
+// masked bit and can be classified Benign without execution.
+func (inj *Injector) isPruned(spec trialSpec) bool {
+	return inj.prune != nil && inj.prune.MaskedBit(spec.instr, spec.bit)
+}
+
+// PrunedFraction returns the expected share of uniform activation-space
+// trials that bit-liveness pruning skips: the golden-execution-weighted
+// mean of masked-bits/width over all injectable targets. The CI-equal
+// trial saving of a pruned campaign is 1/(1-PrunedFraction) — this is
+// the `bits_pruned_pct` column in BENCH_fi.json. Returns 0 when
+// pruning is off.
+func (inj *Injector) PrunedFraction() float64 {
+	if inj.prune == nil || inj.total == 0 {
+		return 0
+	}
+	var weighted float64
+	for _, in := range inj.targets {
+		w := in.Type.Bits()
+		if w == 0 {
+			continue
+		}
+		masked := mbits.OnesCount64(inj.prune.Masked(in))
+		weighted += float64(inj.execCount[in]) * float64(masked) / float64(w)
+	}
+	return weighted / float64(inj.total)
 }

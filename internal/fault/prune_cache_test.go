@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"context"
+	"testing"
+
+	"trident/internal/cache"
+	"trident/internal/progs"
+)
+
+// TestCompositionalPruneKeySeparation fences the cache-key interaction of
+// bit-liveness pruning (DESIGN.md §5i): pruned and unpruned campaigns
+// must never share cache entries, because a pruned profile's Pruned
+// flags are meaningless to an unpruned reader and — more importantly — a
+// bitlive rule change must invalidate pruned entries without touching
+// unpruned ones. The FuncKey.Prune field carries the per-function mask
+// hash; this test proves the separation both ways and that the pruned
+// cache path still reproduces the unpruned tallies exactly.
+func TestCompositionalPruneKeySeparation(t *testing.T) {
+	p, err := progs.ByName("rgb2gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	run := func(pruneBits bool) *CompositionalResult {
+		inj, err := New(p.Build(), Options{Seed: 42, PruneBits: pruneBits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := inj.CampaignCompositional(context.Background(), n, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Populate with an unpruned campaign.
+	plain := run(false)
+	if plain.Hits != 0 {
+		t.Fatalf("fresh store produced %d hits", plain.Hits)
+	}
+
+	// The same campaign with pruning on must miss everywhere: the Prune
+	// key field separates the namespaces.
+	pruned1 := run(true)
+	if pruned1.Hits != 0 {
+		t.Errorf("pruned campaign hit %d unpruned cache entries", pruned1.Hits)
+	}
+
+	// Pruned-to-pruned replays fully, and unpruned entries survive.
+	pruned2 := run(true)
+	if pruned2.Hits != len(pruned2.Funcs) || pruned2.Misses != 0 {
+		t.Errorf("pruned replay: hits=%d misses=%d over %d funcs",
+			pruned2.Hits, pruned2.Misses, len(pruned2.Funcs))
+	}
+	plain2 := run(false)
+	if plain2.Hits != len(plain2.Funcs) {
+		t.Errorf("unpruned replay after pruned runs: hits=%d over %d funcs",
+			plain2.Hits, len(plain2.Funcs))
+	}
+
+	// Exact reweighting holds through the cache path: composed tallies,
+	// rates, and intervals agree across all four runs.
+	for _, res := range []*CompositionalResult{pruned1, pruned2, plain2} {
+		for o, c := range plain.Composed.Counts {
+			if res.Composed.Counts[o] != c {
+				t.Errorf("count[%s]: %d vs unpruned %d", o, res.Composed.Counts[o], c)
+			}
+		}
+		if res.Composed.SDC != plain.Composed.SDC ||
+			res.Composed.SDCLo != plain.Composed.SDCLo ||
+			res.Composed.SDCHi != plain.Composed.SDCHi {
+			t.Errorf("composed SDC drift: %v [%v,%v] vs unpruned %v [%v,%v]",
+				res.Composed.SDC, res.Composed.SDCLo, res.Composed.SDCHi,
+				plain.Composed.SDC, plain.Composed.SDCLo, plain.Composed.SDCHi)
+		}
+	}
+
+	// The pruned replay's merged transcript matches the pruned live run
+	// trial for trial.
+	m1, err := pruned1.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := pruned2.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.N() != m2.N() {
+		t.Fatalf("merged N: %d live vs %d replay", m1.N(), m2.N())
+	}
+	for i := range m1.Trials {
+		a, b := m1.Trials[i], m2.Trials[i]
+		if a.Instr.Pos() != b.Instr.Pos() || a.Instance != b.Instance ||
+			a.Bit != b.Bit || a.Outcome != b.Outcome {
+			t.Fatalf("trial %d differs between pruned live and pruned replay", i)
+		}
+	}
+}

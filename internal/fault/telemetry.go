@@ -105,6 +105,7 @@ type campaignMetrics struct {
 	replayed  *telemetry.Counter // trials satisfied from a checkpoint log
 	attempts  *telemetry.Counter // trial attempts (first tries + retries)
 	retries   *telemetry.Counter // attempts beyond each trial's first
+	pruned    *telemetry.Counter // trials skipped by static bit-liveness pruning
 
 	replaySnap  *telemetry.Counter // trials resumed from a golden snapshot
 	replayCold  *telemetry.Counter // trials interpreted from instruction 0
@@ -133,6 +134,7 @@ func newCampaignMetrics(reg *telemetry.Registry) *campaignMetrics {
 		replayed:    reg.Counter("fi.trials.replayed"),
 		attempts:    reg.Counter("fi.trials.attempts"),
 		retries:     reg.Counter("fi.trials.retries"),
+		pruned:      reg.Counter("fi.trials.pruned"),
 		replaySnap:  reg.Counter("fi.replay.snapshot"),
 		replayCold:  reg.Counter("fi.replay.cold"),
 		savedInstrs: reg.Counter("fi.replay.saved_instrs"),

@@ -11,7 +11,8 @@
 // they print identically, which makes the hashes content addresses —
 // stable across process restarts, reorderable in maps, and invariant
 // under print→parse round trips (pinned by the cache-key stability suite
-// and the FuzzCacheKeyCanonical fuzz target).
+// and the FuzzCacheKeyCanonical fuzz target). DESIGN.md §5h lists every
+// cache key built from these helpers.
 package hashutil
 
 import (

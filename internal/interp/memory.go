@@ -3,6 +3,8 @@
 // access, division by zero), hang detection via an instruction budget, and
 // observation hooks. It is the execution substrate for both the profiling
 // phase of TRIDENT and the LLFI-style fault-injection campaigns.
+// DESIGN.md §5c documents the snapshot-replay machinery and §5f the
+// decoded engine that shares this package's observable contract.
 package interp
 
 import (

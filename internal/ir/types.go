@@ -7,7 +7,9 @@
 //
 // The package provides the in-memory IR (Module/Func/Block/Instr), a
 // Builder for programmatic construction, a verifier, a textual printer and
-// a parser for the printed form.
+// a parser for the printed form. DESIGN.md §2 places the IR in the
+// system inventory; the printer's parse/print fixed point is what makes
+// every content hash in DESIGN.md §5h well-defined.
 package ir
 
 import "fmt"

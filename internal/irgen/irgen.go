@@ -3,7 +3,8 @@
 // runs to completion under the interpreter, produces output, and is
 // deterministic — which lets tests assert invariants of the interpreter,
 // the profiler, the TRIDENT model and the protection pass over a much
-// larger program space than the hand-written corpus.
+// larger program space than the hand-written corpus. DESIGN.md §5e
+// describes the cross-check oracle this corpus feeds.
 package irgen
 
 import (

@@ -2,7 +2,8 @@
 // a single instrumented execution of the program that gathers per-
 // instruction dynamic counts, branch probabilities, operand-value samples
 // (for deriving fs masking tuples), address-corruption crash sensitivity,
-// and the pruned static memory-dependence graph used by fm.
+// and the pruned static memory-dependence graph used by fm. DESIGN.md §3
+// specifies the sub-models each profile ingredient feeds.
 package profile
 
 import (

@@ -1,0 +1,179 @@
+package progs
+
+import (
+	"trident/internal/ir"
+)
+
+// This file adds three post-paper integer micro-kernels with *narrow
+// outputs*: every hot arithmetic chain funnels into an i8/i16 store, so
+// the high bits of the 64-bit registers that compute it are provably
+// dead. They are the workload class BEC (Ko & Burgstaller, PAPERS.md)
+// targets with static bit-liveness pruning — image pixels, packed
+// nibbles, filtered samples — and they complement the paper's 11
+// float-heavy Table I kernels, whose bits are almost entirely live.
+// progs.Extended() returns Table I plus these; campaigns, the pruning
+// benchmark columns in cmd/fibench, and the EXPERIMENTS.md pruning
+// table draw from that extended list.
+
+func init() {
+	register(Program{
+		Name:       "rgb2gray",
+		Suite:      "micro",
+		Area:       "Image processing",
+		Input:      "synthetic 96-pixel RGB triples, 8-bit channels",
+		BuildInput: buildRGB2Gray,
+	})
+	register(Program{
+		Name:       "nibblepack",
+		Suite:      "micro",
+		Area:       "Data compression",
+		Input:      "synthetic 128-byte stream packed two nibbles per byte",
+		BuildInput: buildNibblePack,
+	})
+	register(Program{
+		Name:       "boxblur",
+		Suite:      "micro",
+		Area:       "Signal processing",
+		Input:      "synthetic 96-sample 14-bit signal, 4-tap box filter",
+		BuildInput: buildBoxBlur,
+	})
+}
+
+// buildRGB2Gray is the BT.601-style luma conversion: for each pixel,
+// gray = (77*R + 150*G + 29*B + 128) >> 8 truncated to 8 bits and
+// stored to an i8 plane. The weighted sum is computed in 64-bit
+// registers but only bits 0..15 can ever reach the i8 store through the
+// shift, so the top 48 bits of every multiply/add in the hot loop are
+// statically dead.
+func buildRGB2Gray(variant int) *ir.Module {
+	const n = 96
+	m := ir.NewModule("rgb2gray")
+	r := m.AddGlobal("r", ir.I64, n, intData(ir.I64, n, inputSeed(0x26B0, variant), 256))
+	g := m.AddGlobal("g", ir.I64, n, intData(ir.I64, n, inputSeed(0x26B1, variant), 256))
+	bl := m.AddGlobal("b", ir.I64, n, intData(ir.I64, n, inputSeed(0x26B2, variant), 256))
+	gray := m.AddGlobal("gray", ir.I8, n, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	// gray[i] = (77*r[i] + 150*g[i] + 29*b[i] + 128) >> 8.
+	countedLoop(b, "i", iconst(n), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			rv := b.Load(ir.I64, b.Gep(ir.I64, r, i))
+			gv := b.Load(ir.I64, b.Gep(ir.I64, g, i))
+			bv := b.Load(ir.I64, b.Gep(ir.I64, bl, i))
+			sum := b.Add(b.Add(b.Mul(rv, iconst(77)), b.Mul(gv, iconst(150))),
+				b.Mul(bv, iconst(29)))
+			y := b.LShr(b.Add(sum, iconst(128)), iconst(8))
+			b.Store(b.Trunc(y, ir.I8), b.Gep(ir.I8, gray, i))
+			return nil
+		})
+
+	// Report a sample of the plane plus a checksum over all of it, so
+	// every store is observable at the output.
+	countedLoop(b, "s", iconst(6), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I8, b.Gep(ir.I8, gray, b.Mul(s, iconst(16))))
+			b.Print(v)
+			return nil
+		})
+	sum := countedLoop(b, "c", iconst(n), []ir.Value{iconst(0)},
+		func(b *ir.Builder, c *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.ZExt(b.Load(ir.I8, b.Gep(ir.I8, gray, c)), ir.I64)
+			return []ir.Value{b.Add(accs[0], v)}
+		})
+	b.Print(sum.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// buildNibblePack packs two 4-bit samples per output byte:
+// out[i] = (src[2i] & 0xF) | ((src[2i+1] & 0xF) << 4). The explicit
+// AND masks tell the liveness pass that only 4 of the 64 loaded bits
+// matter, making this the densest pruning target in the suite.
+func buildNibblePack(variant int) *ir.Module {
+	const n = 128
+	m := ir.NewModule("nibblepack")
+	src := m.AddGlobal("src", ir.I64, n, intData(ir.I64, n, inputSeed(0x41B0, variant), 256))
+	out := m.AddGlobal("out", ir.I8, n/2, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	countedLoop(b, "i", iconst(n/2), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			i2 := b.Shl(i, iconst(1))
+			v0 := b.Load(ir.I64, b.Gep(ir.I64, src, i2))
+			v1 := b.Load(ir.I64, b.Gep(ir.I64, src, b.Add(i2, iconst(1))))
+			lo := b.And(v0, iconst(0xF))
+			hi := b.Shl(b.And(v1, iconst(0xF)), iconst(4))
+			b.Store(b.Trunc(b.Or(lo, hi), ir.I8), b.Gep(ir.I8, out, i))
+			return nil
+		})
+
+	// Sample four packed bytes, then checksum the whole buffer.
+	countedLoop(b, "s", iconst(4), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I8, b.Gep(ir.I8, out, b.Mul(s, iconst(16))))
+			b.Print(v)
+			return nil
+		})
+	sum := countedLoop(b, "c", iconst(n/2), []ir.Value{iconst(0)},
+		func(b *ir.Builder, c *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.ZExt(b.Load(ir.I8, b.Gep(ir.I8, out, c)), ir.I64)
+			return []ir.Value{b.Xor(accs[0], b.Add(v, accs[0]))}
+		})
+	b.Print(sum.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}
+
+// buildBoxBlur is a 4-tap moving-average filter over a 14-bit signal:
+// out[i] = (x[i] + x[i+1] + x[i+2] + x[i+3] + 2) >> 2 stored as i16.
+// The i16 store bounds the live range of the 64-bit adder chain at 18
+// bits (16 output bits plus the two shifted-out rounding bits).
+func buildBoxBlur(variant int) *ir.Module {
+	const (
+		n    = 96
+		taps = 4
+	)
+	m := ir.NewModule("boxblur")
+	x := m.AddGlobal("x", ir.I64, n, intData(ir.I64, n, inputSeed(0xB0F0, variant), 1<<14))
+	out := m.AddGlobal("out", ir.I16, n-taps+1, nil)
+
+	f := m.NewFunc("main", ir.Void)
+	b := ir.NewBuilder(f)
+	b.SetBlock(b.NewBlock("entry"))
+
+	countedLoop(b, "i", iconst(n-taps+1), nil,
+		func(b *ir.Builder, i *ir.Instr, _ []*ir.Instr) []ir.Value {
+			sum := ir.Value(iconst(2))
+			for t := int64(0); t < taps; t++ {
+				idx := ir.Value(i)
+				if t > 0 {
+					idx = b.Add(i, iconst(t))
+				}
+				sum = b.Add(sum, b.Load(ir.I64, b.Gep(ir.I64, x, idx)))
+			}
+			avg := b.LShr(sum, iconst(2))
+			b.Store(b.Trunc(avg, ir.I16), b.Gep(ir.I16, out, i))
+			return nil
+		})
+
+	countedLoop(b, "s", iconst(5), nil,
+		func(b *ir.Builder, s *ir.Instr, _ []*ir.Instr) []ir.Value {
+			v := b.Load(ir.I16, b.Gep(ir.I16, out, b.Mul(s, iconst(18))))
+			b.Print(v)
+			return nil
+		})
+	sum := countedLoop(b, "c", iconst(n-taps+1), []ir.Value{iconst(0)},
+		func(b *ir.Builder, c *ir.Instr, accs []*ir.Instr) []ir.Value {
+			v := b.ZExt(b.Load(ir.I16, b.Gep(ir.I16, out, c)), ir.I64)
+			return []ir.Value{b.Add(accs[0], v)}
+		})
+	b.Print(sum.Accs[0])
+	b.Ret(nil)
+	return mustBuild(m)
+}

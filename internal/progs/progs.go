@@ -4,7 +4,9 @@
 // its namesake: the loop nesting, the data-dependent branches, the
 // store/load dependence between phases, and the output types. Inputs are
 // deterministic synthetic equivalents of the paper's inputs, sized so a
-// full fault-injection campaign completes in seconds.
+// full fault-injection campaign completes in seconds. DESIGN.md §2
+// records each substitution; Extended() adds the narrow-output kernels
+// the bit-liveness pruning pass targets (DESIGN.md §5i, ANALYSIS.md).
 package progs
 
 import (
@@ -60,6 +62,23 @@ func All() []Program {
 	}
 	out := make([]Program, 0, len(order))
 	for _, name := range order {
+		p, ok := registry[name]
+		if !ok {
+			panic("progs: missing program " + name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Extended returns every benchmark: the Table I set in paper order
+// followed by the narrow-output integer micro-kernels (narrow.go) added
+// for the bit-liveness pruning work. Campaign tooling that wants the
+// full workload space (pruning tables, fibench) iterates this; paper
+// reproduction figures stick to All().
+func Extended() []Program {
+	out := All()
+	for _, name := range []string{"rgb2gray", "nibblepack", "boxblur"} {
 		p, ok := registry[name]
 		if !ok {
 			panic("progs: missing program " + name)

@@ -12,12 +12,15 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	all := All()
-	if len(all) != 11 {
-		t.Fatalf("got %d programs, want 11 (paper Table I)", len(all))
+	if n := len(All()); n != 11 {
+		t.Fatalf("got %d programs, want 11 (paper Table I)", n)
+	}
+	ext := Extended()
+	if len(ext) != 14 {
+		t.Fatalf("got %d extended programs, want 11 + 3 narrow-output kernels", len(ext))
 	}
 	seen := make(map[string]bool)
-	for _, p := range all {
+	for _, p := range ext {
 		if p.Name == "" || p.Suite == "" || p.Area == "" || p.Input == "" {
 			t.Errorf("%q has incomplete metadata: %+v", p.Name, p)
 		}
@@ -38,13 +41,13 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Error("unknown name should error")
 	}
-	if len(Names()) != 11 {
+	if len(Names()) != 14 {
 		t.Errorf("Names() = %d entries", len(Names()))
 	}
 }
 
 func TestAllProgramsBuildVerifyAndRun(t *testing.T) {
-	for _, p := range All() {
+	for _, p := range Extended() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			m := p.Build()
@@ -74,7 +77,7 @@ func TestAllProgramsBuildVerifyAndRun(t *testing.T) {
 }
 
 func TestProgramsAreDeterministic(t *testing.T) {
-	for _, p := range All() {
+	for _, p := range Extended() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			r1, err := interp.Run(p.Build(), interp.Options{})
@@ -93,7 +96,7 @@ func TestProgramsAreDeterministic(t *testing.T) {
 }
 
 func TestProgramsRoundTripThroughTextFormat(t *testing.T) {
-	for _, p := range All() {
+	for _, p := range Extended() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			m := p.Build()
@@ -118,7 +121,7 @@ func TestProgramsRoundTripThroughTextFormat(t *testing.T) {
 }
 
 func TestProgramsAreProfilable(t *testing.T) {
-	for _, p := range All() {
+	for _, p := range Extended() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			m := p.Build()
@@ -137,7 +140,7 @@ func TestProgramsAreProfilable(t *testing.T) {
 }
 
 func TestProgramsAreInjectable(t *testing.T) {
-	for _, p := range All() {
+	for _, p := range Extended() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			m := p.Build()

@@ -3,7 +3,8 @@
 // bound. Instruction selection is a 0-1 knapsack over model-predicted SDC
 // probabilities; the duplication pass clones the selected computations
 // into shadow registers and inserts detector checks where protected values
-// escape the protected region.
+// escape the protected region. DESIGN.md §4 indexes the Fig. 8
+// evaluation this pass feeds.
 package protect
 
 import (

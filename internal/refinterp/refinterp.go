@@ -31,6 +31,8 @@
 //   - Traps: out-of-bounds loads and stores, integer division or
 //     remainder by zero, call nesting beyond MaxCallDepth, and a failed
 //     duplication check (which is a detection, not a crash).
+//
+// DESIGN.md §5e documents the harness this evaluator anchors.
 package refinterp
 
 import (

@@ -68,3 +68,24 @@ func TestServerDifferentialDecodedEngine(t *testing.T) {
 	}
 	diffTrials(t, j.Result().Trials, directTrials(t, req), "nw/decoded")
 }
+
+// TestServerDifferentialPrunedJob pins prune_bits through the wire
+// format and the exact-reweighting contract across the service layer: a
+// pruned, sharded job must be bit-identical to an UNPRUNED direct run —
+// same trials, same outcomes, same tallies — on a kernel where pruning
+// actually skips a large share of the trials.
+func TestServerDifferentialPrunedJob(t *testing.T) {
+	s := newSupervisedServer(t, nil)
+	s.Start()
+	req := &SubmitRequest{Program: "rgb2gray", N: 40, Seed: 11, Shards: 2, PruneBits: true}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j); st != JobDone {
+		t.Fatalf("state = %s (%s), want done", st, j.status().Error)
+	}
+	unpruned := *req
+	unpruned.PruneBits = false
+	diffTrials(t, j.Result().Trials, directTrials(t, &unpruned), "rgb2gray/pruned")
+}

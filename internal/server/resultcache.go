@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"trident/internal/bitlive"
 	"trident/internal/fault"
 	"trident/internal/hashutil"
 )
@@ -41,6 +42,13 @@ type resultKey struct {
 	Model      string `json:"model"`
 	Seed       uint64 `json:"seed"`
 	N          int    `json:"n"`
+	// Prune is the hex bitlive.Report.ModuleHash when the job prunes
+	// masked bits, empty otherwise. Exact reweighting makes pruned and
+	// unpruned outcomes identical when the analysis is sound, but the
+	// soundness guarantee is versioned with the analysis — keying on the
+	// mask hash means a bitlive rule change invalidates exactly the
+	// pruned entries, and unpruned keys never move.
+	Prune string `json:"prune,omitempty"`
 }
 
 // resultCacheKey derives j's cache key, or reports false when the
@@ -54,12 +62,17 @@ func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
 	if err != nil {
 		return resultKey{}, false
 	}
+	prune := ""
+	if j.req.PruneBits {
+		prune = hashutil.Hex(bitlive.Analyze(mod).ModuleHash(mod))
+	}
 	return resultKey{
 		Kind:       resultKeyKind,
 		ModuleHash: hashutil.Hex(hashutil.Module(mod)),
 		Model:      fault.ModelVersion,
 		Seed:       j.req.Seed,
 		N:          j.req.N,
+		Prune:      prune,
 	}, true
 }
 

@@ -95,6 +95,43 @@ func TestResultCacheHitByteIdentical(t *testing.T) {
 	}
 }
 
+// TestResultCachePruneKeySeparation: pruned and unpruned submissions of
+// the same campaign never share a cache entry — the prune mask hash is
+// part of the key, so a bitlive rule change can only ever invalidate
+// pruned entries. The served results are still byte-identical (exact
+// reweighting), which is exactly why the separation has to live in the
+// key rather than the payload.
+func TestResultCachePruneKeySeparation(t *testing.T) {
+	cacheDir := t.TempDir()
+	s := newSupervisedServer(t, func(c *Config) { c.ResultCacheDir = cacheDir })
+	s.Start()
+
+	req := &SubmitRequest{Program: "rgb2gray", N: 30, Seed: 9, Shards: 2}
+	res1 := submitAndWait(t, s, req, JobDone).Result()
+
+	prunedReq := *req
+	prunedReq.PruneBits = true
+	j2 := submitAndWait(t, s, &prunedReq, JobDone)
+	res2 := j2.Result()
+	if res2.Cached {
+		t.Fatal("pruned submission served from the unpruned cache entry")
+	}
+	if got, want := stripIdentity(res2), stripIdentity(res1); string(got) != string(want) {
+		t.Errorf("pruned result diverges from unpruned:\n  got  %s\n  want %s", got, want)
+	}
+	if files := cacheEntryFiles(t, cacheDir); len(files) != 2 {
+		t.Fatalf("cache holds %d entries, want 2 (one per prune setting)", len(files))
+	}
+
+	// Same-setting resubmissions hit their own entries.
+	if !submitAndWait(t, s, &prunedReq, JobDone).Result().Cached {
+		t.Error("pruned resubmission missed its cache entry")
+	}
+	if !submitAndWait(t, s, req, JobDone).Result().Cached {
+		t.Error("unpruned resubmission missed its cache entry")
+	}
+}
+
 // TestResultCacheTornEntryMisses: an entry torn by a crash mid-write
 // (simulated by truncation) is detected and treated as a miss — the
 // job re-runs live and produces the same result.

@@ -21,6 +21,8 @@
 // SIGTERM the server drains: admission stops (503 + Retry-After),
 // running shards are cancelled (their checkpoints already hold every
 // completed trial), jobs re-queue to disk, and the process exits 143.
+// DESIGN.md §5g covers the full choreography; the result cache's
+// pruning-aware key is specified in DESIGN.md §5i.
 package server
 
 import (

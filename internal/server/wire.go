@@ -89,6 +89,12 @@ type SubmitRequest struct {
 	// A job exceeding it degrades to a partial result; it never runs
 	// unbounded.
 	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
+	// PruneBits enables static bit-liveness pruning (internal/bitlive):
+	// trials on provably-masked bits are recorded Benign without
+	// execution. Exact reweighting keeps the result bit-identical to an
+	// unpruned campaign, but the result cache still keys on the pruning
+	// masks so an analysis change can never replay stale entries.
+	PruneBits bool `json:"prune_bits,omitempty"`
 }
 
 // RequestError is a submission rejection attributable to one field —
@@ -256,6 +262,7 @@ func (req *SubmitRequest) faultOptions() fault.Options {
 		TrialTimeout:     time.Duration(req.TrialTimeoutMS) * time.Millisecond,
 		SnapshotInterval: req.SnapshotInterval,
 		Engine:           engine,
+		PruneBits:        req.PruneBits,
 	}
 }
 

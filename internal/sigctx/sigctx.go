@@ -6,7 +6,8 @@
 // The standard library's signal.NotifyContext cancels a context on a
 // signal but discards which signal fired; the cmd binaries need it to
 // pick their exit code, and the campaign server needs it to log what
-// triggered a drain. WithSignals keeps both.
+// triggered a drain. WithSignals keeps both. DESIGN.md §5g documents
+// the drain this package underpins.
 package sigctx
 
 import (

@@ -5,7 +5,8 @@
 //
 // The t-distribution CDF is computed from the regularized incomplete beta
 // function (continued-fraction form), implemented here from scratch since
-// the repository uses only the standard library.
+// the repository uses only the standard library. DESIGN.md §4 lists the
+// experiments whose significance tests run through this package.
 package stats
 
 import (

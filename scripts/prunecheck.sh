@@ -1,0 +1,76 @@
+#!/bin/sh
+# prunecheck.sh — the bit-liveness pruning drill, run by `make check`.
+#
+# It exercises the exact-reweighting contract (DESIGN.md §5i) end to end
+# through the real CLI:
+#
+#   1. run an unpruned campaign on rgb2gray (the narrow-output kernel
+#      where the pass bites), checkpointing every trial
+#   2. run the identical campaign with -prune-bits, on both engines
+#   3. the pruned runs must actually prune (the summary reports a
+#      nonzero masked fraction and a nonzero pruned-trial count)
+#   4. the pruned summaries — tallies, rates, SDC CI — must be
+#      line-identical to the unpruned one once the two pruning-status
+#      lines are stripped
+#   5. the pruned checkpoint transcripts must contain exactly the same
+#      trial records as the unpruned one (sorted to erase worker
+#      completion order, which is the only legitimate difference)
+#
+# Passing means: pruning changes which trials *execute*, and nothing
+# about what the campaign *reports*.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d /tmp/prunecheck.XXXXXX)
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+    echo "prunecheck: FAIL: $*" >&2
+    exit 1
+}
+
+PROG=rgb2gray
+N=400
+SEED=9
+
+echo "prunecheck: building fi"
+$GO build -o "$TMP/fi" ./cmd/fi
+
+run() { # log checkpoint extra-flags...
+    log=$1
+    ck=$2
+    shift 2
+    "$TMP/fi" -program "$PROG" -n "$N" -seed "$SEED" -progress=false \
+        -checkpoint "$ck" "$@" >"$log" 2>>"$TMP/stderr.log"
+}
+
+echo "prunecheck: unpruned baseline"
+run "$TMP/plain.log" "$TMP/plain.jsonl"
+
+echo "prunecheck: pruned campaign (legacy engine)"
+run "$TMP/pruned.log" "$TMP/pruned.jsonl" -prune-bits
+
+echo "prunecheck: pruned campaign (decoded engine)"
+run "$TMP/pruned-dec.log" "$TMP/pruned-dec.jsonl" -prune-bits -engine decoded
+
+check_pruned() { # log checkpoint label
+    grep '^bit-liveness pruning:' "$1" | grep -qv ' 0\.0% ' \
+        || fail "$3: summary reports no masked fraction: $(grep '^bit-liveness pruning:' "$1" || echo missing)"
+    grep -q 'pruned statically (no execution)$' "$1" \
+        || fail "$3: no trials were pruned (expected a nonzero pruned count)"
+    # Everything but the two pruning-status lines must match the
+    # unpruned summary exactly: same tallies, same rates, same CI.
+    grep -v 'bit-liveness pruning:\|pruned statically' "$1" >"$TMP/stripped.log"
+    cmp "$TMP/stripped.log" "$TMP/plain.log" \
+        || fail "$3: summary differs from the unpruned campaign"
+    # Same per-trial transcript, worker completion order aside.
+    sort "$2" >"$TMP/want.sorted"
+    sort "$TMP/plain.jsonl" >"$TMP/got.sorted"
+    cmp "$TMP/want.sorted" "$TMP/got.sorted" \
+        || fail "$3: checkpoint transcript differs from the unpruned campaign"
+}
+
+check_pruned "$TMP/pruned.log" "$TMP/pruned.jsonl" "legacy"
+check_pruned "$TMP/pruned-dec.log" "$TMP/pruned-dec.jsonl" "decoded"
+
+echo "prunecheck: PASS"

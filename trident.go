@@ -63,8 +63,9 @@ func (k ModelKind) config() (core.Config, error) {
 	}
 }
 
-// Benchmarks returns the names of the built-in benchmark programs (the
-// paper's Table I).
+// Benchmarks returns the names of the built-in benchmark programs: the
+// paper's Table I kernels plus the narrow-output kernels added for the
+// bit-liveness pruning work (ANALYSIS.md).
 func Benchmarks() []string { return progs.Names() }
 
 // InstrPrediction is one instruction's model prediction.

@@ -39,8 +39,22 @@ done:
 
 func TestBenchmarksList(t *testing.T) {
 	names := Benchmarks()
-	if len(names) != 11 {
-		t.Fatalf("got %d benchmarks, want 11", len(names))
+	// The 11 Table I kernels plus the 3 narrow-output pruning kernels.
+	if len(names) != 14 {
+		t.Fatalf("got %d benchmarks, want 14", len(names))
+	}
+	listed := make(map[string]bool, len(names))
+	for _, n := range names {
+		listed[n] = true
+	}
+	for _, want := range []string{
+		"libquantum", "blackscholes", "sad", "bfs-parboil", "hercules",
+		"lulesh", "puremd", "nw", "pathfinder", "hotspot", "bfs-rodinia",
+		"rgb2gray", "nibblepack", "boxblur",
+	} {
+		if !listed[want] {
+			t.Errorf("benchmark %q missing from Benchmarks()", want)
+		}
 	}
 }
 
