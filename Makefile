@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck prunecheck
+.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck prunecheck stratcheck
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ doc:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
-	sh scripts/doccheck.sh
+	bash scripts/doccheck.sh
 
 # check is the CI gate: vet everything, then race-test the concurrent
 # campaign engine, the interpreters it drives (legacy and decoded,
@@ -47,9 +47,14 @@ doc:
 # The prunecheck drill closes the loop on bit-liveness pruning: pruned
 # and unpruned campaigns through the real CLI, on both engines, must
 # report identical summaries and identical per-trial transcripts
-# (DESIGN.md §5i, scripts/prunecheck.sh).
+# (DESIGN.md §5i, scripts/prunecheck.sh). The stratcheck drill does the
+# same for stratified sampling: the thinned campaign's transcript must
+# be a subset of the plain one and the reweighted estimate must land on
+# the plain campaign's SDC probability (scripts/stratcheck.sh). The
+# stats package races alongside the other tiers — its weighted tallies
+# are accumulated by concurrent campaign code.
 check: build doc
-	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/... ./internal/cache/... ./internal/hashutil/... ./internal/bitlive/...
+	$(GO) test -race ./internal/fault/... ./internal/interp/... ./internal/decoded/... ./internal/telemetry/... ./internal/server/... ./internal/sigctx/... ./internal/cache/... ./internal/hashutil/... ./internal/bitlive/... ./internal/stats/...
 	$(GO) test -race -short ./internal/crosscheck/...
 	$(GO) run ./cmd/crosscheck -n 60 -seed 77 -kernels=false -engine decoded
 	$(MAKE) fuzz-smoke
@@ -57,22 +62,30 @@ check: build doc
 	$(MAKE) servercheck
 	$(MAKE) cachecheck
 	$(MAKE) prunecheck
+	$(MAKE) stratcheck
 
 # servercheck is the campaign server's kill drill; see
 # scripts/servercheck.sh for the exact choreography.
 servercheck:
-	sh scripts/servercheck.sh
+	bash scripts/servercheck.sh
 
 # cachecheck is the compositional cache's edit-and-rerun drill; see
 # scripts/cachecheck.sh for the exact choreography.
 cachecheck:
-	sh scripts/cachecheck.sh
+	bash scripts/cachecheck.sh
 
 # prunecheck is the bit-liveness pruning drill: pruned vs unpruned
 # campaigns through the real CLI must be bit-identical; see
 # scripts/prunecheck.sh for the exact choreography.
 prunecheck:
-	sh scripts/prunecheck.sh
+	bash scripts/prunecheck.sh
+
+# stratcheck is the stratified-sampling drill: thinned campaigns through
+# the real CLI must report unbiased weighted estimates over a subset
+# transcript, and mismatched resumes must be refused; see
+# scripts/stratcheck.sh for the exact choreography.
+stratcheck:
+	bash scripts/stratcheck.sh
 
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep
@@ -82,6 +95,7 @@ fuzz-smoke:
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzParserRoundTrip -fuzztime 10s
 	$(GO) test ./internal/crosscheck -run '^$$' -fuzz FuzzBitliveSound -fuzztime 10s
 	$(GO) test ./internal/cache -run '^$$' -fuzz FuzzCacheKeyCanonical -fuzztime 10s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzWeightedTally -fuzztime 10s
 
 # bench measures the snapshot-replay, decoded and pruned campaign
 # engines against the legacy path plus the telemetry layer's overhead
@@ -89,9 +103,11 @@ fuzz-smoke:
 # pass targets (committed as BENCH_fi.json), and runs the campaign
 # benchmarks. The pruning gate requires a ≥1.2x equal-CI speedup on at
 # least 3 kernels (the narrow-output ones clear it; the paper kernels'
-# near-zero masked fractions are expected).
+# near-zero masked fractions are expected). The stratification gate
+# mirrors it: at least 3 kernels must show a ≥1.1x weighted-CI shrink
+# at equal executed trials under the default plan.
 bench:
-	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia,rgb2gray,nibblepack,boxblur -repeats 3 -min-pruned-ci-speedup 1.2 -out BENCH_fi.json
+	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia,rgb2gray,nibblepack,boxblur -repeats 3 -min-pruned-ci-speedup 1.2 -min-strat-ci-shrink 1.1 -out BENCH_fi.json
 	$(GO) test -bench='BenchmarkCampaign' -benchmem .
 
 # bench-all runs the full benchmark harness (paper tables, ablations,

@@ -6,7 +6,7 @@
 //
 //	-run string      comma-separated experiments to run:
 //	                 table1,fig5,table2,fig6a,fig6b,fig7,fig8,fig9,inputs,
-//	                 ablations,pruning or "all" (default "all")
+//	                 ablations,pruning,stratify or "all" (default "all")
 //	-samples int     FI samples for overall SDC probabilities (default 3000)
 //	-perinstr int    FI samples per static instruction (default 100)
 //	-seed uint       deterministic seed (default 2018)
@@ -175,7 +175,7 @@ func run(ctx context.Context, args []string) error {
 	selected := map[string]bool{}
 	if *runList == "all" {
 		for _, n := range []string{"table1", "fig5", "table2", "fig6a", "fig6b",
-			"fig7", "fig8", "fig9", "inputs", "ablations", "pruning"} {
+			"fig7", "fig8", "fig9", "inputs", "ablations", "pruning", "stratify"} {
 			selected[n] = true
 		}
 	} else {
@@ -332,6 +332,19 @@ func run(ctx context.Context, args []string) error {
 			experiments.RenderPruning(w, rows)
 		}
 		stamp("pruning", start)
+	}
+	if selected["stratify"] {
+		start := time.Now()
+		rows, err := experiments.Stratify(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownStratify(w, rows)
+		} else {
+			experiments.RenderStratify(w, rows)
+		}
+		stamp("stratify", start)
 	}
 	return nil
 }

@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"trident/internal/bitlive"
 	"trident/internal/cache"
 	"trident/internal/fault"
 	"trident/internal/hashutil"
@@ -82,6 +83,7 @@ func run(args []string) (int, error) {
 	snapInterval := fs.Uint64("snapshot-interval", 2048, "dynamic instructions between golden-run snapshots that trials resume from (0 = legacy full re-execution)")
 	engineName := fs.String("engine", "legacy", "interpreter engine for the golden run and every trial: legacy or decoded")
 	pruneBits := fs.Bool("prune-bits", false, "skip injections into statically provably-masked bits, recording them benign without execution; results are bit-identical to an unpruned campaign (exact reweighting, see DESIGN.md §5i)")
+	stratify := fs.Bool("stratify", false, "stratified live-bit importance sampling: thin low-influence strata (noise, masked bits) deterministically and reweight executed trials by inverse inclusion probability; the weighted estimates stay unbiased at a fraction of the executed trials (see ANALYSIS.md)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
@@ -111,6 +113,9 @@ func run(args []string) (int, error) {
 	}
 	if *cacheDir != "" && (*checkpoint != "" || *perInstr || *remote != "") {
 		return 1, fmt.Errorf("-cache-dir is incompatible with -checkpoint, -per-instr and -remote")
+	}
+	if *stratify && (*cacheDir != "" || *perInstr) {
+		return 1, fmt.Errorf("-stratify is incompatible with -cache-dir and -per-instr")
 	}
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
@@ -153,6 +158,7 @@ func run(args []string) (int, error) {
 				MaxRetries:       *retries,
 				TrialTimeoutMS:   trialTimeout.Milliseconds(),
 				PruneBits:        *pruneBits,
+				Stratify:         *stratify,
 			},
 		})
 	}
@@ -203,6 +209,11 @@ func run(args []string) (int, error) {
 		}
 	}
 
+	var plan *bitlive.Plan
+	if *stratify {
+		p := bitlive.DefaultPlan()
+		plan = &p
+	}
 	inj, err := fault.New(m, fault.Options{
 		Seed:             *seed,
 		Workers:          *workers,
@@ -214,6 +225,7 @@ func run(args []string) (int, error) {
 		OnProgress:       onProgress,
 		Engine:           engine,
 		PruneBits:        *pruneBits,
+		Stratify:         plan,
 	})
 	if err != nil {
 		return 1, err
@@ -239,7 +251,24 @@ func run(args []string) (int, error) {
 
 	start := time.Now()
 	var res *fault.CampaignResult
+	var sres *fault.StratifiedResult
 	switch {
+	case *stratify:
+		if *resume {
+			// Stratified checkpoints resume transparently; -resume just
+			// adds the "refuse to start from scratch" contract.
+			if _, serr := os.Stat(*checkpoint); serr != nil {
+				return 1, fmt.Errorf("-resume: %w", serr)
+			}
+		}
+		if *checkpoint != "" {
+			sres, err = inj.CampaignStratifiedCheckpoint(ctx, *n, *checkpoint)
+		} else {
+			sres, err = inj.CampaignStratified(ctx, *n)
+		}
+		if sres != nil {
+			res = sres.CampaignResult
+		}
 	case *resume:
 		res, err = inj.ResumeCampaign(ctx, *n, *checkpoint)
 	case *checkpoint != "":
@@ -282,6 +311,19 @@ func run(args []string) (int, error) {
 	}
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n",
 		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.ClassifiedN())*100)
+	if sres != nil {
+		fmt.Printf("\nstratified sampling (plan %s):\n", sres.Plan)
+		fmt.Printf("  %-9s %6s %9s %9s\n", "stratum", "rate", "slots", "executed")
+		for _, ss := range sres.Summary() {
+			if ss.Slots == 0 && ss.Executed == 0 {
+				continue
+			}
+			fmt.Printf("  %-9s %6.2f %9d %9d\n", ss.Stratum, ss.Rate, ss.Slots, ss.Executed)
+		}
+		fmt.Printf("  %d of %d drawn slots executed\n", sres.ExecutedN(), *n)
+		fmt.Printf("weighted SDC probability: %.2f%% ± %.2f%% (95%% CI, effective n %.0f)\n",
+			sres.WeightedSDC()*100, sres.WeightedErrorBar95()*100, sres.EffectiveN())
+	}
 	if len(res.Errs) > 0 {
 		fmt.Printf("\n%d trial(s) errored (engine failures, excluded from rates); first few:\n", len(res.Errs))
 		for i, te := range res.Errs {

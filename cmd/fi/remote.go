@@ -254,6 +254,11 @@ func printRemoteResult(res *server.Result) {
 		fmt.Printf("  %-9s %6d  (%.2f%%)\n", name, res.Counts[name], pct)
 	}
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n", res.SDCProb*100, res.ErrorBar95*100)
+	if res.Stratified {
+		fmt.Printf("stratified: %d of %d drawn slots executed\n", res.ExecutedN, res.N)
+		fmt.Printf("weighted SDC probability: %.2f%% ± %.2f%% (95%% CI, effective n %.0f)\n",
+			res.WeightedSDC*100, res.WeightedErrorBar95*100, res.EffectiveN)
+	}
 	for _, ss := range res.FailedShards {
 		fmt.Printf("shard %d failed after %d attempts: %s\n", ss.Shard, ss.Attempts, ss.Error)
 	}

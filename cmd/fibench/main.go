@@ -19,7 +19,7 @@
 //	        [-n 400] [-seed 7] [-workers 4]
 //	        [-interval 2048] [-repeats 1] [-max-overhead 0]
 //	        [-min-decoded-speedup 0] [-min-pruned-ci-speedup 0]
-//	        [-out BENCH_fi.json]
+//	        [-min-strat-ci-shrink 0] [-out BENCH_fi.json]
 //
 // -out "-" writes to stdout. -repeats N times every campaign N times and
 // keeps the fastest run, damping scheduler noise on loaded machines. The
@@ -27,6 +27,14 @@
 // -max-overhead is positive and exceeded, or if -min-decoded-speedup is
 // positive and the geometric-mean decoded-vs-snapshot speedup falls
 // below it.
+//
+// Each program additionally runs the campaign stratified under the
+// default bitlive plan (same slot stream, masked stratum thinned,
+// inverse-probability reweighting). The published shrink ratio compares
+// the weighted Wilson CI half-width against the plain Wilson half-width
+// at the same executed-trial budget; -min-strat-ci-shrink gates it the
+// same way the pruned-CI gate works (at least -min-strat-kernels
+// programs must clear the floor).
 package main
 
 import (
@@ -40,9 +48,11 @@ import (
 	"strings"
 	"time"
 
+	"trident/internal/bitlive"
 	"trident/internal/fault"
 	"trident/internal/interp"
 	"trident/internal/progs"
+	"trident/internal/stats"
 	"trident/internal/telemetry"
 )
 
@@ -86,12 +96,27 @@ type result struct {
 	// sampling space the analysis proves masked, and PrunedCISpeedup =
 	// 1/(1-pct/100) is the executed-trial multiplier at equal Wilson CI
 	// width — the honest speedup metric, independent of how cheap the
-	// skipped trials happened to be.
+	// skipped trials happened to be. A fully-masked workload (pct == 100,
+	// nothing executes) reports 0: the multiplier is undefined there, and
+	// +Inf would make encoding/json reject the whole results file.
 	PrunedMs        float64 `json:"pruned_ms"`
 	TrialsPerSecP   float64 `json:"pruned_trials_per_sec"`
 	BitsPrunedPct   float64 `json:"bits_pruned_pct"`
 	PrunedCISpeedup float64 `json:"pruned_ci_speedup"`
-	OutcomeSummary  string  `json:"outcomes"`
+	// StratExecuted of N drawn slots survived the default stratification
+	// plan's thinning; StratWeightedSDC is the Horvitz-Thompson SDC
+	// estimate over all N slots and StratCIHalf its weighted Wilson 95%
+	// half-width at effective sample size StratEffN. StratEqualExecCIHalf
+	// is the plain Wilson half-width a uniform campaign would report for
+	// the same executed budget, and StratCIShrink their ratio — above 1,
+	// stratification buys a tighter interval per executed trial.
+	StratExecuted        int     `json:"strat_executed"`
+	StratWeightedSDC     float64 `json:"strat_weighted_sdc"`
+	StratCIHalf          float64 `json:"strat_ci_half"`
+	StratEqualExecCIHalf float64 `json:"strat_equal_exec_ci_half"`
+	StratCIShrink        float64 `json:"strat_ci_shrink"`
+	StratEffN            float64 `json:"strat_eff_n"`
+	OutcomeSummary       string  `json:"outcomes"`
 }
 
 func main() {
@@ -113,6 +138,8 @@ func run(args []string) error {
 	minDecoded := fs.Float64("min-decoded-speedup", 0, "fail if the geomean decoded-vs-snapshot speedup falls below this factor (0 disables the gate)")
 	minPrunedCI := fs.Float64("min-pruned-ci-speedup", 0, "fail unless at least -min-pruned-kernels programs reach this pruned equal-CI speedup (0 disables the gate)")
 	minPrunedKernels := fs.Int("min-pruned-kernels", 3, "with -min-pruned-ci-speedup: how many programs must clear the floor")
+	minStratShrink := fs.Float64("min-strat-ci-shrink", 0, "fail unless at least -min-strat-kernels programs reach this stratified CI shrink at equal executed trials (0 disables the gate)")
+	minStratKernels := fs.Int("min-strat-kernels", 3, "with -min-strat-ci-shrink: how many programs must clear the floor")
 	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,9 +159,10 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms pruned=%7.1fms speedup=%.2fx decoded-speedup=%.2fx pruned=%.1f%% ci-speedup=%.2fx telemetry=%+.1f%% identical=%v\n",
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms pruned=%7.1fms speedup=%.2fx decoded-speedup=%.2fx pruned=%.1f%% ci-speedup=%.2fx strat=%d/%d shrink=%.3fx telemetry=%+.1f%% identical=%v\n",
 			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.DecodedMs, r.PrunedMs,
 			r.Speedup, r.DecodedSpeedup, r.BitsPrunedPct, r.PrunedCISpeedup,
+			r.StratExecuted, r.N, r.StratCIShrink,
 			r.TelemetryOverhead*100, r.Identical)
 		if !r.Identical {
 			return fmt.Errorf("%s: campaigns diverged between execution paths", name)
@@ -171,6 +199,25 @@ func run(args []string) error {
 		if cleared < *minPrunedKernels {
 			return fmt.Errorf("only %d kernels reach the %.2fx pruned equal-CI speedup floor (need %d)",
 				cleared, *minPrunedCI, *minPrunedKernels)
+		}
+	}
+
+	// The stratified gate mirrors the pruning gate: count kernels clearing
+	// the shrink floor. Stratification pays where the masked stratum is
+	// large (the narrow-output kernels); the paper kernels hover near a
+	// shrink of 1 by design, which is correct, not a regression.
+	if *minStratShrink > 0 {
+		cleared := 0
+		for _, r := range results {
+			if r.StratCIShrink >= *minStratShrink {
+				cleared++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "stratified equal-executed CI shrink ≥ %.2fx on %d/%d kernels\n",
+			*minStratShrink, cleared, len(results))
+		if cleared < *minStratKernels {
+			return fmt.Errorf("only %d kernels reach the %.2fx stratified CI-shrink floor (need %d)",
+				cleared, *minStratShrink, *minStratKernels)
 		}
 	}
 
@@ -345,6 +392,27 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		return result{}, err
 	}
 
+	// The stratified campaign draws the same slot stream under the
+	// default plan (masked stratum thinned to a confirmation sliver) and
+	// reweights by inverse inclusion probability. It is compared at equal
+	// *executed* trials: the weighted Wilson half-width against the plain
+	// half-width a uniform campaign would report for the executed budget.
+	// It runs after the overhead pair above: that single-threaded
+	// measurement resolves a ~3% signal, and the extra campaign's heap
+	// and GC wake would sit right on top of it.
+	plan := bitlive.DefaultPlan()
+	strat, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: workers, SnapshotInterval: interval,
+		Engine: interp.EngineDecoded, Stratify: &plan,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	stratRes, err := strat.CampaignStratified(context.Background(), n)
+	if err != nil {
+		return result{}, err
+	}
+
 	r := result{
 		Program:           name,
 		N:                 n,
@@ -364,16 +432,34 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		TelemetryOverhead: instDur.Seconds()/obareDur.Seconds() - 1,
 		Identical: identical(lres, sres) && identical(sres, dres) &&
 			identical(sres, ires) && identical(dres, pres),
-		TrialsPerSecL:   float64(n) / legacyDur.Seconds(),
-		TrialsPerSecS:   float64(n) / snapDur.Seconds(),
-		TrialsPerSecD:   float64(n) / decDur.Seconds(),
-		PrunedMs:        float64(pruDur.Microseconds()) / 1000,
-		TrialsPerSecP:   float64(n) / pruDur.Seconds(),
-		BitsPrunedPct:   prunedFrac * 100,
-		PrunedCISpeedup: 1 / (1 - prunedFrac),
-		OutcomeSummary:  summarize(lres),
+		TrialsPerSecL:        float64(n) / legacyDur.Seconds(),
+		TrialsPerSecS:        float64(n) / snapDur.Seconds(),
+		TrialsPerSecD:        float64(n) / decDur.Seconds(),
+		PrunedMs:             float64(pruDur.Microseconds()) / 1000,
+		TrialsPerSecP:        float64(n) / pruDur.Seconds(),
+		BitsPrunedPct:        prunedFrac * 100,
+		PrunedCISpeedup:      ciSpeedup(prunedFrac),
+		StratExecuted:        stratRes.ExecutedN(),
+		StratWeightedSDC:     stratRes.WeightedSDC(),
+		StratCIHalf:          stratRes.WeightedErrorBar95(),
+		StratEqualExecCIHalf: stats.ProportionCI95(lres.SDCProb(), stratRes.ExecutedN()),
+		StratEffN:            stratRes.EffectiveN(),
+		OutcomeSummary:       summarize(lres),
+	}
+	if r.StratCIHalf > 0 {
+		r.StratCIShrink = r.StratEqualExecCIHalf / r.StratCIHalf
 	}
 	return r, nil
+}
+
+// ciSpeedup returns the equal-CI executed-trial multiplier 1/(1-f) for
+// pruned fraction f, reporting the 0 sentinel at f >= 1 where the ratio
+// is undefined and its +Inf value would poison the JSON results file.
+func ciSpeedup(f float64) float64 {
+	if f >= 1 {
+		return 0
+	}
+	return 1 / (1 - f)
 }
 
 // identical reports whether two campaigns produced the same trials in the

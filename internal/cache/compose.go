@@ -58,11 +58,16 @@ type Composed struct {
 	// Σ_f (w_f/W)·p_f(o), renormalized over functions that have
 	// classified trials. The errored rate is pooled over all trials.
 	Rates map[string]float64
-	// SDC is Rates[SDCName]; SDCLo/SDCHi are its 95% Wilson bounds
-	// recomputed from the merged tallies (classified trial total).
+	// SDC is Rates[SDCName]; SDCLo/SDCHi are its 95% Wilson bounds at
+	// EffN, the Kish effective sample size of the activation-share
+	// weighting (stats.WeightedTally). Proportional apportionment gives
+	// every classified trial the same weight, so EffN == Classified and
+	// the bounds equal the unweighted Wilson interval exactly; skewed
+	// apportionment honestly widens them instead of overstating n.
 	SDC   float64
 	SDCLo float64
 	SDCHi float64
+	EffN  float64
 }
 
 // ErrorBar95 is the half-width of the composed SDC interval, centered on
@@ -113,7 +118,25 @@ func Compose(tallies []FuncTally) Composed {
 		}
 	}
 	c.SDC = c.Rates[SDCName]
-	c.SDCLo, c.SDCHi = stats.WilsonBounds(c.SDC, c.Classified)
+	// The composed SDC is the Hájek estimate of a weighted tally where
+	// each classified trial of function f carries weight share_f/cls_f
+	// (the per-trial slice of the function's rate mass): Σw·x/Σw with
+	// Σw = 1 reproduces the weighted average above, and Kish's n_eff is
+	// the honest sample size behind it.
+	var wt stats.WeightedTally
+	for _, t := range tallies {
+		cls := t.classified()
+		if cls == 0 || t.Weight == 0 || weightSum == 0 {
+			continue
+		}
+		share := float64(t.Weight) / weightSum
+		wt.AddN(share/float64(cls), cls, t.Counts[SDCName])
+	}
+	if c.EffN = wt.KishNeff(); c.EffN > 0 {
+		c.SDCLo, c.SDCHi = stats.WeightedWilsonBounds(c.SDC, c.EffN)
+	} else {
+		c.SDCLo, c.SDCHi = stats.WilsonBounds(c.SDC, c.Classified)
+	}
 	return c
 }
 

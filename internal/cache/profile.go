@@ -60,6 +60,15 @@ type FuncKey struct {
 	// rule change invalidates exactly the entries whose masks moved,
 	// and unpruned keys stay byte-identical to pre-pruning releases.
 	Prune string `json:"prune,omitempty"`
+	// Stratify is the hex hash of the stratification in effect for this
+	// function — its bit-influence classification folded with the plan's
+	// rates (internal/bitlive, ANALYSIS.md "Stratified sampling over live
+	// bits") — empty for plain campaigns. A stratified section holds a
+	// thinned, reweighted subset of the plain section's trials, so the
+	// two must never share an entry; keying on the hash also means a
+	// classifier or plan change invalidates exactly the stratified
+	// entries, while plain keys stay byte-identical to prior releases.
+	Stratify string `json:"stratify,omitempty"`
 	// Stamp pins the golden-run behavior this profile was measured under.
 	Stamp Stamp `json:"stamp"`
 }

@@ -1,0 +1,91 @@
+package crosscheck
+
+import (
+	"fmt"
+	"testing"
+
+	"trident/internal/bitlive"
+	"trident/internal/ir"
+	"trident/internal/irgen"
+	"trident/internal/progs"
+)
+
+// aggressivePlan thins every stratum somewhere in (0, 1), so every
+// weight the estimator carries is non-trivial — the configuration where
+// a reweighting bug biases hardest.
+func aggressivePlan() bitlive.Plan {
+	var p bitlive.Plan
+	p.Rates[bitlive.StratumMasked] = 0.05
+	p.Rates[bitlive.StratumNoise] = 0.25
+	p.Rates[bitlive.StratumSign] = 0.5
+	p.Rates[bitlive.StratumBoundary] = 0.75
+	p.Rates[bitlive.StratumAddress] = 0.75
+	return p
+}
+
+// TestStratifySubsetKernels checks the determinism half of the
+// stratified contract on real kernels, under both the default plan and
+// an aggressive all-strata thinning: executed trials are an in-order
+// subset of the plain transcript with identical outcomes, and every
+// trial carries exactly the inverse inclusion probability of its
+// stratum.
+func TestStratifySubsetKernels(t *testing.T) {
+	plans := map[string]bitlive.Plan{
+		"default":    bitlive.DefaultPlan(),
+		"aggressive": aggressivePlan(),
+	}
+	for planName, plan := range plans {
+		planName, plan := planName, plan
+		t.Run(planName, func(t *testing.T) {
+			t.Parallel()
+			for _, name := range []string{"rgb2gray", "nibblepack", "boxblur", "sad"} {
+				name := name
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					p, err := progs.ByName(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ms, err := CheckStratifySubset(name, p.Build, plan, 42, 300)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, d := range ms {
+						t.Errorf("%s", d)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestStratifyUnbiasedExhaustive is the statistical half: on small
+// irgen programs whose full bit-space is cheap to enumerate, the mean
+// of many independent Horvitz-Thompson estimates must match the
+// exhaustively injected ground truth (4-sigma z-test), and the weighted
+// Wilson intervals must cover that truth at roughly their nominal rate.
+// The probed seeds have mid-range SDC probabilities, so both SDC and
+// non-SDC strata carry real mass through the weighting.
+func TestStratifyUnbiasedExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive injection sweep")
+	}
+	for _, seed := range []uint64{27, 30} {
+		seed := seed
+		label := fmt.Sprintf("rand-%d", seed)
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			build := func() *ir.Module { return irgen.Generate(irgen.Config{Seed: seed}) }
+			ms, truth, err := CheckStratifyUnbiased(label, build, StratifyUnbiasedOptions{
+				Plan: aggressivePlan(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ms {
+				t.Errorf("%s", d)
+			}
+			t.Logf("%s: exhaustive SDC truth %.4f", label, truth)
+		})
+	}
+}

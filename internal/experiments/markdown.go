@@ -177,3 +177,22 @@ func MarkdownPruning(w io.Writer, rows []PruningRow) {
 		" column is the executed-trial multiplier at equal Wilson interval width, 1/(1−weighted).")
 	fmt.Fprintln(w)
 }
+
+// MarkdownStratify renders the stratified-sampling table as markdown.
+func MarkdownStratify(w io.Writer, rows []StratifyRow) {
+	fmt.Fprintln(w, "### Stratified live-bit sampling (ANALYSIS.md)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | executed/slots | plain SDC | weighted SDC | ±plain@exec | ±strat | eff n | CI shrink |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d/%d | %s | %s | %s | %s | %.0f | %.3fx |\n",
+			r.Name, r.Executed, r.Slots, pct(r.PlainSDC), pct(r.WeightedSDC),
+			pct(r.EqualExecErr), pct(r.WeightedErr), r.EffN, r.CIShrink)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Stratified campaigns thin each influence stratum at its plan rate and reweight"+
+		" by inverse inclusion probability, so the weighted SDC estimate is unbiased for the"+
+		" plain campaign's population; CI shrink compares the weighted Wilson half-width"+
+		" against the plain Wilson half-width at the same executed-trial budget.")
+	fmt.Fprintln(w)
+}

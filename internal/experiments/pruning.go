@@ -32,7 +32,9 @@ type PruningRow struct {
 	PrunedTrials int
 	Trials       int
 	// SpeedupAtCI is the executed-trial multiplier at equal CI width:
-	// 1/(1-ActFrac).
+	// 1/(1-ActFrac). A fully-masked workload (ActFrac == 1, nothing
+	// executes) reports the 0 sentinel: the ratio is undefined there,
+	// and its literal value +Inf is not a number JSON can carry.
 	SpeedupAtCI float64
 	// UnprunedSeconds and PrunedSeconds are measured campaign wall times.
 	UnprunedSeconds float64
@@ -107,8 +109,19 @@ func pruneOne(cfg Config, p progs.Program) (*PruningRow, error) {
 		ActFrac:         f,
 		PrunedTrials:    pruned.PrunedN(),
 		Trials:          pruned.N(),
-		SpeedupAtCI:     1 / (1 - f),
+		SpeedupAtCI:     ciSpeedup(f),
 		UnprunedSeconds: plainSec,
 		PrunedSeconds:   prunedSec,
 	}, nil
+}
+
+// ciSpeedup returns the equal-CI executed-trial multiplier 1/(1-f) for a
+// pruned (or thinned) fraction f, guarding the fully-masked edge: at
+// f == 1 the ratio is +Inf, which encoding/json refuses to marshal, so
+// the row reports 0 as the "undefined — nothing executes" sentinel.
+func ciSpeedup(f float64) float64 {
+	if f >= 1 {
+		return 0
+	}
+	return 1 / (1 - f)
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"trident/internal/ir"
+	"trident/internal/progs"
+)
+
+// fullyMaskedProgram builds a workload whose entire activation space is
+// provably dead: the only result-bearing instruction is an add whose
+// value is never used, so bit-liveness masks all 64 of its bits and
+// PrunedFraction() == 1. This is the edge that used to drive
+// SpeedupAtCI to +Inf and make encoding/json reject the row.
+func fullyMaskedProgram() progs.Program {
+	return progs.Program{
+		Name: "fullymasked",
+		Build: func() *ir.Module {
+			m := ir.NewModule("fullymasked")
+			f := m.NewFunc("main", ir.Void)
+			b := ir.NewBuilder(f)
+			b.SetBlock(b.NewBlock("entry"))
+			b.Add(ir.ConstInt(ir.I64, 1), ir.ConstInt(ir.I64, 2))
+			b.Ret(nil)
+			f.Renumber()
+			if err := ir.Verify(m); err != nil {
+				panic(err)
+			}
+			return m
+		},
+	}
+}
+
+func TestPruningFullyMaskedRowMarshals(t *testing.T) {
+	cfg := Config{Samples: 40, Seed: 3, Programs: []string{"fullymasked"}}
+	row, err := pruneOne(cfg, fullyMaskedProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ActFrac != 1 {
+		t.Fatalf("ActFrac = %v, want 1 (workload is fully masked)", row.ActFrac)
+	}
+	if row.SpeedupAtCI != 0 {
+		t.Fatalf("SpeedupAtCI = %v, want the 0 sentinel at ActFrac == 1", row.SpeedupAtCI)
+	}
+	if row.PrunedTrials != row.Trials {
+		t.Fatalf("pruned %d of %d trials, want all of them", row.PrunedTrials, row.Trials)
+	}
+	// The regression proper: before the guard this was 1/(1-1) = +Inf,
+	// and Marshal failed with "unsupported value: +Inf".
+	if _, err := json.Marshal(row); err != nil {
+		t.Fatalf("row must marshal to JSON: %v", err)
+	}
+}
+
+func TestCISpeedup(t *testing.T) {
+	cases := []struct{ f, want float64 }{
+		{0, 1},
+		{0.5, 2},
+		{0.9, 10},
+		{1, 0},
+		{1.0000001, 0},
+	}
+	for _, c := range cases {
+		got := ciSpeedup(c.f)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("ciSpeedup(%v) = %v, must be finite", c.f, got)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("ciSpeedup(%v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}

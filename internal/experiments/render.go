@@ -141,6 +141,20 @@ func RenderPruning(w io.Writer, rows []PruningRow) {
 	fmt.Fprintln(w, "CI speedup: executed-trial multiplier at equal Wilson CI width, 1/(1-weighted)")
 }
 
+// RenderStratify writes the stratified-sampling table.
+func RenderStratify(w io.Writer, rows []StratifyRow) {
+	fmt.Fprintln(w, "Stratified live-bit sampling (ANALYSIS.md): unbiased weighted estimates, tighter CIs per executed trial")
+	fmt.Fprintf(w, "%-14s %14s %10s %10s %10s %10s %8s %10s %8s\n",
+		"Benchmark", "exec/slots", "plain SDC", "wSDC", "±plain@ex", "±strat", "eff n", "CI shrink", "±plain")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d/%-5d %10s %10s %10s %10s %8.0f %9.3fx %8s\n",
+			r.Name, r.Executed, r.Slots, pct(r.PlainSDC), pct(r.WeightedSDC),
+			pct(r.EqualExecErr), pct(r.WeightedErr), r.EffN, r.CIShrink, pct(r.PlainErr))
+	}
+	fmt.Fprintln(w, "wSDC: Horvitz-Thompson SDC estimate over the drawn slots; ±strat: weighted Wilson half-width")
+	fmt.Fprintln(w, "±plain@ex: Wilson half-width a uniform campaign gets for the same executed budget; shrink = ±plain@ex / ±strat")
+}
+
 // RenderSeparator writes a section break.
 func RenderSeparator(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 100))

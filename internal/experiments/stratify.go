@@ -1,0 +1,110 @@
+package experiments
+
+// This file measures stratified live-bit sampling (internal/bitlive
+// influence strata + internal/fault Options.Stratify, ANALYSIS.md
+// "Stratified sampling over live bits") as an experiment: for every
+// workload it runs the same campaign plain and stratified under the
+// default plan and compares the two estimates at equal *executed*
+// trials — the resource a campaign actually spends. The stratified run
+// draws the same deterministic slot stream, thins each stratum at its
+// plan rate and reweights by inverse inclusion probability, so its
+// weighted SDC estimate is unbiased for the plain campaign's
+// population; the payoff column is the CI shrink ratio, the factor by
+// which the weighted Wilson interval beats the plain Wilson interval a
+// uniform campaign would report for the same executed budget.
+
+import (
+	"fmt"
+
+	"trident/internal/bitlive"
+	"trident/internal/fault"
+	"trident/internal/progs"
+	"trident/internal/stats"
+)
+
+// StratifyRow is one workload's stratification measurement.
+type StratifyRow struct {
+	Name string
+	// Slots is the number of drawn sampling slots (the plain campaign's
+	// trial count); Executed is how many survived stratum thinning.
+	Slots, Executed int
+	// PlainSDC and PlainErr are the unstratified campaign's SDC estimate
+	// and Wilson 95% half-width over all Slots trials.
+	PlainSDC, PlainErr float64
+	// WeightedSDC is the stratified campaign's Horvitz-Thompson SDC
+	// estimate, and WeightedErr its weighted Wilson 95% half-width at the
+	// variance-matched effective sample size EffN.
+	WeightedSDC, WeightedErr float64
+	EffN                     float64
+	// EqualExecErr is the Wilson 95% half-width a *uniform* campaign
+	// would report if it spent the same executed-trial budget (the plain
+	// rate at n = Executed). CIShrink = EqualExecErr / WeightedErr; above
+	// 1, stratification buys a tighter interval per executed trial.
+	EqualExecErr float64
+	CIShrink     float64
+}
+
+// Stratify measures the default stratification plan over the extended
+// workload set (like Pruning: the narrow-output kernels are where the
+// masked stratum — and hence the thinning — is large). Unless
+// cfg.Programs restricts the set, all registered workloads are measured.
+func Stratify(cfg Config) ([]StratifyRow, error) {
+	cfg = cfg.withDefaults()
+	names := cfg.Programs
+	if len(names) == len(progs.All()) {
+		names = nil
+		for _, p := range progs.Extended() {
+			names = append(names, p.Name)
+		}
+	}
+	rows := make([]StratifyRow, 0, len(names))
+	for _, name := range names {
+		p, err := progs.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := stratifyOne(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("stratify/%s: %w", name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func stratifyOne(cfg Config, p progs.Program) (*StratifyRow, error) {
+	plainInj, err := fault.New(p.Build(), cfg.faultOptions(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	plain, err := plainInj.CampaignRandom(cfg.ctx(), cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+	plan := bitlive.DefaultPlan()
+	opts := cfg.faultOptions(cfg.Seed)
+	opts.Stratify = &plan
+	stratInj, err := fault.New(p.Build(), opts)
+	if err != nil {
+		return nil, err
+	}
+	sres, err := stratInj.CampaignStratified(cfg.ctx(), cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+	row := &StratifyRow{
+		Name:         p.Name,
+		Slots:        sres.SlotN,
+		Executed:     sres.ExecutedN(),
+		PlainSDC:     plain.SDCProb(),
+		PlainErr:     plain.ErrorBar95(),
+		WeightedSDC:  sres.WeightedSDC(),
+		WeightedErr:  sres.WeightedErrorBar95(),
+		EffN:         sres.EffectiveN(),
+		EqualExecErr: stats.ProportionCI95(plain.SDCProb(), sres.ExecutedN()),
+	}
+	if row.WeightedErr > 0 {
+		row.CIShrink = row.EqualExecErr / row.WeightedErr
+	}
+	return row, nil
+}

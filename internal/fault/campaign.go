@@ -298,9 +298,9 @@ launch:
 			if tr, terr, ok := ck.replay(spec); ok {
 				// The Pruned flag is not persisted in checkpoint records;
 				// recompute it so resumed campaigns report the same pruned
-				// tally as uninterrupted ones. (A checkpoint written without
-				// pruning replays cleanly under pruning and vice versa: the
-				// soundness guarantee makes both classifications Benign.)
+				// tally as uninterrupted ones. (Cross-prune replay cannot
+				// happen: the checkpoint header records the pruning
+				// configuration and openCheckpoint refuses a mismatch.)
 				tr.Pruned = tr.Outcome == Benign && inj.isPruned(spec)
 				res.Trials[i] = tr
 				mu.Lock()

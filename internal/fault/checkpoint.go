@@ -54,6 +54,20 @@ type checkpointMeta struct {
 	// text (hashutil.Hex form). Older logs omit it; the check applies only
 	// when both sides carry a hash, so version stays 1.
 	ModuleHash string `json:"module_hash,omitempty"`
+	// Prune records the bit-liveness configuration the campaign ran
+	// under: "none" when pruning was off, the report's module hash
+	// (hashutil.Hex) when -prune-bits was on. Resuming a pruned log
+	// unpruned (or vice versa) would mix replayed pruned classifications
+	// into an unpruned transcript — semantically different records in
+	// one log — so a mismatch refuses the resume. Older logs omit the
+	// field; the check applies only when both sides carry a value, so
+	// version stays 1.
+	Prune string `json:"prune,omitempty"`
+	// Stratify likewise records the stratification in effect: "none", or
+	// the influence + plan hash (Injector.StratifyHash). A log thinned
+	// under one plan replays a different executed subset than another
+	// plan expects, so mismatched resumes are refused the same way.
+	Stratify string `json:"stratify,omitempty"`
 }
 
 const checkpointVersion = 1
@@ -64,12 +78,24 @@ func (m checkpointMeta) matches(path string, want checkpointMeta) error {
 	if m.Version != want.Version || m.Module != want.Module ||
 		m.Kind != want.Kind || m.Seed != want.Seed || m.Space != want.Space {
 		return fmt.Errorf("fault: checkpoint %s was written by a different campaign "+
-			"(module %q seed %d space %d, want module %q seed %d space %d)",
-			path, m.Module, m.Seed, m.Space, want.Module, want.Seed, want.Space)
+			"(%s campaign, module %q seed %d space %d; want %s campaign, "+
+			"module %q seed %d space %d)",
+			path, m.Kind, m.Module, m.Seed, m.Space,
+			want.Kind, want.Module, want.Seed, want.Space)
 	}
 	if m.ModuleHash != "" && want.ModuleHash != "" && m.ModuleHash != want.ModuleHash {
 		return fmt.Errorf("fault: checkpoint %s was written for different module text "+
 			"(module hash %s, want %s)", path, m.ModuleHash, want.ModuleHash)
+	}
+	if m.Prune != "" && want.Prune != "" && m.Prune != want.Prune {
+		return fmt.Errorf("fault: checkpoint %s was written under different bit-liveness "+
+			"pruning (prune %s, want %s): resume with the matching -prune-bits setting",
+			path, m.Prune, want.Prune)
+	}
+	if m.Stratify != "" && want.Stratify != "" && m.Stratify != want.Stratify {
+		return fmt.Errorf("fault: checkpoint %s was written under a different "+
+			"stratification plan (stratify %s, want %s): resume with the matching "+
+			"-stratify setting", path, m.Stratify, want.Stratify)
 	}
 	return nil
 }
@@ -88,6 +114,40 @@ type trialRecord struct {
 
 func (r trialRecord) key() TrialKey {
 	return TrialKey{Func: r.Func, Instr: r.Instr, Instance: r.Instance, Bit: r.Bit}
+}
+
+// injection rebuilds the in-memory trial (and, for Errored records, its
+// TrialError, with Index left for the caller to fill) from a log record
+// matched to its spec.
+func (r trialRecord) injection(spec trialSpec) (Injection, *TrialError) {
+	outcome, _ := outcomeFromName(r.Outcome)
+	tr := Injection{
+		Instr:        spec.instr,
+		Instance:     spec.instance,
+		Bit:          spec.bit,
+		Outcome:      outcome,
+		CrashLatency: r.Latency,
+	}
+	if outcome != Errored {
+		return tr, nil
+	}
+	return tr, &TrialError{
+		Instr:    spec.instr,
+		Instance: spec.instance,
+		Bit:      spec.bit,
+		Attempts: r.Attempts,
+		Err:      errors.New(r.Err),
+	}
+}
+
+// readCheckpointFile reads a checkpoint log's raw bytes with the
+// package's error wrapping.
+func readCheckpointFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: checkpoint: %w", err)
+	}
+	return data, nil
 }
 
 // Checkpoint is an append-only JSONL log of completed campaign trials.
@@ -404,8 +464,12 @@ func (ck *Checkpoint) Close() error {
 }
 
 // metaRandom describes a CampaignRandom run for checkpoint validation.
+// Prune and Stratify always carry an explicit value ("none" when off),
+// so two fresh logs that differ in either setting can never validate
+// against each other; only pre-existing logs from older versions (empty
+// fields) are grandfathered in.
 func (inj *Injector) metaRandom(n int) checkpointMeta {
-	return checkpointMeta{
+	meta := checkpointMeta{
 		Version:    checkpointVersion,
 		Module:     inj.module.Name,
 		Kind:       "random",
@@ -413,7 +477,16 @@ func (inj *Injector) metaRandom(n int) checkpointMeta {
 		Space:      inj.total,
 		N:          n,
 		ModuleHash: hashutil.Hex(inj.moduleHash),
+		Prune:      "none",
+		Stratify:   "none",
 	}
+	if h := inj.pruneHash(); h != "" {
+		meta.Prune = h
+	}
+	// Stratify stays "none" here: a plain random campaign's trial list
+	// and records do not depend on Options.Stratify. metaStratified
+	// overrides it (and Kind) for stratified runs.
+	return meta
 }
 
 // CampaignRandomCheckpoint is CampaignRandom persisted to a JSONL log at

@@ -171,6 +171,16 @@ type Options struct {
 	// Inject/InjectDetail never prune, so single trials — and the
 	// oracle — always execute.
 	PruneBits bool
+	// Stratify, when non-nil, enables stratified campaigns
+	// (CampaignStratified and friends): the injector classifies every
+	// injectable bit into an influence stratum
+	// (bitlive.ClassifyInfluence) and thins the sampled slots by the
+	// plan's per-stratum rates with inverse-probability reweighting.
+	// Estimates stay exactly unbiased for any valid plan (rates in
+	// (0, 1]); only the variance changes. The plan does not affect
+	// CampaignRandom or Inject/InjectDetail. See ANALYSIS.md,
+	// "Stratified sampling over live bits".
+	Stratify *bitlive.Plan
 	// Engine selects the interpreter execution engine for the golden run,
 	// the snapshot-capture pass and every trial. The zero value is the
 	// legacy engine. With interp.EngineDecoded the injector lowers the
@@ -232,6 +242,10 @@ type Injector struct {
 	// masked trials; nil unless Options.PruneBits is set.
 	prune *bitlive.Report
 
+	// influence is the per-bit stratum classification driving stratified
+	// campaigns; nil unless Options.Stratify is set.
+	influence *bitlive.Influence
+
 	// met is the pre-resolved metric set (nil when Options.Metrics is
 	// nil), so trial workers record through atomics only.
 	met *campaignMetrics
@@ -261,6 +275,19 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 	inj.met = newCampaignMetrics(opts.Metrics)
 	if opts.PruneBits {
 		inj.prune = bitlive.Analyze(m)
+	}
+	if opts.Stratify != nil {
+		if err := opts.Stratify.Validate(); err != nil {
+			return nil, err
+		}
+		// The classifier needs the liveness report for its Masked
+		// stratum; reuse the pruning report when both are on, otherwise
+		// analyze without enabling pruning.
+		rep := inj.prune
+		if rep == nil {
+			rep = bitlive.Analyze(m)
+		}
+		inj.influence = bitlive.ClassifyInfluence(m, rep)
 	}
 	if opts.Engine == interp.EngineDecoded {
 		inj.prog = interp.CompileDecoded(m, opts.Metrics)

@@ -16,7 +16,6 @@ package fault
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"os"
 )
@@ -120,18 +119,8 @@ func MergeCheckpoints(dst string, srcs ...string) (int, error) {
 // logs into a job's final result without paying for a redundant pass
 // over the trial list.
 func (inj *Injector) CampaignFromCheckpoint(n int, path string) (*CampaignResult, int, error) {
-	data, err := os.ReadFile(path)
+	_, recs, err := loadLogFor(path, inj.metaRandom(n))
 	if err != nil {
-		return nil, 0, fmt.Errorf("fault: checkpoint: %w", err)
-	}
-	meta, recs, warns, err := readLog(path, data)
-	if err != nil {
-		return nil, 0, err
-	}
-	for _, w := range warns {
-		warnf("%s", w)
-	}
-	if err := meta.matches(path, inj.metaRandom(n)); err != nil {
 		return nil, 0, err
 	}
 	res := &CampaignResult{}
@@ -142,23 +131,10 @@ func (inj *Injector) CampaignFromCheckpoint(n int, path string) (*CampaignResult
 			missing++
 			continue
 		}
-		outcome, _ := outcomeFromName(rec.Outcome)
-		tr := Injection{
-			Instr:        spec.instr,
-			Instance:     spec.instance,
-			Bit:          spec.bit,
-			Outcome:      outcome,
-			CrashLatency: rec.Latency,
-		}
-		if outcome == Errored {
-			res.Errs = append(res.Errs, TrialError{
-				Index:    len(res.Trials),
-				Instr:    spec.instr,
-				Instance: spec.instance,
-				Bit:      spec.bit,
-				Attempts: rec.Attempts,
-				Err:      errors.New(rec.Err),
-			})
+		tr, terr := rec.injection(spec)
+		if terr != nil {
+			terr.Index = len(res.Trials)
+			res.Errs = append(res.Errs, *terr)
 		}
 		res.Trials = append(res.Trials, tr)
 	}

@@ -1,0 +1,392 @@
+// This file implements stratified (importance-sampled) campaigns over
+// the live-bit space — the dynamic half of the BEC idea (ANALYSIS.md,
+// "Stratified sampling over live bits"; DESIGN.md §5i for the pruning
+// half). The bit-influence classifier (bitlive.ClassifyInfluence)
+// assigns every injectable bit a stratum; a Plan assigns each stratum an
+// inclusion probability. A stratified campaign draws the SAME n slots
+// the unstratified campaign would (same seed, same sequential stream),
+// then thins each slot by its stratum's rate with a deterministic
+// per-slot hash: the executed trials are a bit-identical subset of the
+// unstratified campaign's trials. Each executed trial carries the
+// inverse-probability weight 1/q of its stratum, and estimates become
+// Horvitz-Thompson sums over the drawn slots — exactly unbiased for any
+// plan, with the variance bookkeeping done by stats.WeightedTally.
+//
+// Determinism contract: slot inclusion is a pure function of
+// (seed, slot index, stratum rate) via a random-access hash, NOT a
+// sequential stream — so sharding, checkpoint resume and replay see
+// exactly the same subset without fast-forwarding any generator.
+
+package fault
+
+import (
+	"context"
+	"fmt"
+
+	"trident/internal/bitlive"
+	"trident/internal/hashutil"
+	"trident/internal/ir"
+	"trident/internal/stats"
+)
+
+// stratSalt decorrelates the slot-inclusion hash from every other use
+// of the campaign seed (the sampling stream, per-instruction streams).
+const stratSalt = 0x9E3779B97F4A7C15
+
+// slotU maps (seed, slot) to a uniform float in [0, 1) with a
+// splitmix64-style finalizer. Random access per slot keeps inclusion
+// independent of visit order.
+func slotU(seed uint64, slot int) float64 {
+	h := seed ^ (stratSalt * (uint64(slot) + 1))
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return float64(h>>11) * (1.0 / (1 << 53))
+}
+
+// stratumOf classifies one spec's target bit. Callers must have
+// configured Options.Stratify (which builds the influence table).
+func (inj *Injector) stratumOf(spec trialSpec) bitlive.Stratum {
+	return inj.influence.Stratum(spec.instr, spec.bit)
+}
+
+// StratifyHash returns the content address of the stratification in
+// effect — the influence table's module hash folded with the plan hash
+// (hashutil.Hex form) — or "" when Options.Stratify is nil. Checkpoint
+// headers, cache keys and the server's result cache include it so
+// estimates weighted under one plan are never mixed with another.
+func (inj *Injector) StratifyHash() string {
+	if inj.opts.Stratify == nil {
+		return ""
+	}
+	h := hashutil.String(fmt.Sprintf("%x|%x",
+		inj.influence.ModuleHash(inj.module), inj.opts.Stratify.Hash()))
+	return hashutil.Hex(h)
+}
+
+// StratifyHashFor computes the stratification content address of m
+// under plan without building an injector (no golden run): the server's
+// result cache keys jobs with it at admission time. It agrees with
+// Injector.StratifyHash for the same module and plan.
+func StratifyHashFor(m *ir.Module, plan bitlive.Plan) string {
+	inf := bitlive.ClassifyInfluence(m, bitlive.Analyze(m))
+	return hashutil.Hex(hashutil.String(fmt.Sprintf("%x|%x", inf.ModuleHash(m), plan.Hash())))
+}
+
+// pruneHash returns the content address of the bit-liveness report a
+// pruned campaign runs under ("" when Options.PruneBits is off).
+func (inj *Injector) pruneHash() string {
+	if inj.prune == nil {
+		return ""
+	}
+	return hashutil.Hex(inj.prune.ModuleHash(inj.module))
+}
+
+// StratifiedResult is a stratified campaign's outcome: the executed
+// trials (a deterministic subset of the slots an unstratified campaign
+// with the same seed would run) plus the weighting needed to estimate
+// over the full slot population.
+type StratifiedResult struct {
+	// CampaignResult holds the executed trials only; its unweighted
+	// rates describe the executed subset, not the population — use the
+	// Weighted variants for campaign-level estimates.
+	*CampaignResult
+	// SlotN is the number of slots drawn before thinning (the n the
+	// campaign was asked for).
+	SlotN int
+	// Plan is the stratification plan the campaign ran under.
+	Plan bitlive.Plan
+	// Weights and Strata align with Trials: Weights[i] is the inverse
+	// inclusion probability 1/q of trial i's stratum.
+	Weights []float64
+	Strata  []bitlive.Stratum
+	// SlotCounts counts the drawn slots per stratum, before thinning.
+	SlotCounts [bitlive.NumStrata]int
+}
+
+// ExecutedN returns the number of trials that occupied execution slots
+// after thinning (including pruned ones, which are free).
+func (sr *StratifiedResult) ExecutedN() int { return len(sr.Trials) }
+
+// Tally builds the weighted tally of one program outcome over the
+// classified executed trials.
+func (sr *StratifiedResult) Tally(o Outcome) stats.WeightedTally {
+	var t stats.WeightedTally
+	for i, tr := range sr.Trials {
+		if tr.Outcome == Errored {
+			continue
+		}
+		t.Add(sr.Weights[i], tr.Outcome == o)
+	}
+	return t
+}
+
+// classifiedSlots returns the Horvitz-Thompson denominator: the drawn
+// slot count less the weighted share of Errored trials, mirroring how
+// unstratified rates normalize over ClassifiedN.
+func (sr *StratifiedResult) classifiedSlots() float64 {
+	d := float64(sr.SlotN)
+	for i, tr := range sr.Trials {
+		if tr.Outcome == Errored {
+			d -= sr.Weights[i]
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// WeightedRate returns the Horvitz-Thompson estimate of a program
+// outcome's rate over the full slot population. Rate(Errored) has no
+// weighted meaning (engine failures are a property of the run, not the
+// population); it returns the executed-subset rate.
+func (sr *StratifiedResult) WeightedRate(o Outcome) float64 {
+	if o == Errored {
+		return sr.Rate(Errored)
+	}
+	return sr.Tally(o).HTProportion(sr.classifiedSlots())
+}
+
+// WeightedSDC returns the Horvitz-Thompson SDC probability estimate.
+func (sr *StratifiedResult) WeightedSDC() float64 { return sr.WeightedRate(SDC) }
+
+// EffectiveN returns the variance-matched effective sample size of the
+// SDC estimate (stats.WeightedTally.HTEffectiveN): the trial count a
+// uniform campaign would need to match the stratified estimate's
+// variance. Under an all-ones plan it equals the classified slot count.
+func (sr *StratifiedResult) EffectiveN() float64 {
+	return sr.Tally(SDC).HTEffectiveN(sr.classifiedSlots())
+}
+
+// WeightedErrorBar95 returns the half-width of the 95% Wilson interval
+// of the weighted SDC estimate at the variance-matched effective sample
+// size — the stratified analogue of ErrorBar95.
+func (sr *StratifiedResult) WeightedErrorBar95() float64 {
+	t := sr.Tally(SDC)
+	denom := sr.classifiedSlots()
+	return stats.WeightedProportionCI95(t.HTProportion(denom), t.HTEffectiveN(denom))
+}
+
+// StratumSummary reports one stratum's share of a stratified campaign.
+type StratumSummary struct {
+	Stratum bitlive.Stratum
+	// Rate is the plan's inclusion probability.
+	Rate float64
+	// Slots is how many drawn slots fell in the stratum; Executed how
+	// many survived thinning.
+	Slots, Executed int
+}
+
+// Summary returns the per-stratum breakdown in priority order (noise
+// first), covering every stratum the plan names.
+func (sr *StratifiedResult) Summary() []StratumSummary {
+	var exec [bitlive.NumStrata]int
+	for _, s := range sr.Strata {
+		exec[s]++
+	}
+	out := make([]StratumSummary, 0, bitlive.NumStrata)
+	for _, s := range bitlive.Strata() {
+		out = append(out, StratumSummary{
+			Stratum:  s,
+			Rate:     sr.Plan.Rate(s),
+			Slots:    sr.SlotCounts[int(s)],
+			Executed: exec[int(s)],
+		})
+	}
+	return out
+}
+
+// stratifiedSpecs draws the campaign's n slots and thins them by the
+// plan: the returned specs are the executed subset, with per-spec
+// strata and the per-stratum slot counts of the full draw.
+func (inj *Injector) stratifiedSpecs(n int) (kept []trialSpec, strata []bitlive.Stratum, slotCounts [bitlive.NumStrata]int) {
+	specs := inj.sampleRandom(n)
+	plan := *inj.opts.Stratify
+	for i, spec := range specs {
+		s := inj.stratumOf(spec)
+		slotCounts[int(s)]++
+		q := plan.Rate(s)
+		if q >= 1 || slotU(inj.opts.Seed, i) < q {
+			kept = append(kept, spec)
+			strata = append(strata, s)
+		}
+	}
+	return kept, strata, slotCounts
+}
+
+// finishStratified wraps the executed trials into a StratifiedResult,
+// recomputing weights from the plan. A cancelled campaign returns a
+// prefix of the kept specs; weights align with whatever prefix ran.
+func (inj *Injector) finishStratified(res *CampaignResult, strata []bitlive.Stratum, slotCounts [bitlive.NumStrata]int, n int) *StratifiedResult {
+	plan := *inj.opts.Stratify
+	sr := &StratifiedResult{
+		CampaignResult: res,
+		SlotN:          n,
+		Plan:           plan,
+		SlotCounts:     slotCounts,
+	}
+	sr.Strata = strata[:len(res.Trials)]
+	sr.Weights = make([]float64, len(res.Trials))
+	for i, s := range sr.Strata {
+		sr.Weights[i] = 1 / plan.Rate(s)
+	}
+	return sr
+}
+
+// requireStratify validates the stratified-campaign configuration.
+func (inj *Injector) requireStratify() error {
+	if inj.opts.Stratify == nil {
+		return fmt.Errorf("fault: stratified campaign requires Options.Stratify")
+	}
+	return nil
+}
+
+// CampaignStratified performs a stratified campaign over n slots: the
+// same n uniform draws CampaignRandom(n) would make, thinned per
+// stratum by Options.Stratify, with Horvitz-Thompson reweighting in the
+// result. Cancelling ctx returns the completed prefix along with
+// ctx.Err(), exactly like CampaignRandom.
+func (inj *Injector) CampaignStratified(ctx context.Context, n int) (*StratifiedResult, error) {
+	if err := inj.requireStratify(); err != nil {
+		return nil, err
+	}
+	kept, strata, slotCounts := inj.stratifiedSpecs(n)
+	res, err := inj.runTrials(ctx, kept, nil)
+	if res == nil {
+		return nil, err
+	}
+	return inj.finishStratified(res, strata, slotCounts, n), err
+}
+
+// metaStratified describes a stratified run for checkpoint validation:
+// same identity as the unstratified campaign plus the stratification
+// hash, under its own kind so a stratified log (which holds only the
+// thinned subset) can never masquerade as a complete random log.
+func (inj *Injector) metaStratified(n int) checkpointMeta {
+	meta := inj.metaRandom(n)
+	meta.Kind = "stratified"
+	meta.Stratify = inj.StratifyHash()
+	return meta
+}
+
+// CampaignStratifiedCheckpoint is CampaignStratified persisted to (and
+// resumed from) a JSONL log at path, with the same contract as
+// CampaignRandomCheckpoint.
+func (inj *Injector) CampaignStratifiedCheckpoint(ctx context.Context, n int, path string) (*StratifiedResult, error) {
+	if err := inj.requireStratify(); err != nil {
+		return nil, err
+	}
+	ck, err := openCheckpoint(path, inj.metaStratified(n), false)
+	if err != nil {
+		return nil, err
+	}
+	kept, strata, slotCounts := inj.stratifiedSpecs(n)
+	res, runErr := inj.runTrials(ctx, kept, ck)
+	if cerr := ck.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	if res == nil {
+		return nil, runErr
+	}
+	return inj.finishStratified(res, strata, slotCounts, n), runErr
+}
+
+// CampaignStratifiedShardCheckpoint runs one shard of an n-slot
+// stratified campaign: the executed subset is computed over the full
+// slot range (inclusion is a random-access hash, so shard identity
+// never shifts it) and the shard runs the kept specs whose slot falls
+// in ShardRange(n, shard, shards), checkpointed at path. The returned
+// result covers only this shard's executed trials; merge the shard logs
+// and reconstruct with StratifiedFromCheckpoint for the weighted
+// campaign result.
+func (inj *Injector) CampaignStratifiedShardCheckpoint(ctx context.Context, n, shard, shards int, path string) (*CampaignResult, error) {
+	if err := inj.requireStratify(); err != nil {
+		return nil, err
+	}
+	if shards <= 0 {
+		return nil, fmt.Errorf("fault: shard count must be positive, got %d", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("fault: shard %d out of range [0, %d)", shard, shards)
+	}
+	specs := inj.sampleRandom(n)
+	plan := *inj.opts.Stratify
+	lo, hi := ShardRange(n, shard, shards)
+	var kept []trialSpec
+	for i := lo; i < hi; i++ {
+		spec := specs[i]
+		q := plan.Rate(inj.stratumOf(spec))
+		if q >= 1 || slotU(inj.opts.Seed, i) < q {
+			kept = append(kept, spec)
+		}
+	}
+	ck, err := openCheckpoint(path, inj.metaStratified(n), false)
+	if err != nil {
+		return nil, err
+	}
+	res, runErr := inj.runTrials(ctx, kept, ck)
+	if cerr := ck.Close(); cerr != nil && runErr == nil {
+		runErr = cerr
+	}
+	return res, runErr
+}
+
+// StratifiedFromCheckpoint reconstructs a stratified campaign result
+// purely from the checkpoint log at path (typically the merge of shard
+// logs) — no trial executes. It returns the result over the executed
+// specs present in the log plus the number of expected specs the log is
+// missing, mirroring CampaignFromCheckpoint. Weights are recomputed
+// from the plan, never persisted: the header's stratification hash
+// guarantees the log was thinned under the same plan.
+func (inj *Injector) StratifiedFromCheckpoint(n int, path string) (*StratifiedResult, int, error) {
+	if err := inj.requireStratify(); err != nil {
+		return nil, 0, err
+	}
+	_, recs, err := loadLogFor(path, inj.metaStratified(n))
+	if err != nil {
+		return nil, 0, err
+	}
+	kept, strata, slotCounts := inj.stratifiedSpecs(n)
+	res := &CampaignResult{}
+	var gotStrata []bitlive.Stratum
+	missing := 0
+	for i, spec := range kept {
+		rec, ok := recs[spec.key()]
+		if !ok {
+			missing++
+			continue
+		}
+		tr, terr := rec.injection(spec)
+		if terr != nil {
+			terr.Index = len(res.Trials)
+			res.Errs = append(res.Errs, *terr)
+		}
+		res.Trials = append(res.Trials, tr)
+		gotStrata = append(gotStrata, strata[i])
+	}
+	res.tally()
+	return inj.finishStratified(res, gotStrata, slotCounts, n), missing, nil
+}
+
+// loadLogFor reads and validates a checkpoint log against want,
+// surfacing torn-tail warnings like every other loader.
+func loadLogFor(path string, want checkpointMeta) (checkpointMeta, map[TrialKey]trialRecord, error) {
+	data, err := readCheckpointFile(path)
+	if err != nil {
+		return checkpointMeta{}, nil, err
+	}
+	meta, recs, warns, err := readLog(path, data)
+	if err != nil {
+		return checkpointMeta{}, nil, err
+	}
+	for _, w := range warns {
+		warnf("%s", w)
+	}
+	if err := meta.matches(path, want); err != nil {
+		return checkpointMeta{}, nil, err
+	}
+	return meta, recs, nil
+}

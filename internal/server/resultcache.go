@@ -49,6 +49,13 @@ type resultKey struct {
 	// mask hash means a bitlive rule change invalidates exactly the
 	// pruned entries, and unpruned keys never move.
 	Prune string `json:"prune,omitempty"`
+	// Stratify is the stratification content address (influence table
+	// hash folded with the plan hash, fault.StratifyHashFor) for
+	// stratified jobs, empty otherwise. A stratified result holds a
+	// thinned, reweighted trial subset, so it must never serve a plain
+	// submission (or vice versa), and a classifier or plan change
+	// invalidates exactly the stratified entries.
+	Stratify string `json:"stratify,omitempty"`
 }
 
 // resultCacheKey derives j's cache key, or reports false when the
@@ -66,6 +73,10 @@ func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
 	if j.req.PruneBits {
 		prune = hashutil.Hex(bitlive.Analyze(mod).ModuleHash(mod))
 	}
+	stratify := ""
+	if j.req.Stratify {
+		stratify = fault.StratifyHashFor(mod, bitlive.DefaultPlan())
+	}
 	return resultKey{
 		Kind:       resultKeyKind,
 		ModuleHash: hashutil.Hex(hashutil.Module(mod)),
@@ -73,6 +84,7 @@ func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
 		Seed:       j.req.Seed,
 		N:          j.req.N,
 		Prune:      prune,
+		Stratify:   stratify,
 	}, true
 }
 
@@ -90,7 +102,16 @@ func (s *Server) lookupResult(j *Job) (*Result, bool) {
 	if !s.resultCache.Get(key, &payload) {
 		return nil, false
 	}
-	if payload.N != j.req.N || payload.Missing != 0 || len(payload.Trials) != j.req.N {
+	// A stratified result legitimately records fewer trials than the N
+	// drawn slots — only the executed subset — so its completeness check
+	// is against its own executed count; the key's stratification hash
+	// guarantees that count is the right one for this submission.
+	wantTrials := j.req.N
+	if payload.Stratified {
+		wantTrials = payload.ExecutedN
+	}
+	if payload.N != j.req.N || payload.Missing != 0 ||
+		payload.Stratified != j.req.Stratify || len(payload.Trials) != wantTrials {
 		return nil, false
 	}
 	for i := range payload.Trials {

@@ -240,6 +240,19 @@ func (s *Server) buildResult(j *Job, state JobState) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if j.req.Stratify {
+		sres, missing, serr := inj.StratifiedFromCheckpoint(j.req.N, merged)
+		if serr != nil {
+			return nil, serr
+		}
+		out := resultToWire(j, sres.CampaignResult, missing)
+		out.Stratified = true
+		out.ExecutedN = sres.ExecutedN()
+		out.WeightedSDC = sres.WeightedSDC()
+		out.WeightedErrorBar95 = sres.WeightedErrorBar95()
+		out.EffectiveN = sres.EffectiveN()
+		return out, nil
+	}
 	res, missing, err := inj.CampaignFromCheckpoint(j.req.N, merged)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"io"
 	"time"
 
+	"trident/internal/bitlive"
 	"trident/internal/fault"
 	"trident/internal/interp"
 	"trident/internal/ir"
@@ -95,6 +96,14 @@ type SubmitRequest struct {
 	// unpruned campaign, but the result cache still keys on the pruning
 	// masks so an analysis change can never replay stale entries.
 	PruneBits bool `json:"prune_bits,omitempty"`
+	// Stratify enables stratified live-bit importance sampling under the
+	// default plan (bitlive.DefaultPlan): low-influence strata are thinned
+	// deterministically and every executed trial carries its inverse
+	// inclusion probability, so the result's weighted fields are unbiased
+	// population estimates at a fraction of the executed trials. The
+	// result cache keys on the stratification hash, so a classifier or
+	// plan change can never replay stale weighted results.
+	Stratify bool `json:"stratify,omitempty"`
 }
 
 // RequestError is a submission rejection attributable to one field —
@@ -255,7 +264,7 @@ func (req *SubmitRequest) WallBudget(lim Limits) time.Duration {
 // process-local concerns (telemetry, progress callback, trial hook).
 func (req *SubmitRequest) faultOptions() fault.Options {
 	engine, _ := interp.ParseEngine(req.Engine) // validated at admission
-	return fault.Options{
+	opts := fault.Options{
 		Seed:             req.Seed,
 		Workers:          req.Workers,
 		MaxRetries:       req.MaxRetries,
@@ -264,6 +273,11 @@ func (req *SubmitRequest) faultOptions() fault.Options {
 		Engine:           engine,
 		PruneBits:        req.PruneBits,
 	}
+	if req.Stratify {
+		plan := bitlive.DefaultPlan()
+		opts.Stratify = &plan
+	}
+	return opts
 }
 
 // SubmitResponse acknowledges an accepted job.
@@ -348,6 +362,19 @@ type Result struct {
 	ErrorBar95 float64 `json:"error_bar_95"`
 	// Trials lists every recorded trial in sampling order.
 	Trials []TrialRecord `json:"trials"`
+	// Stratified marks a stratified job's result: Trials then holds only
+	// the executed (thinned) subset of the N drawn slots, and the
+	// weighted fields below carry the Horvitz-Thompson population
+	// estimates. SDCProb/ErrorBar95 still describe the executed subset.
+	Stratified bool `json:"stratified,omitempty"`
+	// ExecutedN is the number of slots that survived thinning.
+	ExecutedN int `json:"executed_n,omitempty"`
+	// WeightedSDC is the inverse-probability-weighted SDC estimate over
+	// all N slots; WeightedErrorBar95 is its 95% Wilson half-width at the
+	// variance-matched effective sample size EffectiveN.
+	WeightedSDC        float64 `json:"weighted_sdc,omitempty"`
+	WeightedErrorBar95 float64 `json:"weighted_error_bar_95,omitempty"`
+	EffectiveN         float64 `json:"effective_n,omitempty"`
 	// FailedShards carries the per-shard error status of a degraded job.
 	FailedShards []ShardStatus `json:"failed_shards,omitempty"`
 	// Cached reports that the result was served from the server's

@@ -54,6 +54,19 @@ func mergedCheckpointPath(dir string) string {
 	return filepath.Join(dir, "merged.jsonl")
 }
 
+// runShardCampaign runs one shard of req's campaign against the shard
+// checkpoint at path, dispatching on the sampling mode: stratified jobs
+// execute only the deterministically thinned subset of their slot range
+// (fault.CampaignStratifiedShardCheckpoint), plain jobs the whole range.
+func runShardCampaign(ctx context.Context, inj *fault.Injector, req *SubmitRequest, shard int, path string) error {
+	if req.Stratify {
+		_, err := inj.CampaignStratifiedShardCheckpoint(ctx, req.N, shard, req.Shards, path)
+		return err
+	}
+	_, err := inj.CampaignShardCheckpoint(ctx, req.N, shard, req.Shards, path)
+	return err
+}
+
 // chaosHook returns a per-trial delay TrialHook — the crash drills use
 // it to hold campaigns open long enough to kill things mid-flight.
 func chaosHook(d time.Duration) func(*ir.Instr, uint64, int, int) error {
@@ -90,8 +103,7 @@ func (r *inprocRunner) runShard(ctx context.Context, j *Job, shard int, progress
 	if err != nil {
 		return err
 	}
-	_, err = inj.CampaignShardCheckpoint(ctx, j.req.N, shard, j.req.Shards, shardCheckpointPath(j.dir, shard))
-	return err
+	return runShardCampaign(ctx, inj, j.req, shard, shardCheckpointPath(j.dir, shard))
 }
 
 // execRunner runs each shard attempt as a child process: the server
@@ -231,7 +243,7 @@ func RunWorker(dir string, shard int, chaos time.Duration) int {
 		fmt.Fprintf(os.Stderr, "fiserver worker: %v\n", err)
 		return 1
 	}
-	if _, err := inj.CampaignShardCheckpoint(ctx, req.N, shard, req.Shards, shardCheckpointPath(dir, shard)); err != nil {
+	if err := runShardCampaign(ctx, inj, req, shard, shardCheckpointPath(dir, shard)); err != nil {
 		if sig := fired(); sig != nil {
 			// Interrupted: completed trials are in the checkpoint; the
 			// supervisor resumes from there.

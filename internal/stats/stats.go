@@ -84,22 +84,15 @@ func ProportionCI95(p float64, n int) float64 {
 // recomputes intervals from merged tallies through this function, so a
 // composed estimate carries exactly the interval a monolithic campaign
 // with the same pooled counts would report.
+//
+// It is the integral-n special case of WeightedWilsonBounds and inherits
+// its [0, 1] clamp: at p ∈ {0, 1} the raw score algebra cancels two
+// nearly-equal terms and can land a few ULPs outside the unit interval.
 func WilsonBounds(p float64, n int) (lo, hi float64) {
 	if n <= 0 {
 		return 0, 0
 	}
-	if p < 0 {
-		p = 0
-	} else if p > 1 {
-		p = 1
-	}
-	const z = 1.96
-	nf := float64(n)
-	z2 := z * z
-	denom := 1 + z2/nf
-	center := (p + z2/(2*nf)) / denom
-	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
-	return center - half, center + half
+	return WeightedWilsonBounds(p, float64(n))
 }
 
 // TTestResult is the outcome of a paired two-tailed t-test.

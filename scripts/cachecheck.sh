@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # cachecheck.sh — the compositional cache's edit-and-rerun drill, run by
 # `make check`.
 #
@@ -20,7 +20,7 @@
 # Passing means: cache keys are stable across runs, an edit invalidates
 # only the edited function, and the composed incremental result is
 # bit-identical to paying full campaign cost.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 TMP=$(mktemp -d /tmp/cachecheck.XXXXXX)

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # doccheck.sh — the documentation lint, run by `make doc`.
 #
 # Three checks:
@@ -16,7 +16,7 @@
 #
 # Run from the repo root; exits non-zero listing every violation.
 
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 TMP=$(mktemp -d /tmp/doccheck.XXXXXX)
@@ -46,8 +46,9 @@ for dir in $($GO list -f '{{.Dir}}' ./...); do
 done
 
 # 3: README's cmd/fi flag table vs. the binary's actual flag set.
+# (-h exits 2 by flag-package convention; that is not a failure here.)
 $GO build -o "$TMP/fi" ./cmd/fi
-"$TMP/fi" -h 2>&1 | sed -n 's/^  -\([a-z-]*\).*/\1/p' | sort >"$TMP/cli.flags"
+{ "$TMP/fi" -h 2>&1 || true; } | sed -n 's/^  -\([a-z-]*\).*/\1/p' | sort >"$TMP/cli.flags"
 sed -n 's/^| `-\([a-z-]*\)[^`]*`.*/\1/p' README.md | sort >"$TMP/readme.flags"
 if ! cmp -s "$TMP/cli.flags" "$TMP/readme.flags"; then
     echo "doccheck: README.md cmd/fi flag table is out of sync with the binary:" >&2

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # prunecheck.sh — the bit-liveness pruning drill, run by `make check`.
 #
 # It exercises the exact-reweighting contract (DESIGN.md §5i) end to end
@@ -18,7 +18,7 @@
 #
 # Passing means: pruning changes which trials *execute*, and nothing
 # about what the campaign *reports*.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 TMP=$(mktemp -d /tmp/prunecheck.XXXXXX)
@@ -63,9 +63,12 @@ check_pruned() { # log checkpoint label
     grep -v 'bit-liveness pruning:\|pruned statically' "$1" >"$TMP/stripped.log"
     cmp "$TMP/stripped.log" "$TMP/plain.log" \
         || fail "$3: summary differs from the unpruned campaign"
-    # Same per-trial transcript, worker completion order aside.
-    sort "$2" >"$TMP/want.sorted"
-    sort "$TMP/plain.jsonl" >"$TMP/got.sorted"
+    # Same per-trial transcript, worker completion order aside. The
+    # header line legitimately differs (it records the pruning and
+    # stratification configuration the log ran under), so only trial
+    # records are compared.
+    grep -v '"version"' "$2" | sort >"$TMP/want.sorted"
+    grep -v '"version"' "$TMP/plain.jsonl" | sort >"$TMP/got.sorted"
     cmp "$TMP/want.sorted" "$TMP/got.sorted" \
         || fail "$3: checkpoint transcript differs from the unpruned campaign"
 }

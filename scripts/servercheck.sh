@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # servercheck.sh — the campaign server's chaos drill, run by `make check`.
 #
 # It exercises the full crash-tolerance story against real processes:
@@ -18,7 +18,7 @@
 # Passing means: a killed worker was retried from its checkpoint, a
 # drained server resumed after restart, and none of it changed a single
 # trial outcome.
-set -eu
+set -euo pipefail
 
 GO=${GO:-go}
 TMP=$(mktemp -d /tmp/servercheck.XXXXXX)
