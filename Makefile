@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck prunecheck stratcheck
+.PHONY: build test check race bench bench-all doc fuzz-smoke servercheck cachecheck prunecheck stratcheck adaptcheck
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,11 @@ doc:
 # same for stratified sampling: the thinned campaign's transcript must
 # be a subset of the plain one and the reweighted estimate must land on
 # the plain campaign's SDC probability (scripts/stratcheck.sh). The
+# adaptcheck drill closes the loop on adaptive (Neyman) allocation:
+# pilot-derived plans must replay byte-identically from their own
+# checkpoints, adaptive transcripts must be fenced from plain and
+# stratified ones, and cache-seeded plans must skip the pilot while
+# composing byte-identically to a cold run (scripts/adaptcheck.sh). The
 # stats package races alongside the other tiers — its weighted tallies
 # are accumulated by concurrent campaign code.
 check: build doc
@@ -63,6 +68,7 @@ check: build doc
 	$(MAKE) cachecheck
 	$(MAKE) prunecheck
 	$(MAKE) stratcheck
+	$(MAKE) adaptcheck
 
 # servercheck is the campaign server's kill drill; see
 # scripts/servercheck.sh for the exact choreography.
@@ -87,6 +93,13 @@ prunecheck:
 stratcheck:
 	bash scripts/stratcheck.sh
 
+# adaptcheck is the adaptive-stratification drill: pilot-derived plans
+# must replay deterministically, and cached profiles must buy back the
+# pilot without changing a byte of the composed result; see
+# scripts/adaptcheck.sh for the exact choreography.
+adaptcheck:
+	bash scripts/adaptcheck.sh
+
 # fuzz-smoke runs each native fuzz target for a bounded slice (~10s):
 # long enough to mutate past the seed corpus, short enough for CI. Deep
 # fuzzing is manual: go test ./internal/crosscheck -fuzz <target>.
@@ -105,9 +118,12 @@ fuzz-smoke:
 # least 3 kernels (the narrow-output ones clear it; the paper kernels'
 # near-zero masked fractions are expected). The stratification gate
 # mirrors it: at least 3 kernels must show a ≥1.1x weighted-CI shrink
-# at equal executed trials under the default plan.
+# at equal executed trials under the default plan. The adaptive gate
+# requires a ≥1.05x shrink that also matches or beats the static plan's
+# on at least 3 kernels — pilot cost included, so the floor sits below
+# the static gate's on purpose.
 bench:
-	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia,rgb2gray,nibblepack,boxblur -repeats 3 -min-pruned-ci-speedup 1.2 -min-strat-ci-shrink 1.1 -out BENCH_fi.json
+	$(GO) run ./cmd/fibench -programs libquantum,blackscholes,sad,bfs-parboil,hercules,lulesh,puremd,nw,pathfinder,hotspot,bfs-rodinia,rgb2gray,nibblepack,boxblur -repeats 3 -min-pruned-ci-speedup 1.2 -min-strat-ci-shrink 1.1 -min-adapt-ci-shrink 1.05 -out BENCH_fi.json
 	$(GO) test -bench='BenchmarkCampaign' -benchmem .
 
 # bench-all runs the full benchmark harness (paper tables, ablations,

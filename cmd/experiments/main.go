@@ -6,7 +6,8 @@
 //
 //	-run string      comma-separated experiments to run:
 //	                 table1,fig5,table2,fig6a,fig6b,fig7,fig8,fig9,inputs,
-//	                 ablations,pruning,stratify or "all" (default "all")
+//	                 ablations,pruning,stratify,adaptive or "all"
+//	                 (default "all")
 //	-samples int     FI samples for overall SDC probabilities (default 3000)
 //	-perinstr int    FI samples per static instruction (default 100)
 //	-seed uint       deterministic seed (default 2018)
@@ -175,7 +176,7 @@ func run(ctx context.Context, args []string) error {
 	selected := map[string]bool{}
 	if *runList == "all" {
 		for _, n := range []string{"table1", "fig5", "table2", "fig6a", "fig6b",
-			"fig7", "fig8", "fig9", "inputs", "ablations", "pruning", "stratify"} {
+			"fig7", "fig8", "fig9", "inputs", "ablations", "pruning", "stratify", "adaptive"} {
 			selected[n] = true
 		}
 	} else {
@@ -345,6 +346,19 @@ func run(ctx context.Context, args []string) error {
 			experiments.RenderStratify(w, rows)
 		}
 		stamp("stratify", start)
+	}
+	if selected["adaptive"] {
+		start := time.Now()
+		rows, err := experiments.Adaptive(cfg)
+		if err != nil {
+			return err
+		}
+		if md {
+			experiments.MarkdownAdaptive(w, rows)
+		} else {
+			experiments.RenderAdaptive(w, rows)
+		}
+		stamp("adaptive", start)
 	}
 	return nil
 }

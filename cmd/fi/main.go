@@ -84,6 +84,8 @@ func run(args []string) (int, error) {
 	engineName := fs.String("engine", "legacy", "interpreter engine for the golden run and every trial: legacy or decoded")
 	pruneBits := fs.Bool("prune-bits", false, "skip injections into statically provably-masked bits, recording them benign without execution; results are bit-identical to an unpruned campaign (exact reweighting, see DESIGN.md §5i)")
 	stratify := fs.Bool("stratify", false, "stratified live-bit importance sampling: thin low-influence strata (noise, masked bits) deterministically and reweight executed trials by inverse inclusion probability; the weighted estimates stay unbiased at a fraction of the executed trials (see ANALYSIS.md)")
+	stratifyAdaptive := fs.Bool("stratify-adaptive", false, "two-phase adaptive (Neyman-allocation) stratified sampling: a static-shape pilot over the first ~20% of the slot budget (provably-masked slots thinned at the rate floor) estimates per-stratum SDC rates, the remaining slots are thinned under the derived plan, and pilot trials fold into the weighted estimate at the pilot plan's 1/q — executed trials never exceed -n (see ANALYSIS.md); with -cache-dir, plans are seeded from cached per-function profiles and the pilot is skipped on hits")
+	maskedRate := fs.Float64("stratify-masked-rate", bitlive.DefaultMaskedRate, "with -stratify: inclusion rate of the provably-masked stratum in the static plan, in (0, 1]")
 	metricsOut := fs.String("metrics-out", "", "write a JSON metrics snapshot here on exit (see OBSERVABILITY.md)")
 	traceOut := fs.String("trace-out", "", "write a JSONL event trace here (campaign spans, errored trials)")
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address (e.g. :6060) for the campaign's lifetime")
@@ -117,6 +119,18 @@ func run(args []string) (int, error) {
 	if *stratify && (*cacheDir != "" || *perInstr) {
 		return 1, fmt.Errorf("-stratify is incompatible with -cache-dir and -per-instr")
 	}
+	if *stratify && *stratifyAdaptive {
+		return 1, fmt.Errorf("-stratify and -stratify-adaptive are mutually exclusive: an adaptive campaign derives its own plan")
+	}
+	if *stratifyAdaptive && *perInstr {
+		return 1, fmt.Errorf("-stratify-adaptive is incompatible with -per-instr")
+	}
+	if !(*maskedRate > 0) || *maskedRate > 1 {
+		return 1, fmt.Errorf("-stratify-masked-rate %v outside (0, 1]", *maskedRate)
+	}
+	if *maskedRate != bitlive.DefaultMaskedRate && !*stratify {
+		return 1, fmt.Errorf("-stratify-masked-rate requires -stratify")
+	}
 	engine, err := interp.ParseEngine(*engineName)
 	if err != nil {
 		return 1, err
@@ -131,6 +145,9 @@ func run(args []string) (int, error) {
 	if *remote != "" {
 		if *perInstr {
 			return 1, fmt.Errorf("-per-instr is not supported with -remote")
+		}
+		if *maskedRate != bitlive.DefaultMaskedRate {
+			return 1, fmt.Errorf("-stratify-masked-rate is not supported with -remote (the server runs the default plan)")
 		}
 		var irText string
 		if *irFile != "" {
@@ -159,6 +176,7 @@ func run(args []string) (int, error) {
 				TrialTimeoutMS:   trialTimeout.Milliseconds(),
 				PruneBits:        *pruneBits,
 				Stratify:         *stratify,
+				StratifyAdaptive: *stratifyAdaptive,
 			},
 		})
 	}
@@ -211,8 +229,12 @@ func run(args []string) (int, error) {
 
 	var plan *bitlive.Plan
 	if *stratify {
-		p := bitlive.DefaultPlan()
+		p := bitlive.MaskedRatePlan(*maskedRate)
 		plan = &p
+	}
+	var adaptive *fault.AdaptiveConfig
+	if *stratifyAdaptive {
+		adaptive = &fault.AdaptiveConfig{}
 	}
 	inj, err := fault.New(m, fault.Options{
 		Seed:             *seed,
@@ -226,6 +248,7 @@ func run(args []string) (int, error) {
 		Engine:           engine,
 		PruneBits:        *pruneBits,
 		Stratify:         plan,
+		Adaptive:         adaptive,
 	})
 	if err != nil {
 		return 1, err
@@ -243,7 +266,7 @@ func run(args []string) (int, error) {
 
 	if *cacheDir != "" {
 		return runCompositional(ctx, fired, compositionalOpts{
-			inj: inj, module: m, n: *n,
+			inj: inj, module: m, n: *n, adaptive: *stratifyAdaptive,
 			cacheDir: *cacheDir, composeOut: *composeOut, metricsOut: *metricsOut,
 			reg: reg, trace: trace, meter: meter, lastProgress: lastProgress,
 		})
@@ -252,7 +275,26 @@ func run(args []string) (int, error) {
 	start := time.Now()
 	var res *fault.CampaignResult
 	var sres *fault.StratifiedResult
+	var ares *fault.AdaptiveResult
 	switch {
+	case *stratifyAdaptive:
+		if *resume {
+			// Adaptive checkpoints resume transparently (mid-pilot or
+			// mid-main); -resume just adds the "refuse to start from
+			// scratch" contract.
+			if _, serr := os.Stat(*checkpoint); serr != nil {
+				return 1, fmt.Errorf("-resume: %w", serr)
+			}
+		}
+		if *checkpoint != "" {
+			ares, err = inj.CampaignAdaptiveCheckpoint(ctx, *n, *checkpoint)
+		} else {
+			ares, err = inj.CampaignAdaptive(ctx, *n)
+		}
+		if ares != nil {
+			sres = ares.StratifiedResult
+			res = sres.CampaignResult
+		}
 	case *stratify:
 		if *resume {
 			// Stratified checkpoints resume transparently; -resume just
@@ -312,15 +354,18 @@ func run(args []string) (int, error) {
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n",
 		res.SDCProb()*100, stats.ProportionCI95(res.SDCProb(), res.ClassifiedN())*100)
 	if sres != nil {
-		fmt.Printf("\nstratified sampling (plan %s):\n", sres.Plan)
-		fmt.Printf("  %-9s %6s %9s %9s\n", "stratum", "rate", "slots", "executed")
-		for _, ss := range sres.Summary() {
-			if ss.Slots == 0 && ss.Executed == 0 {
-				continue
-			}
-			fmt.Printf("  %-9s %6.2f %9d %9d\n", ss.Stratum, ss.Rate, ss.Slots, ss.Executed)
+		if ares != nil {
+			fmt.Printf("\nadaptive stratified sampling (pilot %d of %d slots, derived plan %s):\n",
+				ares.PilotExecuted, ares.PilotSlots, sres.Plan)
+		} else {
+			fmt.Printf("\nstratified sampling (plan %s):\n", sres.Plan)
 		}
+		printStratumTable(sres)
 		fmt.Printf("  %d of %d drawn slots executed\n", sres.ExecutedN(), *n)
+		if ares != nil && ares.ExecutedN() > 0 {
+			fmt.Printf("  pilot spent %.0f%% of the executed budget buying the plan\n",
+				ares.PilotFraction()*100)
+		}
 		fmt.Printf("weighted SDC probability: %.2f%% ± %.2f%% (95%% CI, effective n %.0f)\n",
 			sres.WeightedSDC()*100, sres.WeightedErrorBar95()*100, sres.EffectiveN())
 	}
@@ -369,10 +414,27 @@ func run(args []string) (int, error) {
 	return 0, nil
 }
 
+// printStratumTable renders the per-stratum breakdown in stratum
+// priority order (fixed, so two runs of the same campaign are
+// byte-comparable). Strata that drew no slots — typically because the
+// module has no bits in them — render as explicit dash rows rather than
+// disappearing, so a five-row table always has five rows.
+func printStratumTable(sres *fault.StratifiedResult) {
+	fmt.Printf("  %-9s %6s %9s %9s\n", "stratum", "rate", "slots", "executed")
+	for _, ss := range sres.Summary() {
+		if ss.Slots == 0 && ss.Executed == 0 {
+			fmt.Printf("  %-9s %6.2f %9s %9s\n", ss.Stratum, ss.Rate, "-", "-")
+			continue
+		}
+		fmt.Printf("  %-9s %6.2f %9d %9d\n", ss.Stratum, ss.Rate, ss.Slots, ss.Executed)
+	}
+}
+
 type compositionalOpts struct {
 	inj          *fault.Injector
 	module       *ir.Module
 	n            int
+	adaptive     bool
 	cacheDir     string
 	composeOut   string
 	metricsOut   string
@@ -385,14 +447,26 @@ type compositionalOpts struct {
 // runCompositional executes the incremental campaign mode behind
 // -cache-dir: per-function sections are replayed from the content-
 // addressed profile cache when their body hash and golden-run stamp
-// still match, and re-injected (then cached) otherwise.
+// still match, and re-injected (then cached) otherwise. With
+// -stratify-adaptive, each section runs the two-phase adaptive campaign
+// instead — and on a cache hit the plan is seeded from the cached
+// per-stratum tallies, skipping the pilot entirely.
 func runCompositional(ctx context.Context, fired func() os.Signal, o compositionalOpts) (int, error) {
 	store, err := cache.Open(o.cacheDir, cache.Options{Metrics: o.reg, Trace: o.trace})
 	if err != nil {
 		return 1, err
 	}
 	start := time.Now()
-	res, err := o.inj.CampaignCompositional(ctx, o.n, store)
+	var res *fault.CompositionalResult
+	var ares *fault.AdaptiveCompositionalResult
+	if o.adaptive {
+		ares, err = o.inj.CampaignAdaptiveCompositional(ctx, o.n, store)
+		if ares != nil {
+			res = ares.CompositionalResult
+		}
+	} else {
+		res, err = o.inj.CampaignCompositional(ctx, o.n, store)
+	}
 	o.meter.Final(o.lastProgress)
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !cancelled {
@@ -409,19 +483,36 @@ func runCompositional(ctx context.Context, fired func() os.Signal, o composition
 			time.Since(start).Seconds(), res.N(), o.n)
 	}
 
-	fmt.Printf("\ncompositional campaign over %s (%d trials, cache %s):\n",
-		o.module.Name, res.N(), o.cacheDir)
+	mode := "compositional"
+	if o.adaptive {
+		mode = "adaptive compositional"
+	}
+	fmt.Printf("\n%s campaign over %s (%d trials, cache %s):\n",
+		mode, o.module.Name, res.N(), o.cacheDir)
 	fmt.Printf("%-16s %-18s %10s %7s  %s\n", "function", "body hash", "weight", "trials", "cache")
 	for i := range res.Funcs {
 		fc := &res.Funcs[i]
 		state := "MISS (injected)"
-		if fc.Cached {
+		switch {
+		case o.adaptive && fc.Seeded:
+			state = "SEED (plan from plain profile, no pilot)"
+		case fc.Cached:
 			state = "HIT  (replayed)"
+		case o.adaptive:
+			state = fmt.Sprintf("MISS (pilot %d + main)", fc.PilotN)
 		}
 		fmt.Printf("@%-15s %-18s %10d %7d  %s\n",
 			fc.Name, hashutil.Hex(fc.BodyHash), fc.Weight, len(fc.Records), state)
+		if o.adaptive && fc.Plan != "" {
+			fmt.Printf("  %-15s plan %s\n", "", fc.Plan)
+		}
 	}
-	fmt.Printf("cache: %d hit(s), %d miss(es)\n", res.Hits, res.Misses)
+	if o.adaptive {
+		fmt.Printf("cache: %d hit(s), %d miss(es); %d plan(s) seeded from plain profiles, %d pilot trials executed\n",
+			res.Hits, res.Misses, ares.SeededFuncs, ares.PilotExecuted)
+	} else {
+		fmt.Printf("cache: %d hit(s), %d miss(es)\n", res.Hits, res.Misses)
+	}
 	fmt.Printf("\ncomposed outcome rates:\n")
 	for _, o2 := range fault.AllOutcomes {
 		name := o2.String()

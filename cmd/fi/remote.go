@@ -255,7 +255,12 @@ func printRemoteResult(res *server.Result) {
 	}
 	fmt.Printf("SDC probability: %.2f%% ± %.2f%% (95%% CI)\n", res.SDCProb*100, res.ErrorBar95*100)
 	if res.Stratified {
-		fmt.Printf("stratified: %d of %d drawn slots executed\n", res.ExecutedN, res.N)
+		if res.Adaptive {
+			fmt.Printf("adaptive: %d of %d drawn slots executed (%d pilot trials)\n",
+				res.ExecutedN, res.N, res.PilotExecuted)
+		} else {
+			fmt.Printf("stratified: %d of %d drawn slots executed\n", res.ExecutedN, res.N)
+		}
 		fmt.Printf("weighted SDC probability: %.2f%% ± %.2f%% (95%% CI, effective n %.0f)\n",
 			res.WeightedSDC*100, res.WeightedErrorBar95*100, res.EffectiveN)
 	}

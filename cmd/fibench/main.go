@@ -19,7 +19,8 @@
 //	        [-n 400] [-seed 7] [-workers 4]
 //	        [-interval 2048] [-repeats 1] [-max-overhead 0]
 //	        [-min-decoded-speedup 0] [-min-pruned-ci-speedup 0]
-//	        [-min-strat-ci-shrink 0] [-out BENCH_fi.json]
+//	        [-min-strat-ci-shrink 0] [-min-adapt-ci-shrink 0]
+//	        [-out BENCH_fi.json]
 //
 // -out "-" writes to stdout. -repeats N times every campaign N times and
 // keeps the fastest run, damping scheduler noise on loaded machines. The
@@ -35,6 +36,17 @@
 // at the same executed-trial budget; -min-strat-ci-shrink gates it the
 // same way the pruned-CI gate works (at least -min-strat-kernels
 // programs must clear the floor).
+//
+// Each program also runs the campaign adaptively (-stratify-adaptive
+// semantics: a pilot prefix buys a Neyman plan, the remainder is
+// thinned under it, pilot trials fold into the weighted estimate). The
+// adapt_ci_shrink column is the same equal-executed-budget ratio for
+// the pilot-derived plan, and pilot_fraction the pilot's share of the
+// executed budget. -min-adapt-ci-shrink gates it, counting only
+// kernels where the adaptive shrink also matches or beats the static
+// plan's — the floor the adaptive machinery must never fall below,
+// since the static shape is a member of the plan family it optimizes
+// over.
 package main
 
 import (
@@ -116,6 +128,21 @@ type result struct {
 	StratEqualExecCIHalf float64 `json:"strat_equal_exec_ci_half"`
 	StratCIShrink        float64 `json:"strat_ci_shrink"`
 	StratEffN            float64 `json:"strat_eff_n"`
+	// AdaptExecuted of N drawn slots survived the adaptive campaign
+	// (pilot trials included); PilotExecuted of them were pilot trials
+	// and PilotFraction is their share of the executed budget — the
+	// overhead spent buying the plan. AdaptCIShrink mirrors
+	// StratCIShrink for the pilot-derived plan; the -min-adapt-ci-shrink
+	// gate requires it to match or beat the static plan's shrink.
+	AdaptExecuted        int     `json:"adapt_executed"`
+	PilotExecuted        int     `json:"pilot_executed"`
+	PilotFraction        float64 `json:"pilot_fraction"`
+	AdaptWeightedSDC     float64 `json:"adapt_weighted_sdc"`
+	AdaptCIHalf          float64 `json:"adapt_ci_half"`
+	AdaptEqualExecCIHalf float64 `json:"adapt_equal_exec_ci_half"`
+	AdaptCIShrink        float64 `json:"adapt_ci_shrink"`
+	AdaptEffN            float64 `json:"adapt_eff_n"`
+	AdaptPlan            string  `json:"adapt_plan"`
 	OutcomeSummary       string  `json:"outcomes"`
 }
 
@@ -140,6 +167,8 @@ func run(args []string) error {
 	minPrunedKernels := fs.Int("min-pruned-kernels", 3, "with -min-pruned-ci-speedup: how many programs must clear the floor")
 	minStratShrink := fs.Float64("min-strat-ci-shrink", 0, "fail unless at least -min-strat-kernels programs reach this stratified CI shrink at equal executed trials (0 disables the gate)")
 	minStratKernels := fs.Int("min-strat-kernels", 3, "with -min-strat-ci-shrink: how many programs must clear the floor")
+	minAdaptShrink := fs.Float64("min-adapt-ci-shrink", 0, "fail unless at least -min-adapt-kernels programs reach this adaptive CI shrink at equal executed trials while matching or beating the static plan's shrink (0 disables the gate)")
+	minAdaptKernels := fs.Int("min-adapt-kernels", 3, "with -min-adapt-ci-shrink: how many programs must clear the floor")
 	out := fs.String("out", "BENCH_fi.json", "output JSON path, or - for stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -159,10 +188,11 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintf(os.Stderr,
-			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms pruned=%7.1fms speedup=%.2fx decoded-speedup=%.2fx pruned=%.1f%% ci-speedup=%.2fx strat=%d/%d shrink=%.3fx telemetry=%+.1f%% identical=%v\n",
+			"%-12s golden=%-6d snapshots=%-3d legacy=%7.1fms snapshot=%7.1fms decoded=%7.1fms pruned=%7.1fms speedup=%.2fx decoded-speedup=%.2fx pruned=%.1f%% ci-speedup=%.2fx strat=%d/%d shrink=%.3fx adapt=%d/%d shrink=%.3fx pilot=%.0f%% telemetry=%+.1f%% identical=%v\n",
 			r.Program, r.GoldenDyn, r.Snapshots, r.LegacyMs, r.SnapshotMs, r.DecodedMs, r.PrunedMs,
 			r.Speedup, r.DecodedSpeedup, r.BitsPrunedPct, r.PrunedCISpeedup,
 			r.StratExecuted, r.N, r.StratCIShrink,
+			r.AdaptExecuted, r.N, r.AdaptCIShrink, r.PilotFraction*100,
 			r.TelemetryOverhead*100, r.Identical)
 		if !r.Identical {
 			return fmt.Errorf("%s: campaigns diverged between execution paths", name)
@@ -218,6 +248,29 @@ func run(args []string) error {
 		if cleared < *minStratKernels {
 			return fmt.Errorf("only %d kernels reach the %.2fx stratified CI-shrink floor (need %d)",
 				cleared, *minStratShrink, *minStratKernels)
+		}
+	}
+
+	// The adaptive gate adds one condition to the stratified gate's
+	// shape: a kernel only counts if the pilot-derived plan also matched
+	// or beat the static plan's shrink. The static shape is a member of
+	// the family the scale optimization searches, so losing to it means
+	// the pilot evidence misled the allocator — exactly the regression
+	// this gate exists to catch. Ties count: on kernels where the pilot
+	// finds no exploitable variance spread, falling back to the static
+	// shape is the correct answer.
+	if *minAdaptShrink > 0 {
+		cleared := 0
+		for _, r := range results {
+			if r.AdaptCIShrink >= *minAdaptShrink && r.AdaptCIShrink >= r.StratCIShrink-1e-9 {
+				cleared++
+			}
+		}
+		fmt.Fprintf(os.Stderr, "adaptive equal-executed CI shrink ≥ %.2fx (and ≥ static) on %d/%d kernels\n",
+			*minAdaptShrink, cleared, len(results))
+		if cleared < *minAdaptKernels {
+			return fmt.Errorf("only %d kernels reach the %.2fx adaptive CI-shrink floor while matching the static plan (need %d)",
+				cleared, *minAdaptShrink, *minAdaptKernels)
 		}
 	}
 
@@ -413,6 +466,24 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		return result{}, err
 	}
 
+	// The adaptive campaign replaces the fixed plan with a pilot-derived
+	// one: a static-shape pilot over the slot prefix estimates per-stratum
+	// SDC rates, Neyman allocation turns them into thinning rates, and the
+	// remaining slots run under the derived plan. Same equal-executed
+	// comparison as the stratified column; the pilot trials count against
+	// the executed budget, so the shrink already prices in their cost.
+	adapt, err := fault.New(m, fault.Options{
+		Seed: seed, Workers: workers, SnapshotInterval: interval,
+		Engine: interp.EngineDecoded, Adaptive: &fault.AdaptiveConfig{},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	adaptRes, err := adapt.CampaignAdaptive(context.Background(), n)
+	if err != nil {
+		return result{}, err
+	}
+
 	r := result{
 		Program:           name,
 		N:                 n,
@@ -444,10 +515,21 @@ func benchProgram(name string, n int, seed uint64, workers int, interval uint64,
 		StratCIHalf:          stratRes.WeightedErrorBar95(),
 		StratEqualExecCIHalf: stats.ProportionCI95(lres.SDCProb(), stratRes.ExecutedN()),
 		StratEffN:            stratRes.EffectiveN(),
+		AdaptExecuted:        adaptRes.ExecutedN(),
+		PilotExecuted:        adaptRes.PilotExecuted,
+		PilotFraction:        adaptRes.PilotFraction(),
+		AdaptWeightedSDC:     adaptRes.WeightedSDC(),
+		AdaptCIHalf:          adaptRes.WeightedErrorBar95(),
+		AdaptEqualExecCIHalf: stats.ProportionCI95(lres.SDCProb(), adaptRes.ExecutedN()),
+		AdaptEffN:            adaptRes.EffectiveN(),
+		AdaptPlan:            adaptRes.Plan.String(),
 		OutcomeSummary:       summarize(lres),
 	}
 	if r.StratCIHalf > 0 {
 		r.StratCIShrink = r.StratEqualExecCIHalf / r.StratCIHalf
+	}
+	if r.AdaptCIHalf > 0 {
+		r.AdaptCIShrink = r.AdaptEqualExecCIHalf / r.AdaptCIHalf
 	}
 	return r, nil
 }

@@ -66,12 +66,13 @@ func run(args []string) int {
 	debugAddr := fs.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
 	workerDir := fs.String("worker-dir", "", "run as a shard worker over this job directory (internal, used by -worker-mode exec)")
 	workerShard := fs.Int("worker-shard", -1, "shard index to run in -worker-dir mode")
+	workerPhase := fs.String("worker-phase", "", "campaign phase to run in -worker-dir mode: empty, pilot or main (internal)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *workerDir != "" {
-		return server.RunWorker(*workerDir, *workerShard, *chaosDelay)
+		return server.RunWorker(*workerDir, *workerShard, *workerPhase, *chaosDelay)
 	}
 	if *spool == "" {
 		fmt.Fprintln(os.Stderr, "fiserver: -spool is required")

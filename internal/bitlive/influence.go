@@ -255,6 +255,24 @@ func (inf *Influence) ModuleStats(m *ir.Module) StratumStats {
 	return st
 }
 
+// FuncStats surveys one function's result-defining instructions — the
+// per-function analogue of ModuleStats, used by compositional adaptive
+// campaigns to scope pilot evidence to the section being sampled.
+func (inf *Influence) FuncStats(fn *ir.Func) StratumStats {
+	var st StratumStats
+	fn.Instrs(func(in *ir.Instr) {
+		if !in.HasResult() {
+			return
+		}
+		ms := inf.masks[in]
+		for s := 0; s < NumStrata; s++ {
+			st.Bits[s] += bits.OnesCount64(ms[s])
+		}
+		st.Total += in.Type.Bits()
+	})
+	return st
+}
+
 // Plan assigns each stratum its sampling rate: the probability that a
 // drawn trial targeting a bit of that stratum is actually executed.
 // Rates must lie in (0, 1] — a zero rate would make the inverse-
@@ -265,11 +283,15 @@ type Plan struct {
 	Rates [NumStrata]float64
 }
 
+// DefaultMaskedRate is the masked-stratum inclusion rate of the standard
+// static plan: one confirmation trial in twenty.
+const DefaultMaskedRate = 0.05
+
 // DefaultPlan is the standard stratification: run every live stratum at
 // rate 1 and keep only a confirmation sliver of the provably-masked bits
-// (1/20). Thinning a stratum whose SDC rate is nonzero trades executed
-// trials for variance (each surviving hit carries weight 1/q and
-// Horvitz-Thompson variance w(w−1)), and measurements across the
+// (DefaultMaskedRate, 1/20). Thinning a stratum whose SDC rate is nonzero
+// trades executed trials for variance (each surviving hit carries weight
+// 1/q and Horvitz-Thompson variance w(w−1)), and measurements across the
 // workload set show the live "noise" bits carry enough SDC mass that
 // thinning them widens the interval at equal executed trials. The masked
 // stratum is the opposite: the liveness oracle guarantees those bits
@@ -281,12 +303,34 @@ type Plan struct {
 // noise (or sign/boundary/address) when prior knowledge says their SDC
 // mass is low.
 func DefaultPlan() Plan {
+	return MaskedRatePlan(DefaultMaskedRate)
+}
+
+// MaskedRatePlan is DefaultPlan with the masked-stratum sliver set to
+// rate: live strata run at 1, provably-masked bits at rate. The rate is
+// folded into Plan.Hash like any other, so checkpoints and caches fence
+// differently-thinned campaigns apart. Callers must Validate (rate must
+// lie in (0, 1]); the CLIs reject out-of-range -stratify-masked-rate
+// values before a campaign starts.
+func MaskedRatePlan(rate float64) Plan {
 	var p Plan
-	p.Rates[StratumMasked] = 0.05
+	p.Rates[StratumMasked] = rate
 	p.Rates[StratumNoise] = 1
 	p.Rates[StratumSign] = 1
 	p.Rates[StratumBoundary] = 1
 	p.Rates[StratumAddress] = 1
+	return p
+}
+
+// UniformPlan runs every stratum at rate 1 — no thinning at all. It is
+// the pilot phase of adaptive campaigns: every drawn slot executes, so
+// per-stratum outcome tallies estimate each stratum's SDC rate without
+// any reweighting.
+func UniformPlan() Plan {
+	var p Plan
+	for s := 0; s < NumStrata; s++ {
+		p.Rates[s] = 1
+	}
 	return p
 }
 

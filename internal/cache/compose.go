@@ -140,6 +140,100 @@ func Compose(tallies []FuncTally) Composed {
 	return c
 }
 
+// WeightedFuncTally is one adaptively-sampled (Horvitz-Thompson
+// weighted) function section's contribution to a composed estimate: the
+// section drew Slots slots but executed only a thinned, reweighted
+// subset, so its rates are HT sums over the slot denominator rather than
+// count ratios. Plain sections are the special case Slots == classified
+// count with unit weights, where ComposeWeighted agrees with Compose's
+// point estimates exactly.
+type WeightedFuncTally struct {
+	// Func is the function name (reporting only).
+	Func string
+	// Weight is the function's activation count.
+	Weight uint64
+	// Slots is the section's classified slot denominator: the drawn slot
+	// budget less the weighted mass of errored trials.
+	Slots float64
+	// Counts tallies executed trials by outcome name (pooled reporting).
+	Counts map[string]int
+	// Sums is Σ HT weight per outcome name over executed classified
+	// trials.
+	Sums map[string]float64
+	// SDC is the weighted tally over executed classified trials with SDC
+	// as the hit indicator; it carries the weight sums and the
+	// thinning-variance term the interval needs.
+	SDC stats.WeightedTally
+}
+
+// ComposeWeighted stitches HT-weighted per-function tallies into a
+// whole-program estimate — the adaptive-campaign counterpart of Compose.
+// Rates are activation-share averages of per-function HT rates; the SDC
+// interval uses the stratified-design variance Σ_f share_f²·Var_f (each
+// function's binomial term plus its Bernoulli-thinning term,
+// stats.WeightedTally.HTEffectiveN) converted to a variance-matched
+// effective sample size, falling back to the Kish size of the combined
+// per-trial weights when the point estimate is degenerate.
+func ComposeWeighted(tallies []WeightedFuncTally) Composed {
+	c := Composed{Counts: make(map[string]int), Rates: make(map[string]float64)}
+	var weightSum float64
+	for _, t := range tallies {
+		for o, n := range t.Counts {
+			c.Counts[o] += n
+			c.Trials += n
+		}
+		if t.Slots > 0 && t.Weight > 0 {
+			weightSum += float64(t.Weight)
+		}
+	}
+	c.Classified = c.Trials - c.Counts[ErroredName]
+
+	var variance, kishW, kishW2 float64
+	for _, t := range tallies {
+		if !(t.Slots > 0) || t.Weight == 0 || weightSum == 0 {
+			continue
+		}
+		share := float64(t.Weight) / weightSum
+		for o, s := range t.Sums {
+			if o == ErroredName {
+				continue
+			}
+			r := s / t.Slots
+			if r < 0 {
+				r = 0
+			} else if r > 1 {
+				r = 1
+			}
+			c.Rates[o] += share * r
+		}
+		p := t.SDC.HTProportion(t.Slots)
+		variance += share * share * (p*(1-p)/t.Slots + t.SDC.HitVar/(t.Slots*t.Slots))
+		// Combined per-trial weights for the degenerate fallback: each
+		// classified trial of function f carries share_f/Slots_f times its
+		// HT weight.
+		cf := share / t.Slots
+		kishW += cf * t.SDC.W
+		kishW2 += cf * cf * t.SDC.W2
+	}
+	if c.Trials > 0 {
+		if n := c.Counts[ErroredName]; n > 0 {
+			c.Rates[ErroredName] = float64(n) / float64(c.Trials)
+		}
+	}
+	c.SDC = c.Rates[SDCName]
+	if pq := c.SDC * (1 - c.SDC); pq > 0 && variance > 0 {
+		c.EffN = pq / variance
+	} else {
+		c.EffN = stats.KishNeff(kishW, kishW2)
+	}
+	if c.EffN > 0 {
+		c.SDCLo, c.SDCHi = stats.WeightedWilsonBounds(c.SDC, c.EffN)
+	} else {
+		c.SDCLo, c.SDCHi = stats.WilsonBounds(c.SDC, c.Classified)
+	}
+	return c
+}
+
 // OutcomeNames returns the outcome names present in the composed counts,
 // sorted, for deterministic reporting.
 func (c Composed) OutcomeNames() []string {

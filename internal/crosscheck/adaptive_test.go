@@ -1,0 +1,70 @@
+package crosscheck
+
+import (
+	"fmt"
+	"testing"
+
+	"trident/internal/fault"
+	"trident/internal/ir"
+	"trident/internal/irgen"
+)
+
+// TestAdaptivePlanUnbiasedExhaustive: a pilot-derived Neyman plan is
+// just a static plan, so the stratified unbiasedness oracle must pass
+// over it — this is the acceptance sweep for adaptive plan derivation.
+func TestAdaptivePlanUnbiasedExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive injection sweep")
+	}
+	for _, seed := range []uint64{27, 30} {
+		seed := seed
+		label := fmt.Sprintf("rand-%d", seed)
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			build := func() *ir.Module { return irgen.Generate(irgen.Config{Seed: seed}) }
+			plan, err := DerivePilotPlan(build, fault.AdaptiveConfig{}, 7, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Validate(); err != nil {
+				t.Fatalf("pilot-derived plan invalid: %v", err)
+			}
+			ms, truth, err := CheckStratifyUnbiased(label, build, StratifyUnbiasedOptions{
+				Plan: plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ms {
+				t.Errorf("%s", d)
+			}
+			t.Logf("%s: plan %v, exhaustive SDC truth %.4f", label, plan, truth)
+		})
+	}
+}
+
+// TestAdaptiveUnbiasedExhaustive: the full adaptive loop — per-seed
+// pilots, per-seed plans, folded pilot + main estimates — stays unbiased
+// against the exhaustive ground truth, with honest interval coverage and
+// strict budget accounting.
+func TestAdaptiveUnbiasedExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive injection sweep")
+	}
+	for _, seed := range []uint64{27, 30} {
+		seed := seed
+		label := fmt.Sprintf("rand-%d", seed)
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			build := func() *ir.Module { return irgen.Generate(irgen.Config{Seed: seed}) }
+			ms, truth, err := CheckAdaptiveUnbiased(label, build, AdaptiveUnbiasedOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range ms {
+				t.Errorf("%s", d)
+			}
+			t.Logf("%s: exhaustive SDC truth %.4f", label, truth)
+		})
+	}
+}

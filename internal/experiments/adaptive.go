@@ -1,0 +1,139 @@
+package experiments
+
+// This file measures adaptive Neyman-allocation stratification
+// (internal/fault CampaignAdaptive, ANALYSIS.md "Adaptive (Neyman)
+// allocation") as an experiment: for every workload it runs the same
+// campaign plain, stratified under the static default plan, and
+// adaptively — static-shape pilot (provably-masked slots thinned at
+// the floor), Neyman rates from the pilot's per-stratum tallies, main
+// phase under the derived plan, pilot trials folded into the final
+// estimate. Both stratified modes are compared
+// at equal *executed* trials against the plain Wilson interval, so the
+// AdaptShrink vs StaticShrink columns answer the question the adaptive
+// machinery exists for: does spending a pilot on variance estimation
+// buy a tighter interval than the one static plan we ship?
+
+import (
+	"fmt"
+
+	"trident/internal/bitlive"
+	"trident/internal/fault"
+	"trident/internal/progs"
+	"trident/internal/stats"
+)
+
+// AdaptiveRow is one workload's adaptive-stratification measurement.
+type AdaptiveRow struct {
+	Name string
+	// Slots is the number of drawn sampling slots; Executed is how many
+	// survived pilot + derived-plan thinning (pilot trials included).
+	Slots, Executed int
+	// PilotExecuted is the executed pilot-prefix trials that bought the
+	// plan, and PilotFraction their share of the executed budget.
+	PilotExecuted int
+	PilotFraction float64
+	// PlainSDC is the unstratified campaign's estimate over all Slots
+	// trials (the population ground truth the weighted estimator targets).
+	PlainSDC float64
+	// WeightedSDC is the adaptive campaign's Horvitz-Thompson estimate,
+	// WeightedErr its weighted Wilson 95% half-width at effective sample
+	// size EffN.
+	WeightedSDC, WeightedErr float64
+	EffN                     float64
+	// EqualExecErr is the Wilson half-width a uniform campaign would
+	// report for the adaptive run's executed budget; AdaptShrink =
+	// EqualExecErr / WeightedErr. StaticShrink is the same ratio for a
+	// campaign under the static default plan — the baseline the adaptive
+	// plan must beat to justify its pilot.
+	EqualExecErr float64
+	AdaptShrink  float64
+	StaticShrink float64
+	// Plan is the derived main-phase plan, and Strata its per-stratum
+	// slot/execution breakdown in fixed stratum-priority order.
+	Plan   string
+	Strata []fault.StratumSummary
+}
+
+// Adaptive measures pilot-derived Neyman plans over the extended
+// workload set (like Stratify: the narrow-output kernels are where the
+// strata differ enough for allocation to matter). Unless cfg.Programs
+// restricts the set, all registered workloads are measured.
+func Adaptive(cfg Config) ([]AdaptiveRow, error) {
+	cfg = cfg.withDefaults()
+	names := cfg.Programs
+	if len(names) == len(progs.All()) {
+		names = nil
+		for _, p := range progs.Extended() {
+			names = append(names, p.Name)
+		}
+	}
+	rows := make([]AdaptiveRow, 0, len(names))
+	for _, name := range names {
+		p, err := progs.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := adaptiveOne(cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive/%s: %w", name, err)
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+func adaptiveOne(cfg Config, p progs.Program) (*AdaptiveRow, error) {
+	plainInj, err := fault.New(p.Build(), cfg.faultOptions(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	plain, err := plainInj.CampaignRandom(cfg.ctx(), cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := bitlive.DefaultPlan()
+	statOpts := cfg.faultOptions(cfg.Seed)
+	statOpts.Stratify = &plan
+	statInj, err := fault.New(p.Build(), statOpts)
+	if err != nil {
+		return nil, err
+	}
+	static, err := statInj.CampaignStratified(cfg.ctx(), cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+
+	adOpts := cfg.faultOptions(cfg.Seed)
+	adOpts.Adaptive = &fault.AdaptiveConfig{}
+	adInj, err := fault.New(p.Build(), adOpts)
+	if err != nil {
+		return nil, err
+	}
+	ares, err := adInj.CampaignAdaptive(cfg.ctx(), cfg.Samples)
+	if err != nil {
+		return nil, err
+	}
+
+	row := &AdaptiveRow{
+		Name:          p.Name,
+		Slots:         ares.SlotN,
+		Executed:      ares.ExecutedN(),
+		PilotExecuted: ares.PilotExecuted,
+		PilotFraction: ares.PilotFraction(),
+		PlainSDC:      plain.SDCProb(),
+		WeightedSDC:   ares.WeightedSDC(),
+		WeightedErr:   ares.WeightedErrorBar95(),
+		EffN:          ares.EffectiveN(),
+		EqualExecErr:  stats.ProportionCI95(plain.SDCProb(), ares.ExecutedN()),
+		Plan:          ares.Plan.String(),
+		Strata:        ares.Summary(),
+	}
+	if row.WeightedErr > 0 {
+		row.AdaptShrink = row.EqualExecErr / row.WeightedErr
+	}
+	if staticErr := static.WeightedErrorBar95(); staticErr > 0 {
+		row.StaticShrink = stats.ProportionCI95(plain.SDCProb(), static.ExecutedN()) / staticErr
+	}
+	return row, nil
+}

@@ -283,6 +283,37 @@ func TestInputSensitivityQuick(t *testing.T) {
 	}
 }
 
+func TestAdaptiveQuick(t *testing.T) {
+	cfg := quickCfg
+	cfg.Programs = []string{"rgb2gray"}
+	rows, err := Adaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r := rows[0]
+	if r.Executed <= 0 || r.Executed > r.Slots {
+		t.Errorf("executed %d of %d slots", r.Executed, r.Slots)
+	}
+	if r.PilotExecuted <= 0 || r.PilotExecuted > r.Executed {
+		t.Errorf("pilot executed %d of %d executed trials", r.PilotExecuted, r.Executed)
+	}
+	if r.PilotFraction <= 0 || r.PilotFraction > 1 {
+		t.Errorf("pilot fraction %v out of (0, 1]", r.PilotFraction)
+	}
+	if r.WeightedSDC < 0 || r.WeightedSDC > 1 {
+		t.Errorf("weighted SDC %v out of [0, 1]", r.WeightedSDC)
+	}
+	if r.AdaptShrink <= 0 || r.StaticShrink <= 0 {
+		t.Errorf("shrink ratios adapt=%v static=%v, want both positive", r.AdaptShrink, r.StaticShrink)
+	}
+	if r.Plan == "" || len(r.Strata) == 0 {
+		t.Errorf("row is missing the derived plan (%q) or strata breakdown (%d)", r.Plan, len(r.Strata))
+	}
+}
+
 func TestMarkdownRenderers(t *testing.T) {
 	cfg := quickCfg
 	cfg.Programs = []string{"pathfinder"}
@@ -334,10 +365,24 @@ func TestMarkdownRenderers(t *testing.T) {
 	}
 	MarkdownInputs(&sb, inputs)
 
+	srows, err := Stratify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownStratify(&sb, srows)
+
+	arows, err := Adaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MarkdownAdaptive(&sb, arows)
+
 	out := sb.String()
 	for _, want := range []string{
 		"### Table I", "### Figure 5", "### Table II", "### Figure 6a",
-		"### Figure 7", "### Figure 9", "### Input sensitivity", "| pathfinder |",
+		"### Figure 7", "### Figure 9", "### Input sensitivity",
+		"### Stratified live-bit sampling (ANALYSIS.md)",
+		"### Adaptive (Neyman) allocation (ANALYSIS.md)", "| pathfinder |",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown output missing %q", want)

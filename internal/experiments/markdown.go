@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"trident/internal/bitlive"
 )
 
 // Markdown rendering: the same experiment results as the text renderers,
@@ -194,5 +196,58 @@ func MarkdownStratify(w io.Writer, rows []StratifyRow) {
 		" by inverse inclusion probability, so the weighted SDC estimate is unbiased for the"+
 		" plain campaign's population; CI shrink compares the weighted Wilson half-width"+
 		" against the plain Wilson half-width at the same executed-trial budget.")
+	fmt.Fprintln(w)
+	markdownStrataBreakdown(w, "Per-stratum execution under the static plan", stratifyStrata(rows))
+}
+
+// MarkdownAdaptive renders the adaptive-stratification table as markdown.
+func MarkdownAdaptive(w io.Writer, rows []AdaptiveRow) {
+	fmt.Fprintln(w, "### Adaptive (Neyman) allocation (ANALYSIS.md)")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| Benchmark | executed/slots | pilot | pilot % | plain SDC | weighted SDC | ±plain@exec | ±adapt | eff n | adapt shrink | static shrink |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %d/%d | %d | %.1f%% | %s | %s | %s | %s | %.0f | %.3fx | %.3fx |\n",
+			r.Name, r.Executed, r.Slots, r.PilotExecuted, r.PilotFraction*100,
+			pct(r.PlainSDC), pct(r.WeightedSDC), pct(r.EqualExecErr), pct(r.WeightedErr),
+			r.EffN, r.AdaptShrink, r.StaticShrink)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "The adaptive campaign spends a static-shape pilot prefix estimating per-stratum"+
+		" SDC variance, derives Neyman inclusion rates from the pilot tallies, runs the rest"+
+		" of the budget under the derived plan, and folds the pilot trials into the final"+
+		" Horvitz-Thompson estimate; the shrink columns compare each mode's weighted Wilson"+
+		" half-width against the plain half-width at the same executed-trial budget.")
+	fmt.Fprintln(w)
+	markdownStrataBreakdown(w, "Per-stratum execution under the derived plan", adaptiveStrata(rows))
+}
+
+// markdownStrataBreakdown writes the per-stratum grid as a markdown
+// table: one row per benchmark, one column per stratum in fixed
+// priority order (bitlive.Strata), dash cells for strata the campaign
+// drew no slots in — the fixed shape keeps regenerated docs diffable.
+func markdownStrataBreakdown(w io.Writer, caption string, rows []strataBreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s (executed/slots @rate; \"-\" = no drawn slots):\n", caption)
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "| Benchmark |")
+	for _, s := range bitlive.Strata() {
+		fmt.Fprintf(w, " %s |", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, "|---|")
+	for range bitlive.Strata() {
+		fmt.Fprint(w, "---:|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s |", r.name)
+		for _, ss := range r.strata {
+			fmt.Fprintf(w, " %s |", strataCell(ss))
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintln(w)
 }

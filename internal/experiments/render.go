@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"trident/internal/bitlive"
+	"trident/internal/fault"
 )
 
 // pct formats a probability as a percentage.
@@ -153,6 +156,77 @@ func RenderStratify(w io.Writer, rows []StratifyRow) {
 	}
 	fmt.Fprintln(w, "wSDC: Horvitz-Thompson SDC estimate over the drawn slots; ±strat: weighted Wilson half-width")
 	fmt.Fprintln(w, "±plain@ex: Wilson half-width a uniform campaign gets for the same executed budget; shrink = ±plain@ex / ±strat")
+	renderStrataBreakdown(w, "per-stratum execution under the static plan", stratifyStrata(rows))
+}
+
+// RenderAdaptive writes the adaptive-stratification table.
+func RenderAdaptive(w io.Writer, rows []AdaptiveRow) {
+	fmt.Fprintln(w, "Adaptive Neyman allocation (ANALYSIS.md): pilot-derived plans vs the static default plan")
+	fmt.Fprintf(w, "%-14s %14s %7s %7s %10s %10s %10s %10s %8s %9s %9s\n",
+		"Benchmark", "exec/slots", "pilot", "pilot%", "plain SDC", "wSDC", "±plain@ex", "±adapt", "eff n", "adapt", "static")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d/%-5d %7d %6.1f%% %10s %10s %10s %10s %8.0f %8.3fx %8.3fx\n",
+			r.Name, r.Executed, r.Slots, r.PilotExecuted, r.PilotFraction*100,
+			pct(r.PlainSDC), pct(r.WeightedSDC), pct(r.EqualExecErr), pct(r.WeightedErr),
+			r.EffN, r.AdaptShrink, r.StaticShrink)
+	}
+	fmt.Fprintln(w, "adapt/static: equal-executed-budget CI shrink (±plain@ex / weighted half-width) under the")
+	fmt.Fprintln(w, "pilot-derived Neyman plan vs the static default plan; pilot trials count against the budget")
+	renderStrataBreakdown(w, "per-stratum execution under the derived plan", adaptiveStrata(rows))
+}
+
+// strataBreakdownRow pairs a benchmark with its per-stratum summaries
+// for the shared breakdown renderers.
+type strataBreakdownRow struct {
+	name   string
+	strata []fault.StratumSummary
+}
+
+func stratifyStrata(rows []StratifyRow) []strataBreakdownRow {
+	out := make([]strataBreakdownRow, len(rows))
+	for i, r := range rows {
+		out[i] = strataBreakdownRow{r.Name, r.Strata}
+	}
+	return out
+}
+
+func adaptiveStrata(rows []AdaptiveRow) []strataBreakdownRow {
+	out := make([]strataBreakdownRow, len(rows))
+	for i, r := range rows {
+		out[i] = strataBreakdownRow{r.Name, r.Strata}
+	}
+	return out
+}
+
+// strataCell formats one stratum's execution as "exec/slots @rate", or
+// a bare dash when the campaign drew no slots there — the dash keeps
+// every row the same shape so tables diff cleanly across runs.
+func strataCell(ss fault.StratumSummary) string {
+	if ss.Slots == 0 && ss.Executed == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d @%.2f", ss.Executed, ss.Slots, ss.Rate)
+}
+
+// renderStrataBreakdown writes the per-stratum grid: one row per
+// benchmark, one column per stratum in fixed priority order.
+func renderStrataBreakdown(w io.Writer, caption string, rows []strataBreakdownRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s ('-' = no drawn slots):\n", caption)
+	fmt.Fprintf(w, "%-14s", "Benchmark")
+	for _, s := range bitlive.Strata() {
+		fmt.Fprintf(w, " %16s", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.name)
+		for _, ss := range r.strata {
+			fmt.Fprintf(w, " %16s", strataCell(ss))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // RenderSeparator writes a section break.

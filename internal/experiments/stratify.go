@@ -42,6 +42,11 @@ type StratifyRow struct {
 	// 1, stratification buys a tighter interval per executed trial.
 	EqualExecErr float64
 	CIShrink     float64
+	// Strata is the campaign's per-stratum slot/execution breakdown in
+	// fixed stratum-priority order (bitlive.Strata), so rendered tables
+	// diff cleanly across runs; strata with no drawn slots stay in the
+	// slice and render as dash rows.
+	Strata []fault.StratumSummary
 }
 
 // Stratify measures the default stratification plan over the extended
@@ -102,6 +107,7 @@ func stratifyOne(cfg Config, p progs.Program) (*StratifyRow, error) {
 		WeightedErr:  sres.WeightedErrorBar95(),
 		EffN:         sres.EffectiveN(),
 		EqualExecErr: stats.ProportionCI95(plain.SDCProb(), sres.ExecutedN()),
+		Strata:       sres.Summary(),
 	}
 	if row.WeightedErr > 0 {
 		row.CIShrink = row.EqualExecErr / row.WeightedErr

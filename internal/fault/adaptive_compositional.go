@@ -1,0 +1,454 @@
+// This file implements adaptive compositional campaigns: the
+// per-function incremental machinery of compositional.go crossed with
+// the two-phase Neyman allocation of adaptive.go. Each function section
+// derives its own main-phase plan, from the cheapest evidence available:
+//
+//  1. a cached *plain* profile for the identical section (same seed,
+//     budget, body hash, golden stamp) already holds every outcome the
+//     pilot would measure — the plan is seeded from its per-stratum
+//     tallies and the pilot is skipped entirely (zero executed trials:
+//     the thinned transcript replays from the profile);
+//  2. a cached *adaptive* profile replays the section's pilot + thinned
+//     main transcript directly, re-deriving the plan from the recorded
+//     pilot outcomes;
+//  3. otherwise the section runs live: static-shape pilot prefix (live
+//     strata at rate 1, provably-masked slots at the floor), NeymanPlan,
+//     thinned main phase — and the clean transcript is stored for the
+//     next campaign.
+//
+// Seeded and pilot-based sections weight identically: every executed
+// trial at 1/q of the plan its phase ran under (pilot trials under the
+// pilot plan, main trials under the derived plan), composed
+// program-wide by cache.ComposeWeighted. The estimate stays unbiased in
+// every path —
+// the thinning hash is independent of outcomes, so inclusion
+// probabilities given the plan are exactly the plan's rates even when
+// the plan was derived from the very outcomes being thinned (ANALYSIS.md,
+// "Adaptive (Neyman) allocation").
+
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"trident/internal/bitlive"
+	"trident/internal/cache"
+	"trident/internal/hashutil"
+	"trident/internal/telemetry"
+)
+
+// adaptiveFuncKey is funcKey for a section sampled under the adaptive
+// two-phase design: the stratify slot carries the function's influence
+// classification plus the pilot configuration, so adaptive entries can
+// never collide with plain or statically-stratified ones.
+func (inj *Injector) adaptiveFuncKey(sec *funcSection, n int) cache.FuncKey {
+	key := inj.funcKey(sec, n)
+	c := inj.opts.Adaptive.withDefaults()
+	key.Stratify = hashutil.Hex(hashutil.String(fmt.Sprintf("adaptive|%x|%x|%x",
+		inj.influence.FuncHash(sec.fn),
+		math.Float64bits(c.PilotFraction), math.Float64bits(c.RateFloor))))
+	return key
+}
+
+// seededFuncKey is funcKey for a section whose plan was seeded from a
+// cached plain profile: keyed by the influence classification and the
+// derived plan itself (the seeding evidence is pinned by the rest of the
+// key, so the plan is reproducible from the same plain entry).
+func (inj *Injector) seededFuncKey(sec *funcSection, n int, plan bitlive.Plan) cache.FuncKey {
+	key := inj.funcKey(sec, n)
+	key.Stratify = hashutil.Hex(hashutil.String(fmt.Sprintf("seeded|%x|%x",
+		inj.influence.FuncHash(sec.fn), plan.Hash())))
+	return key
+}
+
+// recMatches reports whether a cached record describes exactly the trial
+// a spec would run.
+func recMatches(rec cache.TrialRec, spec trialSpec) bool {
+	return rec.Instr == spec.instr.ID && rec.Instance == spec.instance && rec.Bit == spec.bit
+}
+
+// recordEvidence tallies per-stratum evidence from a full section
+// transcript (strata aligned with the records by slot order). The bool
+// reports whether every record decoded and matched its spec.
+func recordEvidence(st bitlive.StratumStats, specs []trialSpec, strata []bitlive.Stratum, recs []cache.TrialRec) ([bitlive.NumStrata]bitlive.StratumPilot, bool) {
+	var out [bitlive.NumStrata]bitlive.StratumPilot
+	for s := 0; s < bitlive.NumStrata; s++ {
+		out[s].Bits = st.Bits[s]
+	}
+	for _, s := range strata {
+		out[int(s)].Slots++
+	}
+	if len(recs) != len(specs) {
+		return out, false
+	}
+	for i, rec := range recs {
+		if !recMatches(rec, specs[i]) {
+			return out, false
+		}
+		o, ok := outcomeFromName(rec.Outcome)
+		if !ok {
+			return out, false
+		}
+		if o == Errored {
+			continue
+		}
+		s := int(strata[i])
+		out[s].Trials++
+		if o == SDC {
+			out[s].SDC++
+		}
+	}
+	return out, true
+}
+
+// trialRecs converts executed trials to their cache-record form.
+func trialRecs(trials []Injection) []cache.TrialRec {
+	recs := make([]cache.TrialRec, len(trials))
+	for i, tr := range trials {
+		recs[i] = cache.TrialRec{
+			Instr:    tr.Instr.ID,
+			Instance: tr.Instance,
+			Bit:      tr.Bit,
+			Outcome:  tr.Outcome.String(),
+			Latency:  tr.CrashLatency,
+		}
+	}
+	return recs
+}
+
+// replayAdaptiveSection reconstructs a section's pilot + thinned-main
+// transcript from a cached adaptive profile, re-deriving the plan from
+// the recorded pilot outcomes and verifying every record against the
+// spec it claims to be. pilotN reports the pilot trials the transcript
+// holds (the pilot-plan-kept subset of the prefix). Any mismatch
+// reports false and the section runs live instead.
+func (inj *Injector) replayAdaptiveSection(specs []trialSpec, strata []bitlive.Stratum, st bitlive.StratumStats, pn int, floor float64, fseed uint64, prof cache.FuncProfile) (recs []cache.TrialRec, weights []float64, counts map[Outcome]int, plan bitlive.Plan, pilotN int, ok bool) {
+	fail := func() ([]cache.TrialRec, []float64, map[Outcome]int, bitlive.Plan, int, bool) {
+		return nil, nil, nil, bitlive.Plan{}, 0, false
+	}
+	pplan := bitlive.MaskedRatePlan(floor)
+	var pilotTrials []Injection
+	var keptPilotStrata []bitlive.Stratum
+	idx := 0
+	for slot := 0; slot < pn; slot++ {
+		q := pplan.Rate(strata[slot])
+		if !(q >= 1 || slotU(fseed, slot) < q) {
+			continue
+		}
+		if idx >= len(prof.Trials) {
+			return fail()
+		}
+		rec := prof.Trials[idx]
+		if !recMatches(rec, specs[slot]) {
+			return fail()
+		}
+		o, decoded := outcomeFromName(rec.Outcome)
+		if !decoded || o == Errored {
+			return fail()
+		}
+		pilotTrials = append(pilotTrials, Injection{Outcome: o})
+		keptPilotStrata = append(keptPilotStrata, strata[slot])
+		idx++
+	}
+	evidence := pilotEvidence(st, strata[:pn], keptPilotStrata, pilotTrials)
+	plan, err := bitlive.NeymanPlan(evidence, floor)
+	if err != nil {
+		return fail()
+	}
+	pilotN = idx
+	counts = make(map[Outcome]int)
+	recs = prof.Trials[:pilotN:pilotN]
+	weights = make([]float64, pilotN, len(prof.Trials))
+	for i := range weights {
+		weights[i] = 1 / pplan.Rate(keptPilotStrata[i])
+		o, _ := outcomeFromName(prof.Trials[i].Outcome)
+		counts[o]++
+	}
+	for slot := pn; slot < len(specs); slot++ {
+		q := plan.Rate(strata[slot])
+		if !(q >= 1 || slotU(fseed, slot) < q) {
+			continue
+		}
+		if idx >= len(prof.Trials) {
+			return fail()
+		}
+		rec := prof.Trials[idx]
+		if !recMatches(rec, specs[slot]) {
+			return fail()
+		}
+		o, decoded := outcomeFromName(rec.Outcome)
+		if !decoded || o == Errored {
+			return fail()
+		}
+		recs = append(recs, rec)
+		weights = append(weights, 1/q)
+		counts[o]++
+		idx++
+	}
+	if idx != len(prof.Trials) {
+		return fail()
+	}
+	return recs, weights, counts, plan, pilotN, true
+}
+
+// weightedFuncTally folds one section's executed transcript into its
+// composition contribution. slots is the section's drawn slot budget;
+// partial (a cancelled section) falls back to the executed prefix's
+// weight mass — the drawn slots that prefix stands for — as the
+// denominator, since the untested remainder of the budget carries no
+// estimate.
+func weightedFuncTally(fc *FuncCampaign, weights []float64, slots int, partial bool) cache.WeightedFuncTally {
+	t := cache.WeightedFuncTally{
+		Func:   fc.Name,
+		Weight: fc.Weight,
+		Counts: outcomeCounts(fc.Counts),
+		Sums:   make(map[string]float64),
+	}
+	erroredW := 0.0
+	errName := Errored.String()
+	for i, rec := range fc.Records {
+		w := weights[i]
+		if rec.Outcome == errName {
+			erroredW += w
+			continue
+		}
+		t.Sums[rec.Outcome] += w
+		t.SDC.Add(w, rec.Outcome == cache.SDCName)
+	}
+	denom := float64(slots)
+	if partial {
+		denom = 0
+		for _, w := range weights {
+			denom += w
+		}
+	}
+	if t.Slots = denom - erroredW; t.Slots < 0 {
+		t.Slots = 0
+	}
+	return t
+}
+
+// AdaptiveCompositionalResult is a compositional campaign whose sections
+// were sampled under per-function adaptive plans.
+type AdaptiveCompositionalResult struct {
+	*CompositionalResult
+	// PilotExecuted is the total pilot trials executed across all
+	// sections this run (0 when every section seeded or replayed).
+	PilotExecuted int
+	// SeededFuncs counts sections whose plan was seeded from a cached
+	// plain profile — their pilots were skipped entirely.
+	SeededFuncs int
+}
+
+// CampaignAdaptiveCompositional performs n adaptive injections
+// apportioned across functions by activation count, with each section's
+// Neyman plan derived from the cheapest sufficient evidence: a cached
+// plain profile (plan seeded, pilot skipped, transcript replayed), a
+// cached adaptive profile (transcript replayed), or a live pilot + main
+// run that is then cached. Requires Options.Adaptive; store may be nil
+// (every section runs live).
+//
+// Cancelling ctx returns the sections completed so far plus ctx.Err();
+// partially-executed sections are never cached.
+func (inj *Injector) CampaignAdaptiveCompositional(ctx context.Context, n int, store *cache.Store) (*AdaptiveCompositionalResult, error) {
+	if err := inj.requireAdaptive(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := inj.opts.Adaptive.withDefaults()
+	secs := inj.sections()
+	weights := make([]uint64, len(secs))
+	for i, sec := range secs {
+		weights[i] = sec.weight
+	}
+	shares := apportion(n, weights)
+
+	res := &AdaptiveCompositionalResult{
+		CompositionalResult: &CompositionalResult{byFunc: make(map[string]*funcSection, len(secs))},
+	}
+	for _, sec := range secs {
+		res.byFunc[sec.fn.Name] = sec
+	}
+	span := inj.opts.Trace.Start("campaign.adaptive_compositional", telemetry.Attrs{
+		"module": inj.module.Name, "n": n, "funcs": len(secs),
+	})
+
+	var tallies []cache.WeightedFuncTally
+	var runErr error
+	for i, sec := range secs {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		nf := shares[i]
+		fc := FuncCampaign{
+			Name:     sec.fn.Name,
+			BodyHash: sec.hash,
+			Weight:   sec.weight,
+			N:        nf,
+		}
+		specs := inj.sampleSection(sec, nf)
+		strata := inj.classifySpecs(specs)
+		st := inj.influence.FuncStats(sec.fn)
+		fseed := funcSeed(inj.opts.Seed, sec.fn.Name, sec.hash)
+		pn := pilotLen(nf, cfg.PilotFraction)
+
+		var trialWeights []float64
+		partial := false
+		handled := false
+
+		// 1. Seed the plan from a cached plain profile: the full section
+		// transcript is already measured, so derive the rates from its
+		// per-stratum tallies and replay the thinned subset — no pilot.
+		if store != nil && nf > 0 {
+			plainKey := inj.funcKey(sec, nf)
+			var plain cache.FuncProfile
+			if store.Get(plainKey, &plain) && validProfile(plainKey, &plain) {
+				if evidence, sound := recordEvidence(st, specs, strata, plain.Trials); sound {
+					plan, err := bitlive.NeymanPlan(evidence, cfg.RateFloor)
+					if err != nil {
+						return nil, err
+					}
+					counts := make(map[Outcome]int)
+					var recs []cache.TrialRec
+					var w []float64
+					for slot := range specs {
+						q := plan.Rate(strata[slot])
+						if q >= 1 || slotU(fseed, slot) < q {
+							recs = append(recs, plain.Trials[slot])
+							w = append(w, 1/q)
+							o, _ := outcomeFromName(plain.Trials[slot].Outcome)
+							counts[o]++
+						}
+					}
+					fc.Cached, fc.Seeded = true, true
+					fc.Plan = plan.String()
+					fc.Records, fc.Counts = recs, counts
+					trialWeights = w
+					res.Hits++
+					res.SeededFuncs++
+					skey := inj.seededFuncKey(sec, nf, plan)
+					var have cache.FuncProfile
+					if !store.Get(skey, &have) {
+						if perr := store.Put(skey, cache.FuncProfile{
+							Counts: outcomeCounts(counts), Trials: recs,
+						}); perr != nil {
+							warnf("cache: storing seeded profile for @%s: %v", fc.Name, perr)
+						}
+					}
+					handled = true
+				}
+			}
+		}
+
+		// 2. Replay a cached adaptive transcript.
+		if !handled && store != nil && nf > 0 {
+			akey := inj.adaptiveFuncKey(sec, nf)
+			var prof cache.FuncProfile
+			if store.Get(akey, &prof) {
+				recs, w, counts, plan, pilotN, ok := inj.replayAdaptiveSection(specs, strata, st, pn, cfg.RateFloor, fseed, prof)
+				if ok {
+					fc.Cached = true
+					fc.PilotN = pilotN
+					fc.Plan = plan.String()
+					fc.Records, fc.Counts = recs, counts
+					trialWeights = w
+					res.Hits++
+					handled = true
+				} else {
+					warnf("cache: adaptive profile for @%s does not replay (treating as miss)", fc.Name)
+				}
+			}
+		}
+
+		// 3. Run the section live: static-shape pilot, derived plan,
+		// thinned main phase.
+		if !handled {
+			res.Misses++
+			pplan := pilotPlan(cfg)
+			pilotKept, pilotKeptStrata := thinSlots(fseed, pplan, specs, strata, 0, pn)
+			pilotRes, err := inj.runTrials(ctx, pilotKept, nil)
+			fc.PilotN = len(pilotRes.Trials)
+			res.PilotExecuted += fc.PilotN
+			if err != nil || len(pilotRes.Trials) < len(pilotKept) {
+				// Cancelled mid-pilot: keep the executed prefix under the
+				// pilot plan's weights.
+				fc.Records = trialRecs(pilotRes.Trials)
+				fc.Counts = pilotRes.Counts
+				fc.Errs = pilotRes.Errs
+				trialWeights = make([]float64, len(fc.Records))
+				for j := range trialWeights {
+					trialWeights[j] = 1 / pplan.Rate(pilotKeptStrata[j])
+				}
+				partial = true
+				runErr = err
+				if runErr == nil {
+					runErr = ctx.Err()
+				}
+			} else {
+				evidence := pilotEvidence(st, strata[:pn], pilotKeptStrata, pilotRes.Trials)
+				plan, perr := bitlive.NeymanPlan(evidence, cfg.RateFloor)
+				if perr != nil {
+					return nil, perr
+				}
+				fc.Plan = plan.String()
+				kept, keptStrata := thinSlots(fseed, plan, specs, strata, pn, nf)
+				mainRes, merr := inj.runTrials(ctx, kept, nil)
+				fc.Records = append(trialRecs(pilotRes.Trials), trialRecs(mainRes.Trials)...)
+				fc.Counts = make(map[Outcome]int)
+				for o, c := range pilotRes.Counts {
+					fc.Counts[o] += c
+				}
+				for o, c := range mainRes.Counts {
+					fc.Counts[o] += c
+				}
+				fc.Errs = append(fc.Errs, pilotRes.Errs...)
+				for _, te := range mainRes.Errs {
+					te.Index += len(pilotRes.Trials)
+					fc.Errs = append(fc.Errs, te)
+				}
+				trialWeights = make([]float64, len(fc.Records))
+				for j := range trialWeights {
+					if j < len(pilotRes.Trials) {
+						trialWeights[j] = 1 / pplan.Rate(pilotKeptStrata[j])
+					} else {
+						trialWeights[j] = 1 / plan.Rate(keptStrata[j-len(pilotRes.Trials)])
+					}
+				}
+				if merr != nil {
+					partial = len(mainRes.Trials) < len(kept)
+					runErr = merr
+				} else if store != nil && fc.Counts[Errored] == 0 {
+					akey := inj.adaptiveFuncKey(sec, nf)
+					if perr := store.Put(akey, cache.FuncProfile{
+						Counts: outcomeCounts(fc.Counts), Trials: fc.Records,
+					}); perr != nil {
+						warnf("cache: storing adaptive profile for @%s: %v", fc.Name, perr)
+					}
+				}
+			}
+		}
+
+		res.Funcs = append(res.Funcs, fc)
+		tallies = append(tallies, weightedFuncTally(&fc, trialWeights, nf, partial))
+		if runErr != nil {
+			break
+		}
+	}
+
+	composeStart := time.Now()
+	res.Composed = cache.ComposeWeighted(tallies)
+	if reg := inj.opts.Metrics; reg != nil {
+		reg.Histogram("cache.compose_us").Since(composeStart)
+	}
+	span.EndWith(telemetry.Attrs{
+		"hits": res.Hits, "misses": res.Misses, "seeded": res.SeededFuncs,
+		"pilot": res.PilotExecuted, "sdc": res.Composed.SDC, "trials": res.N(),
+	})
+	return res, runErr
+}

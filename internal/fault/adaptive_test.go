@@ -1,0 +1,570 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trident/internal/bitlive"
+	"trident/internal/cache"
+)
+
+func adaptInjector(t *testing.T, name string, opts Options) *Injector {
+	t.Helper()
+	return stratInjector(t, name, opts)
+}
+
+func sameTrial(a, b Injection) bool {
+	return a.Instr.Pos() == b.Instr.Pos() && a.Instance == b.Instance &&
+		a.Bit == b.Bit && a.Outcome == b.Outcome
+}
+
+// TestAdaptiveBudgetContract pins the pilot accounting: across kernels
+// and budgets, executed(pilot) + executed(main) never exceeds the slot
+// budget, the pilot is exactly the pilot plan's kept subset of the
+// configured prefix, and the weights are 1/q of the pilot plan for
+// pilot trials and 1/q of the derived plan for main-phase trials.
+func TestAdaptiveBudgetContract(t *testing.T) {
+	for _, kernel := range []string{"rgb2gray", "nibblepack"} {
+		for _, n := range []int{80, 250} {
+			t.Run(fmt.Sprintf("%s/n=%d", kernel, n), func(t *testing.T) {
+				cfg := AdaptiveConfig{}
+				inj := adaptInjector(t, kernel, Options{Seed: 11, Adaptive: &cfg})
+				ar, err := inj.CampaignAdaptive(context.Background(), n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pn := pilotLen(n, DefaultPilotFraction)
+				pplan := pilotPlan(cfg.withDefaults())
+				specs := inj.sampleRandom(n)
+				pilotKept, _ := thinSlots(inj.opts.Seed, pplan, specs, inj.classifySpecs(specs), 0, pn)
+				if ar.PilotSlots != pn || ar.PilotExecuted != len(pilotKept) {
+					t.Fatalf("pilot ran %d of %d prefix slots, want the %d pilot-plan-kept",
+						ar.PilotExecuted, ar.PilotSlots, len(pilotKept))
+				}
+				if ar.SlotN != n {
+					t.Fatalf("SlotN = %d, want %d", ar.SlotN, n)
+				}
+				if ar.ExecutedN() > n {
+					t.Fatalf("executed %d trials of a %d-slot budget", ar.ExecutedN(), n)
+				}
+				if main := ar.ExecutedN() - ar.PilotExecuted; main < 0 || ar.PilotExecuted+main > n {
+					t.Fatalf("pilot %d + main %d exceeds budget %d", ar.PilotExecuted, main, n)
+				}
+				for i, w := range ar.Weights {
+					if i < ar.PilotExecuted {
+						if want := 1 / pplan.Rate(ar.Strata[i]); w != want {
+							t.Fatalf("pilot trial %d has weight %v, want %v", i, w, want)
+						}
+					} else if want := 1 / ar.Plan.Rate(ar.Strata[i]); w != want {
+						t.Fatalf("main trial %d has weight %v, want %v", i, w, want)
+					}
+				}
+				if err := ar.Plan.Validate(); err != nil {
+					t.Fatalf("derived plan invalid: %v", err)
+				}
+				// Pilot tallies must account for every classified pilot trial.
+				pilotTrials := 0
+				for _, p := range ar.Pilot {
+					pilotTrials += p.Trials
+				}
+				errored := 0
+				for i := 0; i < ar.PilotExecuted; i++ {
+					if ar.Trials[i].Outcome == Errored {
+						errored++
+					}
+				}
+				if pilotTrials != ar.PilotExecuted-errored {
+					t.Fatalf("pilot evidence tallies %d trials, executed %d classified", pilotTrials, ar.PilotExecuted-errored)
+				}
+			})
+		}
+	}
+}
+
+// TestAdaptiveSubsetBitIdentity: the adaptive campaign's trials are the
+// pilot-plan-kept prefix slots plus the plan-thinned subset of the
+// remaining slots, outcome-identical to the plain campaign slot for
+// slot.
+func TestAdaptiveSubsetBitIdentity(t *testing.T) {
+	const n, seed = 260, 42
+	plain := adaptInjector(t, "rgb2gray", Options{Seed: seed})
+	plainRes, err := plain.CampaignRandom(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AdaptiveConfig{}
+	adapt := adaptInjector(t, "rgb2gray", Options{Seed: seed, Adaptive: &cfg})
+	ar, err := adapt.CampaignAdaptive(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := pilotLen(n, DefaultPilotFraction)
+	pplan := pilotPlan(cfg.withDefaults())
+	specs := adapt.sampleRandom(n)
+	strata := adapt.classifySpecs(specs)
+	want := make([]int, 0, n)
+	for i := 0; i < pn; i++ {
+		q := pplan.Rate(strata[i])
+		if q >= 1 || slotU(seed, i) < q {
+			want = append(want, i)
+		}
+	}
+	for i := pn; i < n; i++ {
+		q := ar.Plan.Rate(strata[i])
+		if q >= 1 || slotU(seed, i) < q {
+			want = append(want, i)
+		}
+	}
+	if len(want) != ar.ExecutedN() {
+		t.Fatalf("executed %d trials, expected subset has %d", ar.ExecutedN(), len(want))
+	}
+	for j, slot := range want {
+		if !sameTrial(ar.Trials[j], plainRes.Trials[slot]) {
+			t.Fatalf("trial %d != plain slot %d: %+v vs %+v", j, slot, ar.Trials[j], plainRes.Trials[slot])
+		}
+	}
+}
+
+// TestAdaptiveUnbiasedOnUniformEvidence: when the campaign cannot thin
+// (every stratum carries SDC evidence at similar rates, or nothing does)
+// the estimate must stay in agreement with the plain campaign; here we
+// only require the weighted estimate to stay a proper probability and
+// the interval to be positive — the rigorous unbiasedness sweep lives in
+// the crosscheck oracle.
+func TestAdaptiveEstimateSanity(t *testing.T) {
+	const n = 200
+	cfg := AdaptiveConfig{}
+	inj := adaptInjector(t, "boxblur", Options{Seed: 17, Adaptive: &cfg})
+	ar, err := inj.CampaignAdaptive(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := ar.WeightedSDC()
+	if sdc < 0 || sdc > 1 || math.IsNaN(sdc) {
+		t.Fatalf("weighted SDC = %v", sdc)
+	}
+	if bar := ar.WeightedErrorBar95(); !(bar > 0) || bar > 1 {
+		t.Fatalf("weighted error bar = %v", bar)
+	}
+	if f := ar.PilotFraction(); f <= 0 || f > 1 {
+		t.Fatalf("pilot fraction = %v", f)
+	}
+}
+
+// TestAdaptiveCheckpointResume: campaigns interrupted mid-pilot and
+// mid-main both resume from their log to a transcript identical to the
+// uninterrupted run — the plan is re-derived from the replayed pilot, so
+// nothing about the adaptive machinery depends on staying alive.
+func TestAdaptiveCheckpointResume(t *testing.T) {
+	const n, seed = 150, 5
+	cfg := AdaptiveConfig{}
+	opts := Options{Seed: seed, Adaptive: &cfg}
+
+	whole := adaptInjector(t, "boxblur", opts)
+	want, err := whole.CampaignAdaptive(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := pilotLen(n, DefaultPilotFraction)
+
+	for _, tc := range []struct {
+		name     string
+		cancelAt int
+	}{
+		{"mid-pilot", pn / 2},
+		{"mid-main", pn + 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "adapt.ckpt")
+			func() {
+				inj := adaptInjector(t, "boxblur", opts)
+				inj.opts.Workers = 1
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				seen := 0
+				inj.opts.OnProgress = func(Progress) {
+					seen++
+					if seen == tc.cancelAt {
+						cancel()
+					}
+				}
+				if _, err := inj.CampaignAdaptiveCheckpoint(ctx, n, path); err == nil {
+					t.Fatal("cancelled campaign returned no error")
+				}
+			}()
+			resumed := adaptInjector(t, "boxblur", opts)
+			got, err := resumed.CampaignAdaptiveCheckpoint(context.Background(), n, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Trials) != len(want.Trials) {
+				t.Fatalf("resumed %d trials, want %d", len(got.Trials), len(want.Trials))
+			}
+			for i := range want.Trials {
+				if !sameTrial(got.Trials[i], want.Trials[i]) {
+					t.Fatalf("trial %d drifted across resume", i)
+				}
+			}
+			if got.Plan != want.Plan {
+				t.Fatalf("plan drifted across resume: %v vs %v", got.Plan, want.Plan)
+			}
+			if got.WeightedSDC() != want.WeightedSDC() || got.WeightedErrorBar95() != want.WeightedErrorBar95() {
+				t.Errorf("weighted stats drifted across resume")
+			}
+
+			// Replay-only reconstruction agrees too.
+			rec, missing, err := resumed.AdaptiveFromCheckpoint(n, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if missing != 0 {
+				t.Fatalf("reconstruction missing %d records", missing)
+			}
+			if rec.WeightedSDC() != want.WeightedSDC() {
+				t.Errorf("reconstructed WeightedSDC %v != %v", rec.WeightedSDC(), want.WeightedSDC())
+			}
+		})
+	}
+}
+
+// TestAdaptiveShardMerge: the two-wave sharded protocol — pilot shards,
+// merge, plan re-derivation, main shards, merge — reconstructs the
+// unsharded adaptive campaign bit for bit.
+func TestAdaptiveShardMerge(t *testing.T) {
+	const (
+		n      = 160
+		seed   = 23
+		shards = 3
+	)
+	cfg := AdaptiveConfig{}
+	opts := Options{Seed: seed, Adaptive: &cfg}
+	whole := adaptInjector(t, "rgb2gray", opts)
+	want, err := whole.CampaignAdaptive(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var pilotPaths []string
+	pilotExec := 0
+	for s := 0; s < shards; s++ {
+		inj := adaptInjector(t, "rgb2gray", opts)
+		path := filepath.Join(dir, fmt.Sprintf("pilot-%d.ckpt", s))
+		res, err := inj.CampaignAdaptivePilotShardCheckpoint(context.Background(), n, s, shards, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pilotExec += res.N()
+		pilotPaths = append(pilotPaths, path)
+	}
+	if pilotExec != want.PilotExecuted {
+		t.Fatalf("pilot shards executed %d trials, unsharded pilot %d", pilotExec, want.PilotExecuted)
+	}
+	pilotMerged := filepath.Join(dir, "pilot-merged.ckpt")
+	if _, err := MergeCheckpoints(pilotMerged, pilotPaths...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every shard derives the identical plan from the merged pilot.
+	plan, _, err := whole.AdaptivePlanFromCheckpoint(n, pilotMerged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != want.Plan {
+		t.Fatalf("re-derived plan %v != campaign plan %v", plan, want.Plan)
+	}
+
+	paths := append([]string{}, pilotPaths...)
+	mainExec := 0
+	for s := 0; s < shards; s++ {
+		inj := adaptInjector(t, "rgb2gray", opts)
+		path := filepath.Join(dir, fmt.Sprintf("main-%d.ckpt", s))
+		res, err := inj.CampaignAdaptiveMainShardCheckpoint(context.Background(), n, s, shards, pilotMerged, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mainExec += res.N()
+		paths = append(paths, path)
+	}
+	if got := pilotExec + mainExec; got != want.ExecutedN() {
+		t.Fatalf("shards executed %d trials total, unsharded %d", got, want.ExecutedN())
+	}
+
+	merged := filepath.Join(dir, "merged.ckpt")
+	if _, err := MergeCheckpoints(merged, paths...); err != nil {
+		t.Fatal(err)
+	}
+	got, missing, err := whole.AdaptiveFromCheckpoint(n, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 0 {
+		t.Fatalf("merged log missing %d records", missing)
+	}
+	if len(got.Trials) != len(want.Trials) {
+		t.Fatalf("merged %d trials, want %d", len(got.Trials), len(want.Trials))
+	}
+	for i := range want.Trials {
+		if !sameTrial(got.Trials[i], want.Trials[i]) {
+			t.Fatalf("trial %d drifted across shard merge", i)
+		}
+	}
+	if got.WeightedSDC() != want.WeightedSDC() || got.WeightedErrorBar95() != want.WeightedErrorBar95() {
+		t.Errorf("weighted stats drifted across shard merge")
+	}
+}
+
+// TestAdaptiveCheckpointFencing: adaptive logs refuse resumes under a
+// different kind or a different adaptive configuration, and plain or
+// stratified campaigns refuse adaptive logs.
+func TestAdaptiveCheckpointFencing(t *testing.T) {
+	const n, seed = 60, 9
+	path := filepath.Join(t.TempDir(), "adapt.ckpt")
+	cfg := AdaptiveConfig{}
+	a := adaptInjector(t, "nibblepack", Options{Seed: seed, Adaptive: &cfg})
+	if _, err := a.CampaignAdaptiveCheckpoint(context.Background(), n, path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different pilot fraction → different stream split → refused.
+	other := AdaptiveConfig{PilotFraction: 0.4}
+	b := adaptInjector(t, "nibblepack", Options{Seed: seed, Adaptive: &other})
+	if _, err := b.CampaignAdaptiveCheckpoint(context.Background(), n, path); err == nil ||
+		!strings.Contains(err.Error(), "stratification") {
+		t.Fatalf("cross-config resume: want stratification mismatch, got %v", err)
+	}
+
+	// Plain resume of an adaptive log refused (kind mismatch).
+	plain := adaptInjector(t, "nibblepack", Options{Seed: seed})
+	if _, err := plain.ResumeCampaign(context.Background(), n, path); err == nil {
+		t.Fatal("plain resume of adaptive checkpoint succeeded")
+	}
+
+	// Stratified resume of an adaptive log refused.
+	plan := bitlive.DefaultPlan()
+	strat := adaptInjector(t, "nibblepack", Options{Seed: seed, Stratify: &plan})
+	if _, err := strat.CampaignStratifiedCheckpoint(context.Background(), n, path); err == nil {
+		t.Fatal("stratified resume of adaptive checkpoint succeeded")
+	}
+
+	// Matched resume still replays cleanly.
+	c := adaptInjector(t, "nibblepack", Options{Seed: seed, Adaptive: &cfg})
+	if _, err := c.CampaignAdaptiveCheckpoint(context.Background(), n, path); err != nil {
+		t.Fatalf("matched adaptive resume failed: %v", err)
+	}
+}
+
+// TestAdaptiveFromCheckpointRequiresPilot: a log whose pilot prefix is
+// incomplete cannot yield a plan — derivation refuses it outright, and
+// replay-only reconstruction degrades to the pilot-plan salvage (every
+// recorded trial at 1/q of the pilot plan, absent pilot-kept slots
+// counted missing) instead of fabricating a plan from partial evidence.
+func TestAdaptiveFromCheckpointRequiresPilot(t *testing.T) {
+	const n, seed, shards = 90, 31, 3
+	cfg := AdaptiveConfig{}
+	dir := t.TempDir()
+	// Only shard 1's pilot slice: the prefix has holes.
+	inj := adaptInjector(t, "rgb2gray", Options{Seed: seed, Adaptive: &cfg})
+	path := filepath.Join(dir, "pilot-1.ckpt")
+	shardRes, err := inj.CampaignAdaptivePilotShardCheckpoint(context.Background(), n, 1, shards, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inj.AdaptivePlanFromCheckpoint(n, path); err == nil ||
+		!strings.Contains(err.Error(), "pilot") {
+		t.Fatalf("incomplete pilot plan derivation: want pilot error, got %v", err)
+	}
+	ar, missing, err := inj.AdaptiveFromCheckpoint(n, path)
+	if err != nil {
+		t.Fatalf("incomplete pilot replay: want pilot-plan salvage, got error %v", err)
+	}
+	pn := ar.PilotSlots
+	pplan := pilotPlan(cfg.withDefaults())
+	specs := inj.sampleRandom(n)
+	pilotKept, _ := thinSlots(inj.opts.Seed, pplan, specs, inj.classifySpecs(specs), 0, pn)
+	if got := len(shardRes.Trials); ar.PilotExecuted != got || len(ar.Trials) != got {
+		t.Fatalf("salvage replayed %d trials (pilot %d), shard recorded %d",
+			len(ar.Trials), ar.PilotExecuted, got)
+	}
+	if missing != len(pilotKept)-len(shardRes.Trials) {
+		t.Fatalf("missing = %d, want the %d absent pilot-kept slots",
+			missing, len(pilotKept)-len(shardRes.Trials))
+	}
+	if ar.Plan != pplan {
+		t.Fatalf("salvage plan = %v, want the pilot plan %v", ar.Plan, pplan)
+	}
+	for i, w := range ar.Weights {
+		if want := 1 / pplan.Rate(ar.Strata[i]); w != want {
+			t.Fatalf("salvage weight[%d] = %v, want %v", i, w, want)
+		}
+	}
+}
+
+// TestAdaptiveOptionsValidation: Stratify and Adaptive are mutually
+// exclusive, and broken configurations are refused at New.
+func TestAdaptiveOptionsValidation(t *testing.T) {
+	p := mustProg(t, "rgb2gray")
+	plan := bitlive.DefaultPlan()
+	if _, err := New(p.Build(), Options{Stratify: &plan, Adaptive: &AdaptiveConfig{}}); err == nil {
+		t.Fatal("Stratify+Adaptive accepted")
+	}
+	if _, err := New(p.Build(), Options{Adaptive: &AdaptiveConfig{PilotFraction: 1.5}}); err == nil {
+		t.Fatal("pilot fraction 1.5 accepted")
+	}
+	if _, err := New(p.Build(), Options{Adaptive: &AdaptiveConfig{RateFloor: -1}}); err == nil {
+		t.Fatal("rate floor -1 accepted")
+	}
+	inj, err := New(p.Build(), Options{Adaptive: &AdaptiveConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.CampaignStratified(context.Background(), 10); err == nil {
+		t.Fatal("CampaignStratified ran without a plan")
+	}
+	plainInj, err := New(p.Build(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plainInj.CampaignAdaptive(context.Background(), 10); err == nil {
+		t.Fatal("CampaignAdaptive ran without Options.Adaptive")
+	}
+}
+
+// TestAdaptiveCompositionalSeedsFromPlainProfiles is the cache-seeding
+// contract: after a plain compositional campaign populates the store, an
+// adaptive compositional campaign derives every section's plan from the
+// cached profiles and executes zero pilot trials — and repeated warm
+// runs reproduce the identical composed estimate and transcript.
+func TestAdaptiveCompositionalSeedsFromPlainProfiles(t *testing.T) {
+	const n, seed = 240, 77
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := adaptInjector(t, "rgb2gray", Options{Seed: seed})
+	if _, err := plain.CampaignCompositional(context.Background(), n, store); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := AdaptiveConfig{}
+	cold := adaptInjector(t, "rgb2gray", Options{Seed: seed, Adaptive: &cfg})
+	coldRes, err := cold.CampaignAdaptiveCompositional(context.Background(), n, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.PilotExecuted != 0 {
+		t.Fatalf("seeded campaign executed %d pilot trials, want 0", coldRes.PilotExecuted)
+	}
+	if coldRes.SeededFuncs != len(coldRes.Funcs) {
+		t.Fatalf("%d of %d sections seeded", coldRes.SeededFuncs, len(coldRes.Funcs))
+	}
+	for i := range coldRes.Funcs {
+		fc := &coldRes.Funcs[i]
+		if !fc.Seeded || !fc.Cached || fc.PilotN != 0 {
+			t.Fatalf("section @%s: Seeded=%v Cached=%v PilotN=%d", fc.Name, fc.Seeded, fc.Cached, fc.PilotN)
+		}
+		if fc.N > 0 && len(fc.Records) >= fc.N {
+			t.Fatalf("section @%s executed %d of %d slots: nothing thinned", fc.Name, len(fc.Records), fc.N)
+		}
+	}
+
+	warm := adaptInjector(t, "rgb2gray", Options{Seed: seed, Adaptive: &cfg})
+	warmRes, err := warm.CampaignAdaptiveCompositional(context.Background(), n, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.PilotExecuted != 0 {
+		t.Fatalf("warm campaign executed %d pilot trials", warmRes.PilotExecuted)
+	}
+	if warmRes.Composed.SDC != coldRes.Composed.SDC ||
+		warmRes.Composed.SDCLo != coldRes.Composed.SDCLo ||
+		warmRes.Composed.SDCHi != coldRes.Composed.SDCHi ||
+		warmRes.Composed.EffN != coldRes.Composed.EffN {
+		t.Fatalf("warm composed estimate drifted: %+v vs %+v", warmRes.Composed, coldRes.Composed)
+	}
+	if len(warmRes.Funcs) != len(coldRes.Funcs) {
+		t.Fatalf("warm run has %d sections, cold %d", len(warmRes.Funcs), len(coldRes.Funcs))
+	}
+	for i := range coldRes.Funcs {
+		a, b := &coldRes.Funcs[i], &warmRes.Funcs[i]
+		if a.Plan != b.Plan || len(a.Records) != len(b.Records) {
+			t.Fatalf("section @%s drifted warm vs cold", a.Name)
+		}
+		for j := range a.Records {
+			if a.Records[j] != b.Records[j] {
+				t.Fatalf("section @%s record %d drifted", a.Name, j)
+			}
+		}
+	}
+}
+
+// TestAdaptiveCompositionalColdThenCached: with an empty store the
+// campaign runs per-section pilots live and caches adaptive profiles; a
+// second run replays them with zero execution and identical results.
+func TestAdaptiveCompositionalColdThenCached(t *testing.T) {
+	const n, seed = 200, 13
+	store, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AdaptiveConfig{}
+	first := adaptInjector(t, "nibblepack", Options{Seed: seed, Adaptive: &cfg})
+	res1, err := first.CampaignAdaptiveCompositional(context.Background(), n, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.PilotExecuted == 0 {
+		t.Fatal("cold adaptive campaign executed no pilot trials")
+	}
+	if res1.Misses != len(res1.Funcs) {
+		t.Fatalf("cold run hit the cache: %d hits", res1.Hits)
+	}
+
+	second := adaptInjector(t, "nibblepack", Options{Seed: seed, Adaptive: &cfg})
+	res2, err := second.CampaignAdaptiveCompositional(context.Background(), n, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PilotExecuted != 0 {
+		t.Fatalf("cached run executed %d pilot trials", res2.PilotExecuted)
+	}
+	if res2.Hits != len(res2.Funcs) {
+		t.Fatalf("cached run: %d hits of %d sections", res2.Hits, len(res2.Funcs))
+	}
+	if res2.Composed.SDC != res1.Composed.SDC || res2.Composed.EffN != res1.Composed.EffN {
+		t.Fatalf("cached composed estimate drifted: %+v vs %+v", res2.Composed, res1.Composed)
+	}
+	if res1.N() != res2.N() {
+		t.Fatalf("trial counts drifted: %d vs %d", res1.N(), res2.N())
+	}
+}
+
+// TestAdaptiveCompositionalBudget: executed trials never exceed the
+// apportioned slot budget, per section and in total.
+func TestAdaptiveCompositionalBudget(t *testing.T) {
+	const n, seed = 180, 3
+	cfg := AdaptiveConfig{}
+	inj := adaptInjector(t, "boxblur", Options{Seed: seed, Adaptive: &cfg})
+	res, err := inj.CampaignAdaptiveCompositional(context.Background(), n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range res.Funcs {
+		fc := &res.Funcs[i]
+		if len(fc.Records) > fc.N {
+			t.Fatalf("section @%s executed %d of %d slots", fc.Name, len(fc.Records), fc.N)
+		}
+		total += len(fc.Records)
+	}
+	if total > n {
+		t.Fatalf("campaign executed %d trials of a %d budget", total, n)
+	}
+	if res.N() != total {
+		t.Fatalf("N() = %d, sections sum to %d", res.N(), total)
+	}
+}

@@ -213,6 +213,13 @@ type FuncCampaign struct {
 	// Errs details Errored trials of a live section (always empty for
 	// cached sections — profiles with errored trials are never stored).
 	Errs []TrialError
+	// Adaptive-campaign bookkeeping, zero for plain sections: Plan is the
+	// derived main-phase plan (String form), PilotN counts executed pilot
+	// trials, and Seeded marks a plan derived from a cached plain profile
+	// instead of a pilot phase.
+	Plan   string
+	PilotN int
+	Seeded bool
 }
 
 // CompositionalResult is a whole-program campaign stitched from

@@ -181,6 +181,16 @@ type Options struct {
 	// CampaignRandom or Inject/InjectDetail. See ANALYSIS.md,
 	// "Stratified sampling over live bits".
 	Stratify *bitlive.Plan
+	// Adaptive, when non-nil, enables adaptive two-phase campaigns
+	// (CampaignAdaptive and friends): a static-shape pilot phase (live
+	// strata at rate 1, provably-masked slots at the rate floor)
+	// estimates per-stratum SDC variance, NeymanPlan derives the
+	// main-phase inclusion rates, and the pilot trials fold into the
+	// final weighted estimate at the pilot plan's 1/q. Mutually exclusive with Stratify — an
+	// adaptive campaign derives its own plan. The zero-value config
+	// fields select the package defaults. See ANALYSIS.md, "Adaptive
+	// (Neyman) allocation".
+	Adaptive *AdaptiveConfig
 	// Engine selects the interpreter execution engine for the golden run,
 	// the snapshot-capture pass and every trial. The zero value is the
 	// legacy engine. With interp.EngineDecoded the injector lowers the
@@ -276,9 +286,19 @@ func New(m *ir.Module, opts Options) (*Injector, error) {
 	if opts.PruneBits {
 		inj.prune = bitlive.Analyze(m)
 	}
-	if opts.Stratify != nil {
-		if err := opts.Stratify.Validate(); err != nil {
+	if opts.Stratify != nil && opts.Adaptive != nil {
+		return nil, fmt.Errorf("fault: Options.Stratify and Options.Adaptive are mutually exclusive: adaptive campaigns derive their own plan")
+	}
+	if opts.Adaptive != nil {
+		if err := opts.Adaptive.Validate(); err != nil {
 			return nil, err
+		}
+	}
+	if opts.Stratify != nil || opts.Adaptive != nil {
+		if opts.Stratify != nil {
+			if err := opts.Stratify.Validate(); err != nil {
+				return nil, err
+			}
 		}
 		// The classifier needs the liveness report for its Masked
 		// stratum; reuse the pruning report when both are on, otherwise

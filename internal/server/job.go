@@ -77,6 +77,25 @@ type Job struct {
 	started   time.Time
 }
 
+// shardBase snapshots a shard's cumulative progress at a wave boundary,
+// so the next wave's progress callbacks accumulate onto it instead of
+// resetting the status counters.
+type shardBase struct {
+	done   int
+	counts [int(fault.Errored) + 1]int
+}
+
+// shardBases snapshots every shard's progress.
+func (j *Job) shardBases() []shardBase {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]shardBase, len(j.shards))
+	for i := range j.shards {
+		out[i] = shardBase{done: j.shards[i].done, counts: j.shards[i].counts}
+	}
+	return out
+}
+
 // jobMeta is job.json: the immutable half of a job's persistence.
 type jobMeta struct {
 	ID  string         `json:"id"`

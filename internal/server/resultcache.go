@@ -56,6 +56,14 @@ type resultKey struct {
 	// submission (or vice versa), and a classifier or plan change
 	// invalidates exactly the stratified entries.
 	Stratify string `json:"stratify,omitempty"`
+	// Adaptive is the adaptive-campaign content address (influence table
+	// hash folded with the pilot fraction and rate floor,
+	// fault.AdaptiveHashFor) for adaptive jobs, empty otherwise. The
+	// derived Neyman plan is a pure function of these plus the module,
+	// seed and n already in the key, so the key never carries the plan
+	// itself — and a classifier or default change invalidates exactly the
+	// adaptive entries.
+	Adaptive string `json:"adaptive,omitempty"`
 }
 
 // resultCacheKey derives j's cache key, or reports false when the
@@ -77,6 +85,10 @@ func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
 	if j.req.Stratify {
 		stratify = fault.StratifyHashFor(mod, bitlive.DefaultPlan())
 	}
+	adaptive := ""
+	if j.req.StratifyAdaptive {
+		adaptive = fault.AdaptiveHashFor(mod, fault.AdaptiveConfig{})
+	}
 	return resultKey{
 		Kind:       resultKeyKind,
 		ModuleHash: hashutil.Hex(hashutil.Module(mod)),
@@ -85,6 +97,7 @@ func (s *Server) resultCacheKey(j *Job) (resultKey, bool) {
 		N:          j.req.N,
 		Prune:      prune,
 		Stratify:   stratify,
+		Adaptive:   adaptive,
 	}, true
 }
 
@@ -102,16 +115,18 @@ func (s *Server) lookupResult(j *Job) (*Result, bool) {
 	if !s.resultCache.Get(key, &payload) {
 		return nil, false
 	}
-	// A stratified result legitimately records fewer trials than the N
-	// drawn slots — only the executed subset — so its completeness check
-	// is against its own executed count; the key's stratification hash
-	// guarantees that count is the right one for this submission.
+	// A stratified (or adaptive) result legitimately records fewer trials
+	// than the N drawn slots — only the executed subset — so its
+	// completeness check is against its own executed count; the key's
+	// stratification/adaptive hash guarantees that count is the right one
+	// for this submission.
 	wantTrials := j.req.N
 	if payload.Stratified {
 		wantTrials = payload.ExecutedN
 	}
 	if payload.N != j.req.N || payload.Missing != 0 ||
-		payload.Stratified != j.req.Stratify || len(payload.Trials) != wantTrials {
+		payload.Stratified != (j.req.Stratify || j.req.StratifyAdaptive) ||
+		payload.Adaptive != j.req.StratifyAdaptive || len(payload.Trials) != wantTrials {
 		return nil, false
 	}
 	for i := range payload.Trials {

@@ -20,7 +20,7 @@ import (
 // divert into RunWorker instead of the test suite (the helper-process
 // pattern).
 func TestMain(m *testing.M) {
-	dir, shard, chaos := "", -1, time.Duration(0)
+	dir, shard, phase, chaos := "", -1, "", time.Duration(0)
 	args := os.Args[1:]
 	for i := 0; i < len(args)-1; i++ {
 		switch args[i] {
@@ -28,12 +28,14 @@ func TestMain(m *testing.M) {
 			dir = args[i+1]
 		case "-worker-shard":
 			shard, _ = strconv.Atoi(args[i+1])
+		case "-worker-phase":
+			phase = args[i+1]
 		case "-chaos-trial-delay":
 			chaos, _ = time.ParseDuration(args[i+1])
 		}
 	}
 	if dir != "" {
-		os.Exit(RunWorker(dir, shard, chaos))
+		os.Exit(RunWorker(dir, shard, phase, chaos))
 	}
 	os.Exit(m.Run())
 }

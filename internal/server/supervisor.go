@@ -68,15 +68,12 @@ func (s *Server) runJob(parent context.Context, j *Job) {
 	}
 	j.setState(JobRunning, "")
 
-	var wg sync.WaitGroup
-	for i := 0; i < j.req.Shards; i++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			s.superviseShard(runCtx, j, shard)
-		}(i)
+	var waveErr error
+	if j.req.StratifyAdaptive {
+		waveErr = s.runAdaptiveWaves(runCtx, j)
+	} else {
+		s.runWave(runCtx, j, phaseWhole, nil)
 	}
-	wg.Wait()
 
 	// Why did we stop? Drain re-queues; everything else terminates. A
 	// job whose shards all finished before the drain reached them has
@@ -92,6 +89,9 @@ func (s *Server) runJob(parent context.Context, j *Job) {
 	}
 
 	state, errMsg := s.classify(runCtx, j)
+	if waveErr != nil && state == JobDone {
+		state, errMsg = JobFailed, waveErr.Error()
+	}
 	res, rerr := s.buildResult(j, state)
 	if rerr != nil {
 		state, errMsg = JobFailed, rerr.Error()
@@ -137,20 +137,70 @@ func (s *Server) classify(runCtx context.Context, j *Job) (JobState, string) {
 	return JobDone, ""
 }
 
-// superviseShard runs one shard to completion, retrying failures from
-// the shard's checkpoint until the retry budget runs out.
-func (s *Server) superviseShard(ctx context.Context, j *Job, shard int) {
+// runWave supervises every shard through one phase of the campaign,
+// blocking until all of them reach a per-wave terminal state. base, when
+// non-nil, carries each shard's progress from earlier waves so status
+// counts stay cumulative across an adaptive job's two waves.
+func (s *Server) runWave(ctx context.Context, j *Job, phase shardPhase, base []shardBase) {
+	var wg sync.WaitGroup
+	for i := 0; i < j.req.Shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			var b shardBase
+			if base != nil {
+				b = base[shard]
+			}
+			s.superviseShard(ctx, j, shard, phase, b)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// runAdaptiveWaves drives an adaptive job's two-wave protocol: every
+// shard runs its slice of the static-shape pilot prefix, the pilot logs merge
+// into one, and — only once every pilot slice completed, since the
+// Neyman plan is a function of the full pilot — the main wave thins each
+// shard's remaining slots under the plan each worker re-derives from the
+// merged log. A pilot wave degraded by failed or cancelled shards stops
+// here; buildResult then salvages the executed pilot records under the
+// pilot plan.
+func (s *Server) runAdaptiveWaves(ctx context.Context, j *Job) error {
+	s.runWave(ctx, j, phasePilot, nil)
+	if ctx.Err() != nil || !j.allShardsDone() {
+		return nil
+	}
+	srcs := make([]string, 0, j.req.Shards)
+	for i := 0; i < j.req.Shards; i++ {
+		srcs = append(srcs, pilotShardCheckpointPath(j.dir, i))
+	}
+	if _, err := fault.MergeCheckpoints(pilotMergedPath(j.dir), srcs...); err != nil {
+		return fmt.Errorf("server: job %s: pilot merge: %w", j.ID, err)
+	}
+	s.runWave(ctx, j, phaseMain, j.shardBases())
+	return nil
+}
+
+// superviseShard runs one phase of one shard to completion, retrying
+// failures from the shard's checkpoint until the retry budget runs out.
+func (s *Server) superviseShard(ctx context.Context, j *Job, shard int, phase shardPhase, base shardBase) {
 	for attempt := 0; ; attempt++ {
 		j.updateShard(shard, func(si *shardInfo) {
 			si.state = "running"
 			si.attempts = attempt + 1
 		})
 		s.met.shardRun(attempt)
-		span := s.cfg.Trace.Start("shard", telemetry.Attrs{"job": j.ID, "shard": shard, "attempt": attempt + 1})
-		err := s.runner.runShard(ctx, j, shard, func(sp shardProgress) {
+		attrs := telemetry.Attrs{"job": j.ID, "shard": shard, "attempt": attempt + 1}
+		if phase != phaseWhole {
+			attrs["phase"] = string(phase)
+		}
+		span := s.cfg.Trace.Start("shard", attrs)
+		err := s.runner.runShard(ctx, j, shard, phase, func(sp shardProgress) {
 			j.updateShard(shard, func(si *shardInfo) {
-				si.done = sp.done
-				si.counts = sp.counts
+				si.done = base.done + sp.done
+				for o := range sp.counts {
+					si.counts[o] = base.counts[o] + sp.counts[o]
+				}
 			})
 		})
 		if err == nil {
@@ -215,6 +265,16 @@ func backoffDelay(base time.Duration, attempt int, seed uint64, shard int) time.
 // degraded and cancelled jobs it salvages every completed trial.
 func (s *Server) buildResult(j *Job, state JobState) (*Result, error) {
 	var srcs []string
+	if j.req.StratifyAdaptive {
+		// Adaptive jobs keep pilot and main records in separate per-shard
+		// logs; the final merge folds both waves.
+		for i := 0; i < j.req.Shards; i++ {
+			p := pilotShardCheckpointPath(j.dir, i)
+			if _, err := os.Stat(p); err == nil {
+				srcs = append(srcs, p)
+			}
+		}
+	}
 	for i := 0; i < j.req.Shards; i++ {
 		p := shardCheckpointPath(j.dir, i)
 		if _, err := os.Stat(p); err == nil {
@@ -239,6 +299,21 @@ func (s *Server) buildResult(j *Job, state JobState) (*Result, error) {
 	inj, err := fault.New(mod, j.req.faultOptions())
 	if err != nil {
 		return nil, err
+	}
+	if j.req.StratifyAdaptive {
+		ares, missing, aerr := inj.AdaptiveFromCheckpoint(j.req.N, merged)
+		if aerr != nil {
+			return nil, aerr
+		}
+		out := resultToWire(j, ares.CampaignResult, missing)
+		out.Stratified = true
+		out.Adaptive = true
+		out.PilotExecuted = ares.PilotExecuted
+		out.ExecutedN = ares.ExecutedN()
+		out.WeightedSDC = ares.WeightedSDC()
+		out.WeightedErrorBar95 = ares.WeightedErrorBar95()
+		out.EffectiveN = ares.EffectiveN()
+		return out, nil
 	}
 	if j.req.Stratify {
 		sres, missing, serr := inj.StratifiedFromCheckpoint(j.req.N, merged)

@@ -23,7 +23,7 @@ type flakyRunner struct {
 	partial  bool
 }
 
-func (r *flakyRunner) runShard(ctx context.Context, j *Job, shard int, progress func(shardProgress)) error {
+func (r *flakyRunner) runShard(ctx context.Context, j *Job, shard int, phase shardPhase, progress func(shardProgress)) error {
 	r.mu.Lock()
 	inject := r.failures[shard] > 0
 	if inject {
@@ -31,13 +31,13 @@ func (r *flakyRunner) runShard(ctx context.Context, j *Job, shard int, progress 
 	}
 	r.mu.Unlock()
 	if !inject {
-		return r.inner.runShard(ctx, j, shard, progress)
+		return r.inner.runShard(ctx, j, shard, phase, progress)
 	}
 	if r.partial {
 		// Run the real shard but die after a few completed trials.
 		subCtx, cancel := context.WithCancel(ctx)
 		done := 0
-		_ = r.inner.runShard(subCtx, j, shard, func(sp shardProgress) {
+		_ = r.inner.runShard(subCtx, j, shard, phase, func(sp shardProgress) {
 			done = sp.done
 			progress(sp)
 			if done >= 3 {

@@ -104,6 +104,17 @@ type SubmitRequest struct {
 	// result cache keys on the stratification hash, so a classifier or
 	// plan change can never replay stale weighted results.
 	Stratify bool `json:"stratify,omitempty"`
+	// StratifyAdaptive enables two-phase adaptive (Neyman-allocation)
+	// stratified sampling: every shard first runs its slice of the pilot
+	// prefix of the slot budget (static shape: live strata at rate 1,
+	// provably-masked slots at the floor), the merged pilot outcomes
+	// derive a Neyman plan, and the remaining slots are thinned under
+	// it. Pilot trials fold into the weighted estimate at the pilot
+	// plan's 1/q, so executed trials never exceed n. Mutually exclusive with Stratify — an
+	// adaptive campaign derives its own plan. The result cache keys on
+	// the adaptive configuration hash, so a classifier or default change
+	// can never replay stale weighted results.
+	StratifyAdaptive bool `json:"stratify_adaptive,omitempty"`
 }
 
 // RequestError is a submission rejection attributable to one field —
@@ -223,6 +234,9 @@ func (req *SubmitRequest) Validate(lim Limits) error {
 	if req.MaxWallMS > lim.MaxWall.Milliseconds() {
 		return reqErr("max_wall_ms", "exceeds the server's wall-clock budget (%v)", lim.MaxWall)
 	}
+	if req.Stratify && req.StratifyAdaptive {
+		return reqErr("stratify_adaptive", "stratify and stratify_adaptive are mutually exclusive: an adaptive campaign derives its own plan")
+	}
 	return nil
 }
 
@@ -276,6 +290,9 @@ func (req *SubmitRequest) faultOptions() fault.Options {
 	if req.Stratify {
 		plan := bitlive.DefaultPlan()
 		opts.Stratify = &plan
+	}
+	if req.StratifyAdaptive {
+		opts.Adaptive = &fault.AdaptiveConfig{}
 	}
 	return opts
 }
@@ -375,6 +392,13 @@ type Result struct {
 	WeightedSDC        float64 `json:"weighted_sdc,omitempty"`
 	WeightedErrorBar95 float64 `json:"weighted_error_bar_95,omitempty"`
 	EffectiveN         float64 `json:"effective_n,omitempty"`
+	// Adaptive marks an adaptive (Neyman) job's result: the plan behind
+	// the weighted fields was derived from a static-shape pilot prefix
+	// rather than configured statically. PilotExecuted counts the pilot
+	// trials, which fold into the weighted estimate at the pilot plan's
+	// 1/q.
+	Adaptive      bool `json:"adaptive,omitempty"`
+	PilotExecuted int  `json:"pilot_executed,omitempty"`
 	// FailedShards carries the per-shard error status of a degraded job.
 	FailedShards []ShardStatus `json:"failed_shards,omitempty"`
 	// Cached reports that the result was served from the server's

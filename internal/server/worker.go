@@ -38,32 +38,66 @@ type shardProgress struct {
 	counts [int(fault.Errored) + 1]int
 }
 
-// shardRunner executes one attempt of one shard of a job. The attempt
-// must leave the shard's checkpoint log consistent whether it returns
-// nil, an error, or is cancelled — retries and restarts resume from it.
+// shardPhase selects which slice of a job's campaign a shard attempt
+// runs. Plain and statically-stratified jobs have a single phase
+// (phaseWhole); adaptive jobs run a pilot wave, a cross-shard merge,
+// then a main wave (see Server.runAdaptiveWaves).
+type shardPhase string
+
+const (
+	phaseWhole shardPhase = ""      // the shard's entire slot range
+	phasePilot shardPhase = "pilot" // the static-shape pilot-prefix slice (adaptive wave 1)
+	phaseMain  shardPhase = "main"  // the plan-thinned main-phase slice (adaptive wave 2)
+)
+
+// shardRunner executes one attempt of one phase of one shard of a job.
+// The attempt must leave the shard's checkpoint log consistent whether
+// it returns nil, an error, or is cancelled — retries and restarts
+// resume from it.
 type shardRunner interface {
-	runShard(ctx context.Context, j *Job, shard int, progress func(shardProgress)) error
+	runShard(ctx context.Context, j *Job, shard int, phase shardPhase, progress func(shardProgress)) error
 }
 
-// shardCheckpointPath names shard s's checkpoint log in a job dir.
+// shardCheckpointPath names shard s's checkpoint log in a job dir (the
+// main-phase log for adaptive jobs).
 func shardCheckpointPath(dir string, shard int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard-%02d.jsonl", shard))
+}
+
+// pilotShardCheckpointPath names shard s's pilot-wave checkpoint log.
+func pilotShardCheckpointPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("pilot-shard-%02d.jsonl", shard))
+}
+
+// pilotMergedPath names the merged pilot log every main-wave worker
+// re-derives the Neyman plan from.
+func pilotMergedPath(dir string) string {
+	return filepath.Join(dir, "pilot.jsonl")
 }
 
 func mergedCheckpointPath(dir string) string {
 	return filepath.Join(dir, "merged.jsonl")
 }
 
-// runShardCampaign runs one shard of req's campaign against the shard
-// checkpoint at path, dispatching on the sampling mode: stratified jobs
+// runShardCampaign runs one phase of one shard of req's campaign against
+// the job dir's checkpoints, dispatching on phase and sampling mode:
+// adaptive waves run their pilot or plan-thinned slice, stratified jobs
 // execute only the deterministically thinned subset of their slot range
 // (fault.CampaignStratifiedShardCheckpoint), plain jobs the whole range.
-func runShardCampaign(ctx context.Context, inj *fault.Injector, req *SubmitRequest, shard int, path string) error {
-	if req.Stratify {
-		_, err := inj.CampaignStratifiedShardCheckpoint(ctx, req.N, shard, req.Shards, path)
+func runShardCampaign(ctx context.Context, inj *fault.Injector, req *SubmitRequest, shard int, phase shardPhase, dir string) error {
+	switch phase {
+	case phasePilot:
+		_, err := inj.CampaignAdaptivePilotShardCheckpoint(ctx, req.N, shard, req.Shards, pilotShardCheckpointPath(dir, shard))
+		return err
+	case phaseMain:
+		_, err := inj.CampaignAdaptiveMainShardCheckpoint(ctx, req.N, shard, req.Shards, pilotMergedPath(dir), shardCheckpointPath(dir, shard))
 		return err
 	}
-	_, err := inj.CampaignShardCheckpoint(ctx, req.N, shard, req.Shards, path)
+	if req.Stratify {
+		_, err := inj.CampaignStratifiedShardCheckpoint(ctx, req.N, shard, req.Shards, shardCheckpointPath(dir, shard))
+		return err
+	}
+	_, err := inj.CampaignShardCheckpoint(ctx, req.N, shard, req.Shards, shardCheckpointPath(dir, shard))
 	return err
 }
 
@@ -84,7 +118,7 @@ type inprocRunner struct {
 	chaos time.Duration // per-trial delay for crash drills (0 = none)
 }
 
-func (r *inprocRunner) runShard(ctx context.Context, j *Job, shard int, progress func(shardProgress)) error {
+func (r *inprocRunner) runShard(ctx context.Context, j *Job, shard int, phase shardPhase, progress func(shardProgress)) error {
 	mod, err := j.req.BuildModule()
 	if err != nil {
 		return err
@@ -103,7 +137,7 @@ func (r *inprocRunner) runShard(ctx context.Context, j *Job, shard int, progress
 	if err != nil {
 		return err
 	}
-	return runShardCampaign(ctx, inj, j.req, shard, shardCheckpointPath(j.dir, shard))
+	return runShardCampaign(ctx, inj, j.req, shard, phase, j.dir)
 }
 
 // execRunner runs each shard attempt as a child process: the server
@@ -118,10 +152,13 @@ type execRunner struct {
 	chaos time.Duration // forwarded to the child for crash drills
 }
 
-func (r *execRunner) runShard(ctx context.Context, j *Job, shard int, progress func(shardProgress)) error {
+func (r *execRunner) runShard(ctx context.Context, j *Job, shard int, phase shardPhase, progress func(shardProgress)) error {
 	args := []string{
 		"-worker-dir", j.dir,
 		"-worker-shard", fmt.Sprint(shard),
+	}
+	if phase != phaseWhole {
+		args = append(args, "-worker-phase", string(phase))
 	}
 	if r.chaos > 0 {
 		args = append(args, "-chaos-trial-delay", r.chaos.String())
@@ -197,12 +234,13 @@ func (r *execRunner) runShard(ctx context.Context, j *Job, shard int, progress f
 
 // RunWorker is the shard-worker process entry point, invoked by
 // cmd/fiserver (and the test binary) when -worker-dir is present. It
-// loads the job's submission from dir, runs shard's slice of the
-// campaign against the shard checkpoint, and emits progress Events as
+// loads the job's submission from dir, runs shard's slice of the given
+// campaign phase ("" for single-phase jobs, "pilot"/"main" for adaptive
+// waves) against the shard checkpoint, and emits progress Events as
 // JSONL on stdout. The exit code follows the repo convention: 0 on
 // completion, 130/143 when a signal interrupted it (checkpoint intact,
 // the parent retries from it), 1 on error.
-func RunWorker(dir string, shard int, chaos time.Duration) int {
+func RunWorker(dir string, shard int, phase string, chaos time.Duration) int {
 	var meta jobMeta
 	if err := readJSONFile(filepath.Join(dir, "job.json"), &meta); err != nil {
 		fmt.Fprintf(os.Stderr, "fiserver worker: %v\n", err)
@@ -211,6 +249,21 @@ func RunWorker(dir string, shard int, chaos time.Duration) int {
 	req := meta.Req
 	if req == nil || shard < 0 || req.Shards < 1 || shard >= req.Shards {
 		fmt.Fprintf(os.Stderr, "fiserver worker: bad job or shard %d/%v\n", shard, req)
+		return 1
+	}
+	switch shardPhase(phase) {
+	case phaseWhole:
+		if req.StratifyAdaptive {
+			fmt.Fprintf(os.Stderr, "fiserver worker: adaptive job needs a -worker-phase\n")
+			return 1
+		}
+	case phasePilot, phaseMain:
+		if !req.StratifyAdaptive {
+			fmt.Fprintf(os.Stderr, "fiserver worker: -worker-phase %q on a non-adaptive job\n", phase)
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fiserver worker: unknown -worker-phase %q\n", phase)
 		return 1
 	}
 	ctx, stop, fired := sigctx.WithSignals(context.Background())
@@ -243,7 +296,7 @@ func RunWorker(dir string, shard int, chaos time.Duration) int {
 		fmt.Fprintf(os.Stderr, "fiserver worker: %v\n", err)
 		return 1
 	}
-	if err := runShardCampaign(ctx, inj, req, shard, shardCheckpointPath(dir, shard)); err != nil {
+	if err := runShardCampaign(ctx, inj, req, shard, shardPhase(phase), dir); err != nil {
 		if sig := fired(); sig != nil {
 			// Interrupted: completed trials are in the checkpoint; the
 			// supervisor resumes from there.

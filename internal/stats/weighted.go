@@ -17,9 +17,14 @@ import "math"
 // ULPs outside the unit interval at p ∈ {0, 1} (floating-point
 // cancellation between the center and half-width terms), and downstream
 // consumers (JSON schemas, plots, gates) require proper probabilities.
+//
+// Degenerate inputs — no effective sample (neff ≤ 0, NaN or ±Inf) or an
+// undefined point estimate — yield the full-width interval [0, 1]: with
+// zero information the honest bound is "anywhere", never a zero-width
+// interval that would read as absolute certainty.
 func WeightedWilsonBounds(p, neff float64) (lo, hi float64) {
 	if !(neff > 0) || math.IsInf(neff, 0) || math.IsNaN(p) {
-		return 0, 0
+		return 0, 1
 	}
 	if p < 0 {
 		p = 0
@@ -53,21 +58,30 @@ func WeightedWilsonBounds(p, neff float64) (lo, hi float64) {
 
 // WeightedProportionCI95 is ProportionCI95 for a weighted estimate: the
 // half-width of the 95% Wilson interval at effective sample size neff,
-// measured from the point estimate p to the farther bound.
+// measured from the point estimate p to the farther bound. At degenerate
+// inputs the interval is the full unit width (see WeightedWilsonBounds),
+// so the half-width is 1 — maximally uninformative, never falsely tight.
 func WeightedProportionCI95(p, neff float64) float64 {
-	if !(neff > 0) {
-		return 0
+	if math.IsNaN(p) {
+		return 1
 	}
 	lo, hi := WeightedWilsonBounds(p, neff)
+	if p < lo {
+		p = lo
+	} else if p > hi {
+		p = hi
+	}
 	return math.Max(p-lo, hi-p)
 }
 
 // KishNeff returns Kish's effective sample size (Σw)²/Σw² for a set of
 // weights with sum sumW and sum of squares sumW2. Under uniform weights
 // it equals the observation count exactly; unequal weights always lower
-// it (design effect ≥ 1 by Cauchy-Schwarz).
+// it (design effect ≥ 1 by Cauchy-Schwarz). Degenerate inputs — an empty
+// tally (both sums zero), NaN or infinite sums — return a defined
+// n_eff = 0 rather than propagating NaN into interval math.
 func KishNeff(sumW, sumW2 float64) float64 {
-	if !(sumW > 0) || !(sumW2 > 0) {
+	if !(sumW > 0) || !(sumW2 > 0) || math.IsInf(sumW, 0) || math.IsInf(sumW2, 0) {
 		return 0
 	}
 	return sumW * sumW / sumW2

@@ -216,14 +216,54 @@ func TestHTEffectiveNDegenerateFallsBackToKish(t *testing.T) {
 	}
 }
 
+// TestWeightedWilsonBoundsDegenerateInputs: with no effective sample (or
+// an undefined point estimate) the interval must be the defined
+// full-width [0, 1] — never NaN and never a zero-width interval that
+// would read as certainty.
 func TestWeightedWilsonBoundsDegenerateInputs(t *testing.T) {
 	for _, neff := range []float64{0, -1, math.Inf(1), math.NaN()} {
-		if lo, hi := WeightedWilsonBounds(0.5, neff); lo != 0 || hi != 0 {
-			t.Errorf("neff=%v: got (%v, %v), want (0, 0)", neff, lo, hi)
+		if lo, hi := WeightedWilsonBounds(0.5, neff); lo != 0 || hi != 1 {
+			t.Errorf("neff=%v: got (%v, %v), want (0, 1)", neff, lo, hi)
 		}
 	}
-	if lo, hi := WeightedWilsonBounds(math.NaN(), 10); lo != 0 || hi != 0 {
-		t.Errorf("NaN p: got (%v, %v), want (0, 0)", lo, hi)
+	if lo, hi := WeightedWilsonBounds(math.NaN(), 10); lo != 0 || hi != 1 {
+		t.Errorf("NaN p: got (%v, %v), want (0, 1)", lo, hi)
+	}
+	for _, p := range []float64{0, 0.25, 1, math.NaN()} {
+		if ci := WeightedProportionCI95(p, 0); math.IsNaN(ci) || ci < 0.5 || ci > 1 {
+			t.Errorf("WeightedProportionCI95(%v, 0) = %v, want full-width in [0.5, 1]", p, ci)
+		}
+	}
+}
+
+// TestKishNeffDegenerateCorners: the weight-zero corners (empty tally,
+// NaN or infinite weight sums) must yield a defined n_eff = 0, which the
+// interval machinery then maps to a full-width [0, 1] interval.
+func TestKishNeffDegenerateCorners(t *testing.T) {
+	cases := []struct{ w, w2 float64 }{
+		{0, 0},                     // zero-trial tally
+		{-1, 1},                    // negative sum (impossible via Add, defensive)
+		{math.NaN(), math.NaN()},   // poisoned sums
+		{math.Inf(1), math.Inf(1)}, // infinite sums
+		{math.Inf(1), 4},           // one infinite moment
+	}
+	for _, c := range cases {
+		if got := KishNeff(c.w, c.w2); got != 0 {
+			t.Errorf("KishNeff(%v, %v) = %v, want 0", c.w, c.w2, got)
+		}
+	}
+	var empty WeightedTally
+	if neff := empty.KishNeff(); neff != 0 {
+		t.Errorf("empty tally KishNeff = %v, want 0", neff)
+	}
+	if lo, hi := empty.WilsonBounds(); lo != 0 || hi != 1 {
+		t.Errorf("empty tally WilsonBounds = (%v, %v), want (0, 1)", lo, hi)
+	}
+	if ci := empty.CI95(); math.IsNaN(ci) || ci != 1 {
+		t.Errorf("empty tally CI95 = %v, want 1", ci)
+	}
+	if lo, hi := empty.HTWilsonBounds(0); lo != 0 || hi != 1 {
+		t.Errorf("empty tally HTWilsonBounds(0) = (%v, %v), want (0, 1)", lo, hi)
 	}
 }
 
